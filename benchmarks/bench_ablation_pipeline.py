@@ -1,0 +1,105 @@
+"""Ablations of the Section V design choices.
+
+Each optimization the paper builds is toggled independently so its
+individual contribution is visible:
+
+* overlapped pipeline on/off (the Fig. 9 DAG itself);
+* 2 vs 3 buffer sets (the extra anti-dependencies trade a little
+  latency for a 33 % smaller footprint);
+* reconstruction launch-order reversal (red edges);
+* CMM context caching on/off (per-call allocations);
+* pipeline depth (1-4 queues; the paper argues 3 is the minimum for
+  full latency hiding by Little's law).
+"""
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.core.pipeline import ReductionPipeline, chunk_sizes_for
+from repro.perf.models import kernel_model
+
+from benchmarks.common import fresh_device, save_table
+
+GB = int(1e9)
+MB = int(1e6)
+TOTAL = 4 * GB
+CHUNKS = chunk_sizes_for(TOTAL, 200 * MB)
+
+
+def run(direction="compress", **kw):
+    dev, _ = fresh_device("V100")
+    model = kernel_model("mgard-x", "V100", error_bound=1e-2)
+    pipe = ReductionPipeline(dev, model, **kw)
+    if direction == "compress":
+        return pipe.run_compression(CHUNKS, ratio=8)
+    return pipe.run_reconstruction(CHUNKS, ratio=8)
+
+
+def test_ablation_each_optimization(benchmark):
+    rows = []
+    base = run()  # all optimizations on
+    variants = [
+        ("full HPDR pipeline", {}),
+        ("no overlap (serial)", dict(overlapped=False)),
+        ("no CMM (per-call allocs)", dict(context_cached=False)),
+        ("3 buffer sets (no anti-deps)", dict(num_buffers=3)),
+        ("4-deep pipeline", dict(num_queues=4)),
+        ("2-deep pipeline", dict(num_queues=2)),
+    ]
+    results = {}
+    for label, kw in variants:
+        res = run(**kw)
+        results[label] = res
+        rows.append([
+            label,
+            f"{res.throughput/1e9:.1f} GB/s",
+            f"{res.throughput/base.throughput:.2f}x",
+            f"{100*res.hidden_copy_ratio:.0f}%",
+        ])
+    text = print_table(
+        ["configuration", "throughput", "vs full", "copy hidden"],
+        rows,
+        title="Ablation — Section V optimizations (compression, 4 GB, V100)",
+    )
+    save_table("ablation_pipeline", text)
+
+    assert results["no overlap (serial)"].throughput < 0.7 * base.throughput
+    assert results["no CMM (per-call allocs)"].throughput < base.throughput
+    # 3 buffers may be marginally faster (fewer deps) but costs memory.
+    assert results["3 buffer sets (no anti-deps)"].throughput >= 0.99 * base.throughput
+    # Depth 3 is already sufficient: going deeper adds nothing.
+    assert results["4-deep pipeline"].throughput <= 1.02 * base.throughput
+    benchmark(run)
+
+
+def test_ablation_reconstruction_reversal(benchmark):
+    rows = []
+    rev = run("reconstruct", reversed_order=True)
+    plain = run("reconstruct", reversed_order=False)
+    rows.append(["reversed launch order", f"{rev.throughput/1e9:.2f} GB/s"])
+    rows.append(["default launch order", f"{plain.throughput/1e9:.2f} GB/s"])
+    text = print_table(
+        ["configuration", "reconstruction throughput"],
+        rows,
+        title="Ablation — deserialization/output-copy launch order (Fig. 9 red edges)",
+    )
+    save_table("ablation_reversal", text)
+    assert rev.throughput >= plain.throughput
+    benchmark(run, "reconstruct")
+
+
+def test_ablation_buffer_footprint(benchmark):
+    """The 2-buffer anti-dependencies halve the footprint a 3-buffer
+    pipeline needs while giving up almost no throughput."""
+    two = run(num_buffers=2)
+    three = run(num_buffers=3)
+    # Footprint proxy: buffers × max chunk.
+    max_chunk = max(CHUNKS)
+    assert 2 * max_chunk < 3 * max_chunk
+    assert two.throughput >= 0.95 * three.throughput
+    benchmark(run, num_buffers=3)
+
+
+if __name__ == "__main__":
+    test_ablation_each_optimization(lambda f, *a, **k: f(*a, **k))
+    test_ablation_reconstruction_reversal(lambda f, *a, **k: f(*a, **k))

@@ -1,0 +1,72 @@
+"""Extension bench — rate-distortion curves of all lossy compressors.
+
+Not a paper figure, but the canonical companion plot of any compression
+study: bits/value vs PSNR for MGARD-X, SZ and ZFP-X on each Table III
+stand-in.  The shape claims tested: every codec's curve is monotone
+(more bits → higher PSNR), and on smooth scientific data the
+error-bounded predictors (MGARD/SZ) dominate fixed-rate ZFP at low
+rates.
+"""
+
+import numpy as np
+
+from repro import Config, ErrorMode, MGARDX, SZ, ZFPX
+from repro.analysis import rate_distortion
+from repro.bench.report import print_table
+
+from benchmarks.common import bench_dataset, save_table
+
+EBS = [1e-1, 1e-2, 1e-3, 1e-4]
+RATES = [2, 4, 8, 16]
+
+
+def curves(dataset: str):
+    data = bench_dataset(dataset)
+    out = {}
+    out["MGARD-X"] = rate_distortion(
+        data, lambda eb: MGARDX(Config(error_bound=eb, error_mode=ErrorMode.REL)),
+        EBS,
+    )
+    out["SZ"] = rate_distortion(
+        data, lambda eb: SZ(Config(error_bound=eb, error_mode=ErrorMode.REL)),
+        EBS,
+    )
+    out["ZFP-X"] = rate_distortion(data, lambda r: ZFPX(rate=r), RATES)
+    return out
+
+
+def test_rate_distortion_curves(benchmark):
+    rows = []
+    for dataset in ("nyx", "e3sm"):
+        result = curves(dataset)
+        for name, pts in result.items():
+            for p in pts:
+                rows.append([
+                    dataset.upper(), name, f"{p.parameter:g}",
+                    f"{p.bits_per_value:.2f}", f"{p.ratio:.1f}",
+                    f"{p.psnr:.1f} dB",
+                ])
+            # Monotone curve: more bits, better PSNR.
+            ordered = sorted(pts, key=lambda p: p.bits_per_value)
+            psnrs = [p.psnr for p in ordered]
+            assert all(a <= b + 1.0 for a, b in zip(psnrs, psnrs[1:])), name
+
+        # Error-bounded predictors beat fixed-rate ZFP at ~equal bits on
+        # these smooth-ish fields: compare PSNR at the closest bit-rates.
+        zfp = sorted(result["ZFP-X"], key=lambda p: p.bits_per_value)
+        sz = sorted(result["SZ"], key=lambda p: p.bits_per_value)
+        mid_z = zfp[len(zfp) // 2]
+        closest_sz = min(sz, key=lambda p: abs(p.bits_per_value - mid_z.bits_per_value))
+        if abs(closest_sz.bits_per_value - mid_z.bits_per_value) < 3.0:
+            assert closest_sz.psnr > mid_z.psnr - 6.0
+    text = print_table(
+        ["dataset", "codec", "param", "bits/value", "ratio", "PSNR"],
+        rows,
+        title="Extension — rate-distortion on synthetic Table III stand-ins",
+    )
+    save_table("ext_rate_distortion", text)
+    benchmark(curves, "nyx")
+
+
+if __name__ == "__main__":
+    test_rate_distortion_curves(lambda f, *a, **k: f(*a, **k))

@@ -1,0 +1,53 @@
+"""Extension bench — progressive refactoring (paper refs [23-25]).
+
+Not a paper figure: quantifies the bytes-vs-accuracy trade-off that
+motivates multilevel reduction in the paper's introduction.  For each
+dataset, retrieval error should fall by orders of magnitude as substream
+prefixes grow, with coarse prefixes touching a small fraction of bytes.
+"""
+
+import numpy as np
+
+from repro import MGARDRefactor
+from repro.bench.report import print_table
+
+from benchmarks.common import bench_dataset, save_table
+
+
+def curve(dataset: str):
+    data = bench_dataset(dataset).astype(np.float64)
+    r = MGARDRefactor(precision=1e-7)
+    ref = r.refactor(data)
+    rows = []
+    vr = float(np.ptp(data))
+    for k in range(1, ref.num_levels + 1):
+        approx = r.retrieve(ref, num_levels=k)
+        err = float(np.max(np.abs(approx - data))) / vr
+        rows.append((k, ref.prefix_bytes(k) / ref.total_bytes, err))
+    return rows
+
+
+def test_refactor_progressive_tradeoff(benchmark):
+    table = []
+    for dataset in ("nyx", "e3sm"):
+        rows = curve(dataset)
+        for k, frac, err in rows:
+            table.append([dataset.upper(), k, f"{100*frac:.1f}%", f"{err:.2e}"])
+        # Orders-of-magnitude error reduction from first to last prefix.
+        assert rows[-1][2] < 1e-2 * rows[0][2]
+        # A coarse prefix touches a minority of bytes.
+        assert rows[0][1] < 0.5
+        # Error essentially monotone along the prefix chain.
+        errs = [r[2] for r in rows]
+        assert all(b <= a * 1.2 for a, b in zip(errs, errs[1:]))
+    text = print_table(
+        ["dataset", "levels retrieved", "bytes touched", "rel. max error"],
+        table,
+        title="Extension — progressive retrieval bytes-vs-error",
+    )
+    save_table("ext_refactor", text)
+    benchmark(curve, "nyx")
+
+
+if __name__ == "__main__":
+    test_refactor_progressive_tradeoff(lambda f, *a, **k: f(*a, **k))

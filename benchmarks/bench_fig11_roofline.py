@@ -1,0 +1,67 @@
+"""Fig. 11 — Roofline model of MGARD/ZFP throughput vs chunk size.
+
+The paper profiles each (dataset, error-bound) combination over chunk
+sizes, then fits the piecewise Φ(C) used by the adaptive pipeline.  This
+bench runs the same procedure against the calibrated simulator and
+verifies the fit recovers the underlying model, for both kernels on the
+three datasets and three error bounds.
+"""
+
+import numpy as np
+
+from repro.bench.report import print_table
+from repro.perf.models import kernel_model
+from repro.perf.roofline import fit_roofline, profile_points
+
+from benchmarks.common import save_table
+
+MB = 1e6
+CHUNKS = np.array([2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]) * MB
+DATASETS = ["nyx", "xgc", "e3sm"]
+EBS = [1e-2, 1e-4, 1e-6]
+
+
+def fit_one(pipeline: str, eb: float):
+    km = kernel_model(pipeline, "V100", error_bound=eb)
+    c, p = profile_points(km.phi, CHUNKS)
+    return km, fit_roofline(c, p)
+
+
+def test_fig11_fits_recover_phi(benchmark):
+    rows = []
+    for pipeline in ("mgard-x", "zfp-x"):
+        for ds in DATASETS:
+            for eb in EBS:
+                km, fit = fit_one(pipeline, eb)
+                gamma_err = abs(fit.gamma - km.gamma) / km.gamma
+                mid = 48 * MB
+                ramp_err = abs(fit.phi(mid) - km.phi(mid)) / km.phi(mid)
+                rows.append([
+                    pipeline, ds, f"{eb:.0e}",
+                    f"{fit.gamma/1e9:.1f} GB/s",
+                    f"{fit.c_threshold/1e6:.0f} MB",
+                    f"{100*gamma_err:.2f}%",
+                    f"{100*ramp_err:.1f}%",
+                ])
+                assert gamma_err < 0.01
+                assert ramp_err < 0.25
+    text = print_table(
+        ["kernel", "dataset", "eb", "fitted γ", "fitted C_thresh",
+         "γ error", "ramp error@48MB"],
+        rows,
+        title="Fig. 11 — roofline fits (profiled on the calibrated simulator)",
+    )
+    save_table("fig11_roofline", text)
+    benchmark(fit_one, "mgard-x", 1e-4)
+
+
+def test_fig11_eb_shifts_plateau(benchmark):
+    """Looser bounds raise the plateau (less entropy-coding work)."""
+    _, loose = fit_one("mgard-x", 1e-2)
+    _, tight = fit_one("mgard-x", 1e-6)
+    assert loose.gamma > tight.gamma
+    benchmark(fit_one, "zfp-x", 1e-2)
+
+
+if __name__ == "__main__":
+    test_fig11_fits_recover_phi(lambda f, *a, **k: f(*a, **k))

@@ -1,0 +1,87 @@
+"""Fig. 18 — Strong-scaling parallel I/O on Frontier.
+
+(a) 32 TB of E3SM data at eb=1e-4 (paper CR 7.9×): MGARD-X accelerates
+write 2.4-1.8× and read 2.1-2.9×; MGARD-GPU *adds* 28-134 % overhead.
+(b) 67 TB of XGC data at eb=1e-4 (paper CR 9.1×): MGARD-X 1.7-3.4×
+write / 1.5-3.3× read; MGARD-GPU adds 32-227 % overhead.
+
+Legacy tools reduce each time step as a separate call (the per-call
+volume shrinks with node count → occupancy collapse); HPDR's pipeline
+streams steps back-to-back.
+"""
+
+import pytest
+
+from repro.bench.methods import method_at_scale
+from repro.bench.report import print_table
+from repro.io.parallel import strong_scaling_io
+from repro.machine.topology import FRONTIER
+
+from benchmarks.common import measured_ratio, save_table
+
+TB = int(1e12)
+NODES = [512, 1024, 2048]
+
+#: per-call granularity of the legacy tool: E3SM writes monthly-slab
+#: variables, XGC writes per-plane distribution slices (finer grain).
+CASES = {
+    "e3sm": dict(total=32 * TB, paper_ratio=7.9, steps=64,
+                 paper_x="2.4-1.8x write", paper_g="+28-134% overhead"),
+    "xgc": dict(total=67 * TB, paper_ratio=9.1, steps=256,
+                paper_x="1.7-3.4x write", paper_g="+32-227% overhead"),
+}
+
+
+def run_case(dataset: str):
+    case = CASES[dataset]
+    measured = measured_ratio("mgard-x", dataset, 1e-4)
+    # The paper's CR at 1e-4 on the production data; our synthetic
+    # stand-in's measured ratio is reported alongside, and the paper's
+    # ratio drives the simulation so volumes match Fig. 18.
+    mx = method_at_scale("mgard-x", ratio=case["paper_ratio"], error_bound=1e-4)
+    mg = method_at_scale("mgard-gpu", ratio=case["paper_ratio"], error_bound=1e-4)
+    x = strong_scaling_io(FRONTIER, NODES, mx, case["total"],
+                          steps_per_gpu=case["steps"])
+    g = strong_scaling_io(FRONTIER, NODES, mg, case["total"],
+                          steps_per_gpu=case["steps"])
+    return x, g, measured
+
+
+def test_fig18_strong_scaling(benchmark):
+    rows = []
+    for dataset, case in CASES.items():
+        x, g, measured = run_case(dataset)
+        for rx, rg in zip(x, g):
+            overhead = 100 * (rg.write_time / rg.write_time_raw - 1)
+            rows.append([
+                dataset.upper(), rx.nodes,
+                f"{case['paper_ratio']:.1f} (ours: {measured:.1f})",
+                f"{rx.write_speedup:.2f}x", f"{rx.read_speedup:.2f}x",
+                f"{overhead:+.0f}%",
+            ])
+            # Shape: MGARD-X accelerates everywhere; MGARD-GPU does not.
+            assert rx.write_speedup > 1.5
+            assert rx.read_speedup > 1.3
+            assert rg.write_speedup < 1.0
+    text = print_table(
+        ["dataset", "nodes", "CR@1e-4 paper (ours)", "MGARD-X write",
+         "MGARD-X read", "MGARD-GPU write overhead"],
+        rows,
+        title="Fig. 18 — Frontier strong-scaling I/O (paper: MGARD-X "
+              "accelerates, MGARD-GPU adds 28-227% overhead)",
+    )
+    save_table("fig18_strong_io", text)
+    benchmark(run_case, "e3sm")
+
+
+def test_fig18_overhead_band(benchmark):
+    """MGARD-GPU's overhead lands in (or near) the paper's band."""
+    _, g, _ = run_case("e3sm")
+    overheads = [100 * (r.write_time / r.write_time_raw - 1) for r in g]
+    assert min(overheads) > 10
+    assert max(overheads) < 250
+    benchmark(run_case, "xgc")
+
+
+if __name__ == "__main__":
+    test_fig18_strong_scaling(lambda f, *a, **k: f(*a, **k))

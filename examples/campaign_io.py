@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Accelerating a simulation campaign's I/O with HPDR + the BP layer.
+
+An E3SM-style climate model writes sea-level-pressure snapshots from
+several ranks every "simulated month".  The example writes the campaign
+twice — raw and MGARD-X-reduced — through the ADIOS2-like BP engine
+(real files on disk), compares sizes, verifies every snapshot's error
+bound on read-back, and then projects the same workload onto Frontier
+at 1,024 nodes with the calibrated simulator (the paper's Fig. 17).
+
+Run:  python examples/campaign_io.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Config, ErrorMode, MGARDX
+from repro.bench.methods import method_at_scale
+from repro.data import e3sm_like
+from repro.io.engine import BPReader, BPWriter
+from repro.io.parallel import weak_scaling_io
+from repro.machine.topology import FRONTIER
+
+RANKS = 4
+MONTHS = 3
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="hpdr_campaign_"))
+    config = Config(error_bound=1e-3, error_mode=ErrorMode.REL)
+
+    # --- write the campaign, raw and reduced -------------------------
+    snapshots = {
+        (rank, month): e3sm_like((8, 48, 96), seed=rank * 100 + month)
+        for rank in range(RANKS)
+        for month in range(MONTHS)
+    }
+
+    raw_writer = BPWriter(workdir / "raw", num_aggregators=2)
+    red_writer = BPWriter(workdir / "reduced", num_aggregators=2)
+    for (rank, month), psl in snapshots.items():
+        raw_writer.put(f"PSL.m{month}", psl, rank=rank)
+        red_writer.put(f"PSL.m{month}", psl, rank=rank,
+                       operator="mgard-x", compressor=MGARDX(config))
+    raw_stats = raw_writer.close()
+    red_stats = red_writer.close()
+
+    print(f"campaign: {RANKS} ranks x {MONTHS} months of E3SM-like PSL")
+    print(f"raw size:     {raw_stats['stored_bytes']/1e6:8.2f} MB")
+    print(f"reduced size: {red_stats['stored_bytes']/1e6:8.2f} MB "
+          f"({raw_stats['original_bytes']/red_stats['stored_bytes']:.1f}x)")
+
+    # --- read back and verify every snapshot -------------------------
+    reader = BPReader(workdir / "reduced")
+    worst = 0.0
+    for (rank, month), original in snapshots.items():
+        restored = reader.get(f"PSL.m{month}", rank=rank,
+                              compressor=MGARDX(config))
+        rel = float(np.max(np.abs(restored - original)) / np.ptp(original))
+        worst = max(worst, rel)
+    print(f"worst relative error on read-back: {worst:.2e} "
+          f"(bound {config.error_bound:.0e}) "
+          f"=> {'OK' if worst <= config.error_bound else 'VIOLATED'}")
+    assert worst <= config.error_bound
+
+    # --- project onto Frontier at scale (Fig. 17) --------------------
+    ratio = raw_stats["original_bytes"] / red_stats["stored_bytes"]
+    method = method_at_scale("mgard-x", ratio=ratio, error_bound=1e-3)
+    res = weak_scaling_io(FRONTIER, [1024], method,
+                          bytes_per_gpu=int(7.5e9))[0]
+    print(f"\nprojected to Frontier, 1,024 nodes, 7.5 GB/GPU "
+          f"(measured ratio {ratio:.1f}x):")
+    print(f"  write: {res.write_time_raw:6.1f} s raw -> "
+          f"{res.write_time:5.1f} s reduced  ({res.write_speedup:.1f}x)")
+    print(f"  read:  {res.read_time_raw:6.1f} s raw -> "
+          f"{res.read_time:5.1f} s reduced  ({res.read_speedup:.1f}x)")
+
+    shutil.rmtree(workdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Why context caching decides multi-GPU scalability (paper Fig. 16).
+
+Simulates a Summit node (6x V100 sharing one runtime) compressing 2 GB
+per GPU with and without the Context Memory Model.  Without the CMM,
+every reduction call allocates its buffers through the shared runtime,
+whose serialized allocation path becomes the bottleneck as GPUs are
+added.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+from repro.bench.methods import method_at_scale
+from repro.io.parallel import node_reduction_time
+from repro.machine.topology import SUMMIT
+
+GB = int(1e9)
+PER_GPU = 2 * GB
+
+
+def efficiency_curve(method) -> list[float]:
+    t1 = node_reduction_time(SUMMIT, method, PER_GPU, num_gpus=1)
+    return [
+        t1 / node_reduction_time(SUMMIT, method, PER_GPU, num_gpus=g)
+        for g in range(1, 7)
+    ]
+
+
+def main() -> None:
+    with_cmm = method_at_scale("mgard-x", ratio=20.0)
+    without = method_at_scale("mgard-gpu", ratio=20.0)
+
+    print("Weak-scaling efficiency on one Summit node (1.0 = ideal):\n")
+    print("GPUs   MGARD-X (CMM)   MGARD-GPU (per-call allocs)")
+    eff_x = efficiency_curve(with_cmm)
+    eff_g = efficiency_curve(without)
+    for g, (ex, eg) in enumerate(zip(eff_x, eff_g), start=1):
+        bar_x = "#" * round(20 * ex)
+        bar_g = "#" * round(20 * eg)
+        print(f"{g:>4}   {ex:5.2f} {bar_x:<20}  {eg:5.2f} {bar_g:<20}")
+
+    avg_x = sum(eff_x[1:]) / len(eff_x[1:])
+    avg_g = sum(eff_g[1:]) / len(eff_g[1:])
+    print(f"\naverage efficiency: MGARD-X {100*avg_x:.0f}% "
+          f"(paper: 96%), MGARD-GPU {100*avg_g:.0f}% (paper: 72%)")
+    print("\nThe gap is entirely runtime memory management: the CMM's "
+          "hash-map context cache\nmakes the steady state allocation-free, "
+          "so nothing serializes on the shared runtime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Device adapter base class and registry."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.functor import DomainFunctor, Functor
+from repro.machine.specs import ProcessorSpec
+
+
+@dataclass
+class KernelRecord:
+    """One simulated kernel execution in an adapter's trace."""
+
+    name: str
+    model: str          # "GEM" or "DEM"
+    n_elements: int
+    traffic_bytes: float
+    duration: float     # seconds on the simulated device
+
+
+class DeviceAdapter(abc.ABC):
+    """Executes GEM and DEM on one backend.
+
+    Subclasses set :attr:`family` ("serial", "openmp", "cuda", "hip")
+    and implement the two execution entry points.  Adapters optionally
+    carry a :class:`~repro.machine.specs.ProcessorSpec`; simulated
+    adapters use it to derive kernel durations from the memory-bound
+    roofline (``traffic / mem_bandwidth``), recorded in :attr:`trace`.
+    """
+
+    family: str = "abstract"
+
+    def __init__(self, spec: ProcessorSpec | None = None) -> None:
+        self.spec = spec
+        self.trace: list[KernelRecord] = []
+
+    # -- execution models ------------------------------------------------
+    @abc.abstractmethod
+    def execute_group_batch(self, functor, batch: np.ndarray) -> np.ndarray:
+        """GEM: run a group-parallel functor over ``(ngroups, ...)``."""
+
+    def execute_domain(self, functor: DomainFunctor, data: Any) -> Any:
+        """DEM: run a whole-domain functor (with global sync between stages).
+
+        The default implementation runs stages sequentially, which is
+        correct for every backend (Table II: execution order maintained
+        by sequential execution / grid sync); subclasses add tracing.
+        """
+        for stage in functor.stages():
+            data = stage(data)
+        self._record(functor, "DEM", _n_elements(data))
+        return data
+
+    def synchronize(self) -> None:
+        """Block until all backend work completes (no-op off-device)."""
+
+    # -- tracing -----------------------------------------------------------
+    def _record(self, functor: Functor, model: str, n_elements: int) -> None:
+        if self.spec is None:
+            return
+        traffic = functor.cost_bytes(n_elements)
+        duration = traffic / self.spec.mem_bandwidth
+        self.trace.append(
+            KernelRecord(functor.name, model, n_elements, traffic, duration)
+        )
+
+    def simulated_time(self) -> float:
+        """Total simulated kernel seconds recorded so far."""
+        return sum(r.duration for r in self.trace)
+
+    def reset_trace(self) -> None:
+        self.trace.clear()
+
+    @property
+    def name(self) -> str:
+        if self.spec is not None:
+            return f"{self.family}({self.spec.name})"
+        return self.family
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def _n_elements(data: Any) -> int:
+    if isinstance(data, np.ndarray):
+        return int(data.size)
+    if isinstance(data, (tuple, list)):
+        return sum(_n_elements(d) for d in data)
+    if isinstance(data, dict):
+        return sum(_n_elements(d) for d in data.values())
+    return 1
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_adapter(family: str, cls: type) -> None:
+    _REGISTRY[family] = cls
+
+
+def get_adapter(family: str, spec: ProcessorSpec | None = None, **kwargs) -> DeviceAdapter:
+    """Instantiate an adapter by family name.
+
+    ``get_adapter("cuda")`` returns a fresh :class:`CudaSimAdapter`, etc.
+    Extending HPDR to a new backend = implementing a subclass and
+    registering it — the paper's extensibility claim for Kokkos/SYCL.
+    """
+    key = family.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown adapter family {family!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](spec=spec, **kwargs)
+
+
+def list_adapters() -> list[str]:
+    return sorted(_REGISTRY)

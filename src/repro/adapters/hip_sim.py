@@ -1,0 +1,22 @@
+"""Simulated AMD GPU adapter.
+
+The HIP analog of :mod:`repro.adapters.cuda_sim`: groups map to Compute
+Units, whole-domain sync uses HIP cooperative groups.  Functionally
+identical execution — which is itself a statement of the paper's
+portability thesis: the abstraction layer, not the backend, defines the
+numerical result.
+"""
+
+from __future__ import annotations
+
+from repro.adapters.base import register_adapter
+from repro.adapters.cuda_sim import CudaSimAdapter
+from repro.machine.specs import MI250X, ProcessorSpec
+
+
+class HipSimAdapter(CudaSimAdapter):
+    family = "hip"
+    default_spec: ProcessorSpec = MI250X
+
+
+register_adapter(HipSimAdapter.family, HipSimAdapter)

@@ -1,0 +1,116 @@
+"""Reconstruction-quality metrics and rate-distortion sweeps.
+
+Standard companions of every scientific compressor release: given an
+original and a reconstruction, quantify the damage; given a compressor
+and a dataset, trace its rate-distortion curve.  Used by the extension
+benches and available to downstream users for acceptance testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def max_abs_error(original: np.ndarray, restored: np.ndarray) -> float:
+    """L∞ error (the quantity error-bounded compressors guarantee)."""
+    _check(original, restored)
+    if original.size == 0:
+        return 0.0
+    return float(
+        np.max(np.abs(original.astype(np.float64) - restored.astype(np.float64)))
+    )
+
+
+def rmse(original: np.ndarray, restored: np.ndarray) -> float:
+    """Root-mean-square (L2) error."""
+    _check(original, restored)
+    if original.size == 0:
+        return 0.0
+    diff = original.astype(np.float64) - restored.astype(np.float64)
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def psnr(original: np.ndarray, restored: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (∞ for exact reconstruction)."""
+    e = rmse(original, restored)
+    vrange = float(np.ptp(original.astype(np.float64)))
+    if e == 0.0:
+        return float("inf")
+    if vrange == 0.0:
+        return float("-inf") if e > 0 else float("inf")
+    return 20.0 * np.log10(vrange / e)
+
+
+def preserved_mean_error(original: np.ndarray, restored: np.ndarray) -> float:
+    """Error of the domain mean — the simplest linear QoI."""
+    _check(original, restored)
+    return float(
+        abs(np.mean(original.astype(np.float64)) - np.mean(restored.astype(np.float64)))
+    )
+
+
+def preserved_gradient_error(original: np.ndarray, restored: np.ndarray) -> float:
+    """L∞ error of first differences along every axis (derivative QoI)."""
+    _check(original, restored)
+    worst = 0.0
+    o = original.astype(np.float64)
+    r = restored.astype(np.float64)
+    for axis in range(original.ndim):
+        if original.shape[axis] < 2:
+            continue
+        go = np.diff(o, axis=axis)
+        gr = np.diff(r, axis=axis)
+        worst = max(worst, float(np.max(np.abs(go - gr))))
+    return worst
+
+
+def _check(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """One point on a rate-distortion curve."""
+
+    parameter: float          # eb / rate / tolerance driving the codec
+    bits_per_value: float
+    ratio: float
+    max_error: float
+    rmse: float
+    psnr: float
+
+
+def rate_distortion(
+    data: np.ndarray,
+    make_compressor: Callable[[float], object],
+    parameters: Sequence[float],
+) -> list[RatePoint]:
+    """Sweep a codec parameter and collect rate-distortion points.
+
+    ``make_compressor(p)`` builds a configured compressor for parameter
+    ``p`` (an error bound, a rate, …); each point performs a real
+    compress/decompress round trip.
+    """
+    if not parameters:
+        raise ValueError("need at least one parameter")
+    points = []
+    bits = data.dtype.itemsize * 8
+    for p in parameters:
+        comp = make_compressor(p)
+        blob = comp.compress(data)
+        restored = np.asarray(comp.decompress(blob)).reshape(data.shape)
+        points.append(
+            RatePoint(
+                parameter=float(p),
+                bits_per_value=8.0 * len(blob) / data.size,
+                ratio=data.nbytes / len(blob),
+                max_error=max_abs_error(data, restored),
+                rmse=rmse(data, restored),
+                psnr=psnr(data, restored),
+            )
+        )
+    return points

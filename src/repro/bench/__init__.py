@@ -1,0 +1,13 @@
+"""Benchmark harness utilities.
+
+* :mod:`repro.bench.methods` — the calibrated runtime profiles of every
+  reduction routine in the paper's evaluation, shared by all benches so
+  Fig. 15/16/17/18 use one consistent story.
+* :mod:`repro.bench.report` — table printers and paper-vs-measured
+  comparison records (collected into EXPERIMENTS.md).
+"""
+
+from repro.bench.methods import EVAL_METHODS, method_at_scale
+from repro.bench.report import Comparison, print_table
+
+__all__ = ["EVAL_METHODS", "method_at_scale", "Comparison", "print_table"]

@@ -1,0 +1,96 @@
+"""Calibrated runtime profiles of the evaluated reduction routines.
+
+Kernel throughputs live in :mod:`repro.perf.models`; this module fixes
+each released tool's *behavioural* constants — allocations per call,
+fixed host-side per-call overhead, legacy chunking — matching the
+characteristics reported for the release versions the paper benchmarks
+(MGARD-GPU v1.5, ZFP-CUDA v1.0, cuSZ v0.6, NVCOMP-LZ4 v2.2).
+
+Calibration targets (Summit/V100, from the paper):
+
+================  ==============  =========================
+method            per-GPU e2e     avg multi-GPU scalability
+================  ==============  =========================
+MGARD-X           ~14.6 GB/s      ~96 %
+MGARD-GPU         ~4.9 GB/s       ~72 %
+ZFP-CUDA          ~7.1 GB/s       ~48 %
+cuSZ              ~4.9 GB/s       ~46 %
+NVCOMP-LZ4        ~5.4 GB/s       ~74 %
+================  ==============  =========================
+"""
+
+from __future__ import annotations
+
+from repro.io.parallel import ReductionAtScale
+
+
+def _m(**kw) -> ReductionAtScale:
+    return ReductionAtScale(**kw)
+
+
+#: Behavioural profile per evaluated method.  ``ratio`` here is only a
+#: placeholder; benches override it with measured ratios via
+#: :func:`method_at_scale`.
+EVAL_METHODS: dict[str, ReductionAtScale] = {
+    "mgard-x": _m(kernel="mgard-x", ratio=20.0, label="MGARD-X"),
+    "zfp-x": _m(kernel="zfp-x", ratio=6.0, label="ZFP-X"),
+    "huffman-x": _m(kernel="huffman-x", ratio=1.5, label="Huffman-X"),
+    "mgard-gpu": _m(
+        kernel="mgard-gpu",
+        ratio=20.0,
+        overlapped=False,
+        context_cached=False,
+        allocs_per_call=4,
+        call_overhead_s=0.005,
+        label="MGARD-GPU",
+    ),
+    "zfp-cuda": _m(
+        kernel="zfp-cuda",
+        ratio=6.0,
+        overlapped=False,
+        context_cached=False,
+        allocs_per_call=4,
+        call_overhead_s=0.0,
+        label="ZFP-CUDA",
+    ),
+    "cusz": _m(
+        kernel="cusz",
+        ratio=20.0,
+        overlapped=False,
+        context_cached=False,
+        allocs_per_call=5,
+        call_overhead_s=0.0,
+        label="cuSZ",
+    ),
+    "nvcomp-lz4": _m(
+        kernel="nvcomp-lz4",
+        ratio=1.1,
+        overlapped=False,
+        context_cached=False,
+        allocs_per_call=2,
+        call_overhead_s=0.005,
+        label="NVCOMP-LZ4",
+    ),
+}
+
+#: cuSZ crashed in the paper's runs beyond this node count (Fig. 17).
+CUSZ_MAX_NODES = 64
+
+
+def method_at_scale(name: str, ratio: float | None = None,
+                    error_bound: float | None = None) -> ReductionAtScale:
+    """Fetch a method profile, optionally overriding measured ratio/eb."""
+    key = name.lower()
+    if key not in EVAL_METHODS:
+        raise KeyError(f"unknown method {name!r}; available: {sorted(EVAL_METHODS)}")
+    base = EVAL_METHODS[key]
+    changes = {}
+    if ratio is not None:
+        changes["ratio"] = ratio
+    if error_bound is not None:
+        changes["error_bound"] = error_bound
+    if not changes:
+        return base
+    from dataclasses import replace
+
+    return replace(base, **changes)

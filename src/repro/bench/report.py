@@ -1,0 +1,58 @@
+"""Table printing and paper-vs-measured comparison records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Comparison:
+    """One paper-vs-measured datum for EXPERIMENTS.md."""
+
+    experiment: str           # e.g. "Fig. 13"
+    quantity: str             # e.g. "ZFP-X fixed/none speedup"
+    paper: str                # what the paper reports
+    measured: str             # what this reproduction measures
+    note: str = ""
+
+    def row(self) -> list[str]:
+        return [self.experiment, self.quantity, self.paper, self.measured, self.note]
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table (returned and printed)."""
+    def fmt(x) -> str:
+        if isinstance(x, float):
+            return floatfmt.format(x)
+        return str(x)
+
+    srows = [[fmt(c) for c in r] for r in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in srows)) if srows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in srows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    out = "\n".join(lines)
+    print(out)
+    return out
+
+
+def print_comparisons(comps: Sequence[Comparison], title: str = "") -> str:
+    return print_table(
+        ["experiment", "quantity", "paper", "measured", "note"],
+        [c.row() for c in comps],
+        title=title,
+    )

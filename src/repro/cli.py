@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operates on ``.npy`` arrays so any NumPy-producing workflow can use HPDR
+from the shell:
+
+.. code-block:: bash
+
+    python -m repro compress field.npy field.hpdr --method mgard-x --eb 1e-3
+    python -m repro decompress field.hpdr restored.npy
+    python -m repro info field.hpdr
+    python -m repro refactor field.npy field.mgrf --precision 1e-6
+    python -m repro retrieve field.mgrf coarse.npy --levels 2
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+
+import numpy as np
+
+_ENVELOPE_MAGIC = b"HPDR"
+
+
+def _envelope(method: str, payload: bytes) -> bytes:
+    m = method.encode("ascii")
+    return _ENVELOPE_MAGIC + struct.pack("<B", len(m)) + m + payload
+
+
+def _open_envelope(blob: bytes) -> tuple[str, bytes]:
+    if blob[:4] != _ENVELOPE_MAGIC:
+        raise ValueError("not an HPDR container (bad magic)")
+    (mlen,) = struct.unpack_from("<B", blob, 4)
+    method = blob[5 : 5 + mlen].decode("ascii")
+    return method, blob[5 + mlen :]
+
+
+def _build_compressor(method: str, args):
+    from repro import Config, ErrorMode, LZ4, MGARDX, SZ, ZFPX, get_adapter
+    from repro import rate_for_error_bound
+
+    adapter = get_adapter(args.adapter) if getattr(args, "adapter", None) else None
+    mode = ErrorMode.ABS if getattr(args, "mode", "rel") == "abs" else ErrorMode.REL
+    eb = getattr(args, "eb", 1e-3)
+    cfg = Config(error_bound=eb, error_mode=mode)
+    if method == "mgard-x":
+        return MGARDX(cfg, adapter=adapter)
+    if method == "sz":
+        return SZ(cfg, adapter=adapter)
+    if method == "zfp-x":
+        rate = getattr(args, "rate", None)
+        if rate is None:
+            rate = 16.0
+        return ZFPX(rate=rate, adapter=adapter)
+    if method == "zfp-accuracy":
+        from repro import ZFPAccuracy
+
+        return ZFPAccuracy(tolerance=getattr(args, "tolerance", 1e-3) or 1e-3)
+    if method == "huffman-x":
+        from repro import HuffmanX
+
+        return HuffmanX(adapter=adapter)
+    if method == "lz4":
+        return LZ4()
+    raise SystemExit(f"unknown method {method!r}")
+
+
+def cmd_compress(args) -> int:
+    data = np.load(args.input)
+    comp = _build_compressor(args.method, args)
+    payload = comp.compress(data)
+    blob = _envelope(args.method, payload)
+    with open(args.output, "wb") as f:
+        f.write(blob)
+    print(
+        f"{args.input}: {data.nbytes/1e6:.2f} MB -> {len(blob)/1e6:.2f} MB "
+        f"({data.nbytes/len(blob):.2f}x) via {args.method}"
+    )
+    return 0
+
+
+def cmd_decompress(args) -> int:
+    with open(args.input, "rb") as f:
+        blob = f.read()
+    method, payload = _open_envelope(blob)
+    comp = _build_compressor(method, args)
+    data = comp.decompress(payload)
+    np.save(args.output, np.asarray(data))
+    print(f"{args.input} ({method}) -> {args.output} "
+          f"{np.asarray(data).shape} {np.asarray(data).dtype}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    with open(args.input, "rb") as f:
+        blob = f.read()
+    method, payload = _open_envelope(blob)
+    print(f"container: HPDR envelope, method={method}, "
+          f"payload={len(payload)} bytes")
+    return 0
+
+
+def cmd_refactor(args) -> int:
+    from repro.compressors.mgard.refactor import MGARDRefactor
+
+    data = np.load(args.input)
+    r = MGARDRefactor(precision=args.precision)
+    refactored = r.refactor(data)
+    with open(args.output, "wb") as f:
+        f.write(refactored.tobytes())
+    print(f"{args.input}: {data.nbytes/1e6:.2f} MB -> "
+          f"{refactored.total_bytes/1e6:.2f} MB in "
+          f"{refactored.num_levels} substreams")
+    for k in range(1, refactored.num_levels + 1):
+        print(f"  prefix {k}: {refactored.prefix_bytes(k)/1e6:8.3f} MB, "
+              f"est. error {refactored.error_estimate(k):.3e}")
+    return 0
+
+
+def cmd_retrieve(args) -> int:
+    from repro.compressors.mgard.refactor import MGARDRefactor, RefactoredData
+
+    with open(args.input, "rb") as f:
+        refactored = RefactoredData.frombytes(f.read())
+    r = MGARDRefactor()
+    data = r.retrieve(refactored, num_levels=args.levels)
+    np.save(args.output, data)
+    touched = refactored.prefix_bytes(args.levels or refactored.num_levels)
+    print(f"retrieved {data.shape} from {touched/1e6:.3f} MB "
+          f"of {refactored.total_bytes/1e6:.3f} MB")
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    from repro.data.registry import DATASETS
+
+    print(f"{'name':<6} {'field':<8} {'paper dims':<24} {'dtype':<8} size")
+    for spec in DATASETS.values():
+        dims = "x".join(map(str, spec.full_shape))
+        print(f"{spec.name:<6} {spec.field:<8} {dims:<24} "
+              f"{spec.dtype:<8} {spec.full_size_label}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="HPDR portable scientific data reduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="compress a .npy array")
+    c.add_argument("input")
+    c.add_argument("output")
+    c.add_argument("--method", default="mgard-x",
+                   choices=["mgard-x", "zfp-x", "zfp-accuracy", "sz",
+                            "huffman-x", "lz4"])
+    c.add_argument("--eb", type=float, default=1e-3,
+                   help="error bound (lossy methods)")
+    c.add_argument("--mode", default="rel", choices=["rel", "abs"])
+    c.add_argument("--rate", type=float, default=None,
+                   help="bits/value (zfp-x)")
+    c.add_argument("--tolerance", type=float, default=None,
+                   help="absolute tolerance (zfp-accuracy)")
+    c.add_argument("--adapter", default=None,
+                   choices=["serial", "openmp", "cuda", "hip"])
+    c.set_defaults(func=cmd_compress)
+
+    d = sub.add_parser("decompress", help="decompress an .hpdr container")
+    d.add_argument("input")
+    d.add_argument("output")
+    d.add_argument("--adapter", default=None,
+                   choices=["serial", "openmp", "cuda", "hip"])
+    d.set_defaults(func=cmd_decompress, eb=1e-3, mode="rel", rate=None, tolerance=None)
+
+    i = sub.add_parser("info", help="describe an .hpdr container")
+    i.add_argument("input")
+    i.set_defaults(func=cmd_info)
+
+    r = sub.add_parser("refactor", help="refactor into progressive substreams")
+    r.add_argument("input")
+    r.add_argument("output")
+    r.add_argument("--precision", type=float, default=1e-6)
+    r.set_defaults(func=cmd_refactor)
+
+    g = sub.add_parser("retrieve", help="retrieve a refactored prefix")
+    g.add_argument("input")
+    g.add_argument("output")
+    g.add_argument("--levels", type=int, default=None)
+    g.set_defaults(func=cmd_retrieve)
+
+    ds = sub.add_parser("datasets", help="print the Table III inventory")
+    ds.set_defaults(func=cmd_datasets)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

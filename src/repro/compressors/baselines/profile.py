@@ -1,0 +1,68 @@
+"""Execution profiles: how a reduction routine behaves at runtime.
+
+The paper's performance gap between MGARD-X and the release baselines
+comes from *runtime behaviour*, not kernel maths: the baselines allocate
+their working buffers on every call (contending on the shared runtime)
+and run without an overlapped pipeline.  :class:`ExecutionProfile`
+captures those behavioural knobs so the simulator can execute any
+compressor under either regime — which is also how the ablation benches
+isolate each optimization's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """Runtime behaviour of a reduction routine.
+
+    Attributes
+    ----------
+    name:
+        Label used in traces and bench tables.
+    kernel:
+        Key into :mod:`repro.perf.models` throughput tables.
+    context_caching:
+        CMM on/off: when False, every pipeline invocation re-allocates
+        its reduction context through the shared runtime.
+    overlapped_pipeline:
+        Whether the Fig. 9 overlapped pipeline is used; legacy tools
+        copy in, compute, copy out, strictly serially.
+    allocs_per_call:
+        Distinct buffer allocations one reduction call performs when not
+        cached (input, output, several intermediates).
+    """
+
+    name: str
+    kernel: str
+    context_caching: bool
+    overlapped_pipeline: bool
+    allocs_per_call: int = 6
+
+
+HPDR_PROFILE = ExecutionProfile(
+    name="hpdr",
+    kernel="mgard-x",
+    context_caching=True,
+    overlapped_pipeline=True,
+)
+
+LEGACY_PROFILE = ExecutionProfile(
+    name="legacy",
+    kernel="mgard-gpu",
+    context_caching=False,
+    overlapped_pipeline=False,
+)
+
+
+def profile_for(kernel: str) -> ExecutionProfile:
+    """Default profile for a kernel name: -x pipelines are HPDR-style."""
+    hpdr = kernel.endswith("-x")
+    return ExecutionProfile(
+        name="hpdr" if hpdr else "legacy",
+        kernel=kernel,
+        context_caching=hpdr,
+        overlapped_pipeline=hpdr,
+    )

@@ -1,0 +1,122 @@
+"""SZ baseline (cuSZ-style): dual-quantized Lorenzo prediction + Huffman.
+
+cuSZ's key insight (Tian et al., PACT'20) is *dual quantization*:
+pre-quantize the data onto the error-bound grid first, then run the
+first-order Lorenzo predictor on integers.  Prediction errors cannot
+propagate (everything is exact integer arithmetic), so both directions
+vectorize completely — the property that made cuSZ GPU-friendly, and
+what makes this NumPy implementation fast.
+
+The n-D first-order Lorenzo residual is the mixed first difference,
+whose inverse is an iterated prefix sum along each axis.
+
+Error bound: ``|x - 2eb·round(x/2eb)| ≤ eb`` holds exactly by
+construction, for any input.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.config import Config, ErrorMode
+from repro.compressors.huffman import HuffmanX
+from repro.compressors.mgard.quantize import from_symbols, to_symbols
+from repro.util import stream_errors
+
+_MAGIC = b"CUSZ"
+_VERSION = 1
+
+
+def lorenzo_forward(xq: np.ndarray) -> np.ndarray:
+    """Mixed first difference (first-order Lorenzo residual), exact."""
+    delta = xq.astype(np.int64)
+    for axis in range(delta.ndim):
+        delta = np.diff(delta, axis=axis, prepend=0)
+    return delta
+
+
+def lorenzo_inverse(delta: np.ndarray) -> np.ndarray:
+    """Iterated prefix sum — exact inverse of :func:`lorenzo_forward`."""
+    xq = delta.astype(np.int64)
+    for axis in range(xq.ndim):
+        xq = np.cumsum(xq, axis=axis)
+    return xq
+
+
+class SZ:
+    """cuSZ-style error-bounded lossy compressor.
+
+    Parameters
+    ----------
+    config:
+        Error bound and mode (same conventions as MGARD-X).
+    dict_size:
+        Huffman dictionary size for quantization codes.
+    """
+
+    def __init__(
+        self,
+        config: Config | None = None,
+        adapter=None,
+        dict_size: int = 4096,
+    ) -> None:
+        self.config = config if config is not None else Config()
+        self.adapter = adapter
+        self.dict_size = dict_size
+
+    def compress(self, data: np.ndarray) -> bytes:
+        data = np.ascontiguousarray(data)
+        if data.dtype not in (np.float32, np.float64):
+            raise TypeError(f"SZ supports float32/float64, got {data.dtype}")
+        abs_eb = self.config.absolute_bound(data)
+        twice = 2.0 * abs_eb
+
+        xq = np.round(data.astype(np.float64) / twice).astype(np.int64)
+        delta = lorenzo_forward(xq)
+        symbols, outliers = to_symbols(delta.reshape(-1), self.dict_size)
+        huff = HuffmanX(adapter=self.adapter)
+        payload = huff.compress_keys(symbols, self.dict_size)
+
+        dts = np.dtype(data.dtype).str.encode("ascii")
+        header = (
+            _MAGIC
+            + struct.pack("<BBB", _VERSION, len(dts), data.ndim)
+            + dts
+            + struct.pack(f"<{data.ndim}q", *data.shape)
+            + struct.pack("<dIQQ", abs_eb, self.dict_size, outliers.size, len(payload))
+            + outliers.astype(np.int64).tobytes()
+        )
+        return header + payload
+
+    @stream_errors
+    def decompress(self, blob: bytes) -> np.ndarray:
+        if blob[:4] != _MAGIC:
+            raise ValueError("not an SZ stream (bad magic)")
+        off = 4
+        version, dts_len, ndim = struct.unpack_from("<BBB", blob, off)
+        if version != _VERSION:
+            raise ValueError(f"unsupported SZ version {version}")
+        off += 3
+        dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
+        off += dts_len
+        shape = struct.unpack_from(f"<{ndim}q", blob, off)
+        off += 8 * ndim
+        abs_eb, dict_size, noutliers, payload_len = struct.unpack_from("<dIQQ", blob, off)
+        off += struct.calcsize("<dIQQ")
+        outliers = np.frombuffer(blob, dtype=np.int64, count=noutliers, offset=off).copy()
+        off += 8 * noutliers
+
+        huff = HuffmanX(adapter=self.adapter)
+        symbols = huff.decompress_keys(blob[off : off + payload_len])
+        delta = from_symbols(symbols, outliers).reshape(shape)
+        xq = lorenzo_inverse(delta)
+        return (xq.astype(np.float64) * (2.0 * abs_eb)).astype(dtype)
+
+    def compression_ratio(self, data: np.ndarray, blob: bytes) -> float:
+        return data.nbytes / len(blob)
+
+    def max_error(self, data: np.ndarray, blob: bytes) -> float:
+        back = self.decompress(blob)
+        return float(np.max(np.abs(back.astype(np.float64) - data.astype(np.float64))))

@@ -1,0 +1,24 @@
+"""ZFP-CUDA baseline: release-version execution profile over ZFP maths.
+
+Same fixed-rate codec as ZFP-X (the transform is defined by the zfp
+specification, so the bitstreams agree); distinct runtime profile for
+the performance studies: per-call allocations and no overlapped
+pipeline, with ``zfp-cuda`` kernel throughputs — and, as in the paper's
+evaluation, no HIP build (the perf model raises for MI250X).
+"""
+
+from __future__ import annotations
+
+from repro.compressors.baselines.profile import ExecutionProfile
+from repro.compressors.zfp.compressor import ZFPX
+
+
+class ZFPCUDA(ZFPX):
+    """Legacy-profile fixed-rate ZFP (functional twin of ZFP-X)."""
+
+    profile = ExecutionProfile(
+        name="zfp-cuda",
+        kernel="zfp-cuda",
+        context_caching=False,
+        overlapped_pipeline=False,
+    )

@@ -1,0 +1,98 @@
+"""Vectorized bit packing and window gathering.
+
+Encoding writes each symbol's variable-length code at its prefix-sum bit
+offset; the loop runs over *bit positions within a code* (≤ 16) rather
+than over symbols, so every pass is a vectorized NumPy operation — the
+CPU analog of the paper's "each key encodes independently" Locality
+parallelism.
+
+Decoding gathers ``width``-bit windows at arbitrary bit offsets (used by
+the chunk-parallel Huffman decoder, which advances one symbol per
+vectorized step across *all chunks simultaneously*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_bits(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    total_bits: int | None = None,
+    offsets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Pack variable-length MSB-first codes into a byte stream.
+
+    Parameters
+    ----------
+    codes:
+        Right-aligned code values (unsigned), one per symbol occurrence.
+    lengths:
+        Bit length of each code (0 allowed: writes nothing).
+    offsets:
+        Starting bit offset of each code; default = exclusive prefix sum
+        of ``lengths`` (contiguous stream).
+    total_bits:
+        Stream length in bits; default = offsets[-1] + lengths[-1].
+
+    Returns
+    -------
+    ``uint8`` byte array (big-endian bit order within bytes).
+    """
+    codes = np.asarray(codes, dtype=np.uint64).reshape(-1)
+    lengths = np.asarray(lengths, dtype=np.int64).reshape(-1)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have equal shapes")
+    if offsets is None:
+        offsets = np.cumsum(lengths) - lengths
+    else:
+        offsets = np.asarray(offsets, dtype=np.int64).reshape(-1)
+        if offsets.shape != lengths.shape:
+            raise ValueError("offsets shape mismatch")
+    if total_bits is None:
+        total_bits = int(offsets[-1] + lengths[-1]) if lengths.size else 0
+
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    max_len = int(lengths.max()) if lengths.size else 0
+    for b in range(max_len):
+        mask = lengths > b
+        if not mask.any():
+            continue
+        shift = (lengths[mask] - 1 - b).astype(np.uint64)
+        bitvals = ((codes[mask] >> shift) & np.uint64(1)).astype(np.uint8)
+        bits[offsets[mask] + b] = bitvals
+    return np.packbits(bits)
+
+
+def gather_windows(
+    packed: np.ndarray,
+    bit_offsets: np.ndarray,
+    width: int,
+) -> np.ndarray:
+    """Extract ``width``-bit big-endian windows at arbitrary bit offsets.
+
+    ``packed`` is the byte stream from :func:`pack_bits`.  Windows
+    extending past the stream read as zero bits (the decoder's final
+    symbols).  ``width`` must be ≤ 24 so a 4-byte load always covers the
+    window after sub-byte shifting.
+    """
+    if not 1 <= width <= 24:
+        raise ValueError(f"width must be in [1, 24], got {width}")
+    packed = np.asarray(packed, dtype=np.uint8)
+    offs = np.asarray(bit_offsets, dtype=np.int64)
+    if offs.size and offs.min() < 0:
+        raise ValueError("negative bit offset")
+    # Pad so any in-range offset can safely load 4 bytes.
+    padded = np.concatenate([packed, np.zeros(4, dtype=np.uint8)])
+    byte_idx = offs >> 3
+    byte_idx = np.minimum(byte_idx, packed.size)  # clamp fully-past-end reads
+    shift = (offs & 7).astype(np.uint32)
+    w = (
+        (padded[byte_idx].astype(np.uint32) << 24)
+        | (padded[byte_idx + 1].astype(np.uint32) << 16)
+        | (padded[byte_idx + 2].astype(np.uint32) << 8)
+        | padded[byte_idx + 3].astype(np.uint32)
+    )
+    out = (w >> (np.uint32(32 - width) - shift)) & np.uint32((1 << width) - 1)
+    return out

@@ -1,0 +1,192 @@
+"""Two-phase treeless codebook generation (Algorithm 2, line 5).
+
+Phase 1 computes optimal code *lengths* from the frequency histogram;
+phase 2 assigns canonical codes from the lengths alone — no explicit
+tree is materialized, matching the parallel two-phase algorithm of
+Ostadzadeh et al. [44] that the paper adopts for its high parallelism.
+
+Lengths are limited to :data:`MAX_CODE_LENGTH` bits (16) so decoding can
+use a dense lookup table; overlong codes from highly skewed histograms
+are repaired with the standard Kraft-sum adjustment (the approach zlib
+uses), which preserves prefix-freeness at negligible ratio cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Longest permitted code, in bits.  2^16-entry decode tables stay small
+#: (512 KB) while still accommodating 65 536-symbol alphabets.
+MAX_CODE_LENGTH = 16
+
+
+def huffman_code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Phase 1: optimal code lengths from frequencies.
+
+    Zero-frequency symbols get length 0 (no code).  A single-symbol
+    alphabet gets length 1.  Result lengths satisfy the Kraft equality
+    ``sum(2^-len) <= 1`` after limiting.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1:
+        raise ValueError("freqs must be 1-D")
+    if freqs.size and freqs.min() < 0:
+        raise ValueError("frequencies must be non-negative")
+    nonzero = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if nonzero.size == 0:
+        return lengths
+    if nonzero.size == 1:
+        lengths[nonzero[0]] = 1
+        return lengths
+
+    # Two-queue O(n log n) construction: leaves sorted by frequency feed
+    # one queue, merged internal nodes the other; both queues stay
+    # sorted, so the two global minima are always at the queue heads.
+    order = nonzero[np.argsort(freqs[nonzero], kind="stable")]
+    n = order.size
+    leaf_w = freqs[order]
+    # Node ids: 0..n-1 = leaves (in sorted order), n.. = internal.
+    parent = np.full(2 * n - 1, -1, dtype=np.int64)
+    internal_w: list[int] = []
+    li = 0  # next leaf
+    ii = 0  # next unconsumed internal node
+    next_id = n
+
+    def _pop_min() -> int:
+        nonlocal li, ii
+        take_leaf = li < n and (
+            ii >= len(internal_w) or int(leaf_w[li]) <= internal_w[ii]
+        )
+        if take_leaf:
+            node = li
+            li += 1
+            return node
+        node = n + ii
+        ii += 1
+        return node
+
+    def _weight_of(node: int) -> int:
+        return int(leaf_w[node]) if node < n else internal_w[node - n]
+
+    while (n - li) + (len(internal_w) - ii) > 1:
+        a = _pop_min()
+        b = _pop_min()
+        parent[a] = next_id
+        parent[b] = next_id
+        internal_w.append(_weight_of(a) + _weight_of(b))
+        next_id += 1
+
+    # Depths: the root is the last internal node; parents always have
+    # larger ids, so one reverse pass resolves every depth.
+    depth = np.zeros(2 * n - 1, dtype=np.int64)
+    for node in range(2 * n - 3, -1, -1):
+        depth[node] = depth[parent[node]] + 1
+    lengths[order] = depth[:n]
+    return _limit_lengths(lengths, MAX_CODE_LENGTH)
+
+
+def _limit_lengths(lengths: np.ndarray, max_len: int) -> np.ndarray:
+    """Clamp overlong codes and repair the Kraft sum (zlib-style)."""
+    lengths = lengths.astype(np.int64)
+    used = lengths > 0
+    if not used.any():
+        return lengths.astype(np.uint8)
+    over = lengths > max_len
+    if not over.any():
+        return lengths.astype(np.uint8)
+    lengths[over] = max_len
+    # Kraft sum in units of 2^-max_len.
+    kraft = int(np.sum(2 ** (max_len - lengths[used])))
+    budget = 1 << max_len
+    # While oversubscribed, demote (lengthen is impossible at max) —
+    # promote shortest-coded symbols to one bit longer? No: to *reduce*
+    # the sum we must lengthen codes that are shorter than max_len.
+    while kraft > budget:
+        candidates = np.flatnonzero(used & (lengths < max_len))
+        if candidates.size == 0:  # pragma: no cover - cannot happen for n<=2^max_len
+            raise RuntimeError("cannot satisfy Kraft inequality")
+        # Lengthening the currently longest sub-max code frees the most
+        # relative budget per ratio point lost.
+        pick = candidates[np.argmax(lengths[candidates])]
+        kraft -= 2 ** (max_len - lengths[pick] - 1)
+        lengths[pick] += 1
+    return lengths.astype(np.uint8)
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Phase 2: canonical code assignment from lengths.
+
+    Symbols are ordered by (length, symbol); codes count upward within a
+    length and shift left on length increase — the textbook canonical
+    construction, so decoders only need the length array.
+    """
+    lengths = np.asarray(lengths, dtype=np.uint8)
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    used = np.flatnonzero(lengths)
+    if used.size == 0:
+        return codes
+    order = used[np.lexsort((used, lengths[used]))]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for sym in order:
+        cur_len = int(lengths[sym])
+        code <<= cur_len - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = cur_len
+    return codes
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """Canonical codebook: per-symbol code values and bit lengths."""
+
+    codes: np.ndarray    # uint32, right-aligned code bits
+    lengths: np.ndarray  # uint8, 0 = symbol unused
+
+    @property
+    def num_symbols(self) -> int:
+        return self.codes.size
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+    def kraft_sum(self) -> float:
+        used = self.lengths > 0
+        return float(np.sum(2.0 ** (-self.lengths[used].astype(np.float64))))
+
+    def decode_table(self, width: int | None = None) -> tuple[np.ndarray, np.ndarray, int]:
+        """Dense LUT: ``width``-bit window → (symbol, code length).
+
+        Every window whose leading bits equal a code maps to that code's
+        symbol.  Returns ``(symbols, lengths, width)``.
+        """
+        if width is None:
+            width = max(1, self.max_length)
+        if width < self.max_length:
+            raise ValueError(
+                f"table width {width} < max code length {self.max_length}"
+            )
+        size = 1 << width
+        sym_table = np.zeros(size, dtype=np.int32)
+        len_table = np.zeros(size, dtype=np.uint8)
+        used = np.flatnonzero(self.lengths)
+        for sym in used:
+            l = int(self.lengths[sym])
+            c = int(self.codes[sym])
+            lo = c << (width - l)
+            hi = (c + 1) << (width - l)
+            sym_table[lo:hi] = sym
+            len_table[lo:hi] = l
+        return sym_table, len_table, width
+
+
+def build_codebook(freqs: np.ndarray) -> Codebook:
+    """Two-phase construction: lengths, then canonical codes."""
+    lengths = huffman_code_lengths(freqs)
+    codes = canonical_codes(lengths)
+    return Codebook(codes=codes, lengths=lengths)

@@ -1,0 +1,328 @@
+"""Huffman-X compressor (paper Algorithm 2).
+
+Stages and the abstractions that run them:
+
+====================  =====================================
+histogram             Global pipeline (DEM)
+sort + filter         host-side (tiny)
+two-phase codebook    host-side (tiny; treeless, canonical)
+encode                Locality (GEM) — chunk per group
+serialize             Global pipeline (DEM) — prefix sums
+====================  =====================================
+
+The bitstream is chunked: per-chunk bit offsets are embedded so
+decompression parallelizes across chunks (the vectorized decoder steps
+one symbol at a time across *all* chunks simultaneously).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.abstractions import global_pipeline, locality
+from repro.core.context import ContextCache
+from repro.core.functor import FnDomain, LocalityFunctor
+from repro.compressors.huffman.bitstream import gather_windows, pack_bits
+from repro.compressors.huffman.codebook import Codebook, build_codebook
+from repro.compressors.huffman.histogram import histogram
+from repro.util import stream_errors
+
+_MAGIC = b"HUFX"
+_VERSION = 1
+
+
+def _rle_encode(lengths: np.ndarray) -> bytes:
+    """Run-length encode a code-length table (mostly-zero for sparse
+    alphabets).  Falls back to raw bytes when RLE would be larger."""
+    raw = lengths.astype(np.uint8).tobytes()
+    if lengths.size == 0:
+        return b"\x00" + raw
+    change = np.flatnonzero(np.diff(lengths)) + 1
+    starts = np.concatenate([[0], change])
+    ends = np.concatenate([change, [lengths.size]])
+    runs = []
+    for s, e in zip(starts, ends):
+        n = int(e - s)
+        v = int(lengths[s])
+        while n > 0:
+            take = min(n, 0xFFFF)
+            runs.append(struct.pack("<HB", take, v))
+            n -= take
+    rle = struct.pack("<I", len(runs)) + b"".join(runs)
+    if len(rle) < len(raw):
+        return b"\x01" + rle
+    return b"\x00" + raw
+
+
+def _rle_decode(blob: bytes, offset: int, count: int) -> tuple[np.ndarray, int]:
+    """Invert :func:`_rle_encode`; returns (lengths, bytes consumed)."""
+    mode = blob[offset]
+    pos = offset + 1
+    if mode == 0:
+        out = np.frombuffer(blob, dtype=np.uint8, count=count, offset=pos).copy()
+        return out, 1 + count
+    (nruns,) = struct.unpack_from("<I", blob, pos)
+    pos += 4
+    out = np.empty(count, dtype=np.uint8)
+    at = 0
+    for _ in range(nruns):
+        n, v = struct.unpack_from("<HB", blob, pos)
+        pos += 3
+        out[at : at + n] = v
+        at += n
+    if at != count:
+        raise ValueError(f"corrupt RLE length table: {at} != {count}")
+    return out, pos - offset
+
+
+class _EncodeFunctor(LocalityFunctor):
+    """Locality stage: map each key in a chunk to (code, length)."""
+
+    name = "huffman.encode"
+    bytes_per_element = 10.0
+
+    def __init__(self, codes: np.ndarray, lengths: np.ndarray) -> None:
+        self._codes = codes.astype(np.uint32)
+        self._lengths = lengths.astype(np.uint8)
+
+    def apply(self, blocks: np.ndarray) -> np.ndarray:
+        keys = blocks.astype(np.intp)
+        out = np.empty(blocks.shape + (2,), dtype=np.uint32)
+        out[..., 0] = self._codes[keys]
+        out[..., 1] = self._lengths[keys]
+        return out
+
+
+class HuffmanX:
+    """HPDR Huffman lossless compressor.
+
+    Parameters
+    ----------
+    adapter:
+        Device adapter (defaults to serial).
+    chunk_size:
+        Symbols per encoding chunk — the Locality block size and the
+        decode-parallelism grain.
+    context_cache:
+        Optional CMM cache; codebooks for repeated key distributions of
+        identical histograms are *not* cached (they depend on data), but
+        working buffers are.
+    """
+
+    def __init__(
+        self,
+        adapter=None,
+        chunk_size: int = 1024,
+        context_cache: ContextCache | None = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.adapter = adapter
+        self.chunk_size = chunk_size
+        self.cache = context_cache if context_cache is not None else ContextCache()
+
+    # ------------------------------------------------------------------
+    # Key-level API (alphabet supplied by the caller)
+    # ------------------------------------------------------------------
+    def compress_keys(self, keys: np.ndarray, num_symbols: int) -> bytes:
+        """Compress an integer key array with values in [0, num_symbols)."""
+        keys = np.ascontiguousarray(keys)
+        if not np.issubdtype(keys.dtype, np.integer):
+            raise TypeError(f"keys must be integers, got {keys.dtype}")
+        shape = keys.shape
+        flat = keys.reshape(-1)
+        n = flat.size
+
+        freqs = histogram(flat, num_symbols, adapter=self.adapter)
+        book = build_codebook(freqs)
+
+        if n == 0:
+            payload = np.zeros(0, dtype=np.uint8)
+            chunk_offsets = np.zeros(0, dtype=np.uint64)
+        else:
+            # encode: Locality over chunks — each key independent.
+            enc = locality(
+                flat,
+                _EncodeFunctor(book.codes, book.lengths),
+                block_shape=(self.chunk_size,),
+                adapter=self.adapter,
+                pad_mode="edge",
+                reassemble=False,
+            )  # (nchunks, chunk_size, 2)
+            nchunks = enc.shape[0]
+            codes = enc[..., 0].reshape(-1)
+            lens = enc[..., 1].reshape(-1).astype(np.int64)
+            # Zero out the padding tail so it writes no bits.
+            lens[n:] = 0
+
+            # serialize: Global pipeline — prefix-sum bit offsets.
+            def _offsets(lengths: np.ndarray) -> np.ndarray:
+                return np.cumsum(lengths) - lengths
+
+            offsets = global_pipeline(
+                lens,
+                FnDomain(_offsets, name="huffman.serialize", bytes_per_element=16.0),
+                adapter=self.adapter,
+            )
+            chunk_offsets = offsets[:: self.chunk_size].astype(np.uint64)
+            assert chunk_offsets.size == nchunks
+            total_bits = int(offsets[-1] + lens[-1])
+            payload = pack_bits(codes, lens, total_bits=total_bits, offsets=offsets)
+
+        return self._serialize(
+            shape, keys.dtype, num_symbols, n, book, chunk_offsets, payload
+        )
+
+    @stream_errors
+    def decompress_keys(self, blob: bytes) -> np.ndarray:
+        """Invert :meth:`compress_keys`; returns the original key array."""
+        (
+            shape,
+            dtype,
+            num_symbols,
+            n,
+            book,
+            chunk_offsets,
+            payload,
+        ) = self._deserialize(blob)
+        if n == 0:
+            return np.zeros(shape, dtype=dtype)
+
+        width = max(1, book.max_length)
+        sym_table, len_table, width = book.decode_table(width)
+        nchunks = chunk_offsets.size
+        out = np.zeros((nchunks, self.chunk_size), dtype=np.int64)
+        pos = chunk_offsets.astype(np.int64).copy()
+        chunk_lens = np.full(nchunks, self.chunk_size, dtype=np.int64)
+        rem = n - (nchunks - 1) * self.chunk_size
+        chunk_lens[-1] = rem
+
+        len_table_i64 = len_table.astype(np.int64)
+        for step in range(int(chunk_lens.max())):
+            active = np.flatnonzero(chunk_lens > step)
+            if active.size == 0:
+                break
+            windows = gather_windows(payload, pos[active], width)
+            out[active, step] = sym_table[windows]
+            pos[active] += len_table_i64[windows]
+        return out.reshape(-1)[:n].astype(dtype).reshape(shape)
+
+    # ------------------------------------------------------------------
+    # Byte-level lossless API (arbitrary arrays/buffers)
+    # ------------------------------------------------------------------
+    def compress(self, data: np.ndarray | bytes) -> bytes:
+        """Losslessly compress arbitrary data as a uint8 symbol stream."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            arr = np.frombuffer(bytes(data), dtype=np.uint8)
+            meta = ("|u1", (arr.size,))
+        else:
+            arr = np.ascontiguousarray(data)
+            meta = (arr.dtype.str, arr.shape)
+        keys = arr.reshape(-1).view(np.uint8)
+        inner = self.compress_keys(keys, 256)
+        header = _pack_meta(meta[0], meta[1])
+        return header + inner
+
+    @stream_errors
+    def decompress(self, blob: bytes) -> np.ndarray:
+        dtype_str, shape, used = _unpack_meta(blob)
+        keys = self.decompress_keys(blob[used:])
+        return keys.astype(np.uint8).view(np.dtype(dtype_str)).reshape(shape)
+
+    def compression_ratio(self, data: np.ndarray, blob: bytes) -> float:
+        return data.nbytes / len(blob)
+
+    # ------------------------------------------------------------------
+    # Container format
+    # ------------------------------------------------------------------
+    def _serialize(
+        self,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        num_symbols: int,
+        n: int,
+        book: Codebook,
+        chunk_offsets: np.ndarray,
+        payload: np.ndarray,
+    ) -> bytes:
+        dts = np.dtype(dtype).str.encode("ascii")
+        # Trailing unused symbols need no stored lengths, and the rest is
+        # run-length coded — this keeps small-alphabet streams (constant
+        # fields, tiny inputs) compact.
+        nz = np.flatnonzero(book.lengths)
+        stored = int(nz[-1]) + 1 if nz.size else 0
+        parts = [
+            _MAGIC,
+            struct.pack(
+                "<BBHIQIQI",
+                _VERSION,
+                len(dts),
+                len(shape),
+                num_symbols,
+                n,
+                self.chunk_size,
+                payload.size,
+                stored,
+            ),
+            dts,
+            struct.pack(f"<{len(shape)}q", *shape),
+            _rle_encode(book.lengths[:stored]),
+            struct.pack("<I", chunk_offsets.size),
+            chunk_offsets.astype(np.uint64).tobytes(),
+            payload.tobytes(),
+        ]
+        return b"".join(parts)
+
+    def _deserialize(self, blob: bytes):
+        if blob[:4] != _MAGIC:
+            raise ValueError("not a Huffman-X stream (bad magic)")
+        off = 4
+        (
+            version, dts_len, ndim, num_symbols, n, chunk_size, payload_len, stored,
+        ) = struct.unpack_from("<BBHIQIQI", blob, off)
+        if version != _VERSION:
+            raise ValueError(f"unsupported Huffman-X version {version}")
+        if chunk_size != self.chunk_size:
+            # Streams are self-describing; adopt the stream's chunking.
+            self.chunk_size = chunk_size
+        off += struct.calcsize("<BBHIQIQI")
+        dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
+        off += dts_len
+        shape = struct.unpack_from(f"<{ndim}q", blob, off)
+        off += 8 * ndim
+        lengths = np.zeros(num_symbols, dtype=np.uint8)
+        head, consumed = _rle_decode(blob, off, stored)
+        lengths[:stored] = head
+        off += consumed
+        (nchunks,) = struct.unpack_from("<I", blob, off)
+        off += 4
+        chunk_offsets = np.frombuffer(
+            blob, dtype=np.uint64, count=nchunks, offset=off
+        ).copy()
+        off += 8 * nchunks
+        payload = np.frombuffer(blob, dtype=np.uint8, count=payload_len, offset=off).copy()
+        from repro.compressors.huffman.codebook import canonical_codes
+
+        book = Codebook(codes=canonical_codes(lengths), lengths=lengths)
+        return tuple(shape), dtype, num_symbols, n, book, chunk_offsets, payload
+
+
+def _pack_meta(dtype_str: str, shape: tuple[int, ...]) -> bytes:
+    dts = dtype_str.encode("ascii")
+    return (
+        struct.pack("<BH", len(dts), len(shape))
+        + dts
+        + struct.pack(f"<{len(shape)}q", *shape)
+    )
+
+
+def _unpack_meta(blob: bytes) -> tuple[str, tuple[int, ...], int]:
+    dts_len, ndim = struct.unpack_from("<BH", blob, 0)
+    off = struct.calcsize("<BH")
+    dtype_str = blob[off : off + dts_len].decode("ascii")
+    off += dts_len
+    shape = struct.unpack_from(f"<{ndim}q", blob, off)
+    off += 8 * ndim
+    return dtype_str, tuple(shape), off

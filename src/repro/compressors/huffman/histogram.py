@@ -1,0 +1,52 @@
+"""Frequency histogram (Algorithm 2, line 2).
+
+The paper uses the replication-based GPU histogram of Gómez-Luna et
+al. [43] via the Global pipeline abstraction: all threads cooperatively
+update shared counters.  The NumPy analog is ``np.bincount`` over the
+whole domain, dispatched through :func:`repro.core.abstractions.global_pipeline`
+so adapter tracing sees a DEM kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.abstractions import global_pipeline
+from repro.core.functor import FnDomain
+
+
+def histogram(keys: np.ndarray, num_symbols: int, adapter=None) -> np.ndarray:
+    """Count key frequencies.
+
+    Parameters
+    ----------
+    keys:
+        Integer array (any shape) with values in ``[0, num_symbols)``.
+    num_symbols:
+        Alphabet size.
+
+    Returns
+    -------
+    ``int64`` array of length ``num_symbols``.
+
+    Raises
+    ------
+    ValueError
+        If keys fall outside the alphabet (a corrupt-input guard: a
+        silent wraparound here would poison the codebook).
+    """
+    if num_symbols < 1:
+        raise ValueError(f"num_symbols must be >= 1, got {num_symbols}")
+    flat = np.ascontiguousarray(keys).reshape(-1)
+    if flat.size and (flat.min() < 0 or flat.max() >= num_symbols):
+        raise ValueError(
+            f"keys outside [0, {num_symbols}): range "
+            f"[{flat.min()}, {flat.max()}]"
+        )
+
+    functor = FnDomain(
+        lambda k: np.bincount(k, minlength=num_symbols).astype(np.int64),
+        name="huffman.histogram",
+        bytes_per_element=flat.itemsize + 4,
+    )
+    return global_pipeline(flat, functor, adapter=adapter)

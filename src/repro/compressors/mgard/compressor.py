@@ -1,0 +1,253 @@
+"""MGARD-X compressor: ties decomposition, quantization and Huffman
+together behind the HPDR public API (Algorithm 1 end-to-end).
+
+Hierarchies and tridiagonal factorizations are cached through the
+Context Memory Model so repeated compressions of the same shape/dtype
+perform no reconstruction work — the optimization behind the paper's
+multi-GPU scalability results.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.config import Config, ErrorMode
+from repro.core.context import ContextCache
+from repro.compressors.huffman import HuffmanX
+from repro.compressors.mgard.decompose import decompose, level_factors, recompose
+from repro.compressors.mgard.hierarchy import Hierarchy
+from repro.compressors.mgard.quantize import (
+    DEFAULT_KAPPA,
+    dequantize_levels,
+    from_symbols,
+    level_bins,
+    quantize_levels,
+    to_symbols,
+)
+from repro.util import stream_errors
+
+_MAGIC = b"MGRX"
+_VERSION = 1
+
+
+class MGARDX:
+    """HPDR multilevel error-bounded lossy compressor.
+
+    Parameters
+    ----------
+    config:
+        Error bound / mode / lossless settings.  ``config.error_bound``
+        with ``ErrorMode.REL`` matches the paper's "relative error
+        bound" convention (relative to the data's value range).
+    adapter:
+        Device adapter shared by all stages.
+    dict_size:
+        Huffman dictionary size for quantized coefficients.
+    kappa:
+        Multilevel error-amplification allowance (see quantize.py).
+    verify:
+        When True, compression round-trip-checks the bound and tightens
+        bins (up to 3 halvings) if the conservative estimate ever falls
+        short — turning the statistical guarantee into a hard one.
+    """
+
+    def __init__(
+        self,
+        config: Config | None = None,
+        adapter=None,
+        context_cache: ContextCache | None = None,
+        dict_size: int = 4096,
+        kappa: float = DEFAULT_KAPPA,
+        verify: bool = False,
+        s: float = 0.0,
+    ) -> None:
+        self.config = config if config is not None else Config()
+        self.adapter = adapter
+        self.cache = context_cache if context_cache is not None else ContextCache()
+        if dict_size < 2 or dict_size > 1 << 16:
+            raise ValueError(f"dict_size must be in [2, 65536], got {dict_size}")
+        self.dict_size = dict_size
+        self.kappa = float(kappa)
+        self.verify = verify
+        # MGARD smoothness parameter: redistributes the error budget
+        # across levels (see quantize.level_bins).  The total budget is
+        # invariant, so the error bound holds for every s.
+        self.s = float(s)
+
+    # ------------------------------------------------------------------
+    def _context(
+        self,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        coords: tuple[np.ndarray, ...] | None = None,
+    ):
+        coords_key = (
+            None
+            if coords is None
+            else tuple(hash(c.tobytes()) for c in coords)
+        )
+        key = ("mgard", coords_key) + self.config.cache_key(shape, dtype)
+        ctx = self.cache.get(key)
+        hierarchy = ctx.object("hierarchy", lambda: Hierarchy(shape, coords))
+        factors = ctx.object(
+            "factors",
+            lambda: [
+                level_factors(hierarchy, l) for l in range(hierarchy.total_levels)
+            ],
+        )
+        return ctx, hierarchy, factors
+
+    @staticmethod
+    def _check_coords(
+        coords, shape: tuple[int, ...]
+    ) -> tuple[np.ndarray, ...] | None:
+        """Validate per-dimension node coordinates (non-uniform grids).
+
+        MGARD compresses non-uniform tensor grids; the same coordinates
+        must be supplied on decompression (grids are application
+        metadata, not embedded in the stream — matching MGARD's API).
+        """
+        if coords is None:
+            return None
+        if len(coords) != len(shape):
+            raise ValueError(
+                f"need {len(shape)} coordinate arrays, got {len(coords)}"
+            )
+        out = []
+        for d, (c, n) in enumerate(zip(coords, shape)):
+            c = np.asarray(c, dtype=np.float64)
+            if c.shape != (n,):
+                raise ValueError(
+                    f"coords[{d}] has length {c.size}, expected {n}"
+                )
+            out.append(c)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    def compress(self, data: np.ndarray, coords=None) -> bytes:
+        data = np.ascontiguousarray(data)
+        if data.dtype not in (np.float32, np.float64):
+            raise TypeError(f"MGARD-X supports float32/float64, got {data.dtype}")
+        if data.ndim < 1 or data.ndim > 4:
+            raise ValueError(f"MGARD-X supports 1-4 dims, got {data.ndim}")
+        abs_eb = self.config.absolute_bound(data)
+        coords = self._check_coords(coords, data.shape)
+
+        ctx, hierarchy, factors = self._context(data.shape, data.dtype, coords)
+        coeffs, coarsest = decompose(
+            data, hierarchy, adapter=self.adapter, factors_per_level=factors
+        )
+        groups = coeffs + [coarsest.reshape(-1)]
+
+        kappa = self.kappa
+        for attempt in range(6):
+            bins = level_bins(abs_eb, len(groups), kappa, s=self.s)
+            blob = self._encode(data, abs_eb, kappa, hierarchy, groups, bins)
+            if not self.verify:
+                return blob
+            back = self.decompress(blob)
+            err = float(np.max(np.abs(back.astype(np.float64) - data.astype(np.float64)))) if data.size else 0.0
+            if err <= abs_eb:
+                return blob
+            # Scale κ by the measured overshoot (with margin): the error
+            # is linear in the bin sizes, so this converges in one or
+            # two rounds even from a wildly loose starting κ.
+            kappa *= 2.0 * err / abs_eb
+        raise RuntimeError(
+            f"could not satisfy error bound {abs_eb} after tightening"
+        )
+
+    def _encode(self, data, abs_eb, kappa, hierarchy, groups, bins) -> bytes:
+        qgroups = quantize_levels(groups, bins, adapter=self.adapter)
+        qflat = (
+            np.concatenate([q.reshape(-1) for q in qgroups])
+            if qgroups
+            else np.zeros(0, dtype=np.int64)
+        )
+        symbols, outliers = to_symbols(qflat, self.dict_size)
+
+        if self.config.lossless == "huffman":
+            huff = HuffmanX(adapter=self.adapter, context_cache=self.cache)
+            payload = huff.compress_keys(symbols.astype(np.int64), self.dict_size)
+        else:
+            payload = symbols.astype(np.int32).tobytes()
+
+        dts = np.dtype(data.dtype).str.encode("ascii")
+        header = (
+            _MAGIC
+            + struct.pack(
+                "<BBBB",
+                _VERSION,
+                1 if self.config.lossless == "huffman" else 0,
+                len(dts),
+                data.ndim,
+            )
+            + dts
+            + struct.pack(f"<{data.ndim}q", *data.shape)
+            + struct.pack("<ddIIQQ", abs_eb, kappa, self.dict_size,
+                          bins.size, outliers.size, len(payload))
+            + bins.astype(np.float64).tobytes()
+            + outliers.astype(np.int64).tobytes()
+        )
+        return header + payload
+
+    # ------------------------------------------------------------------
+    @stream_errors
+    def decompress(self, blob: bytes, coords=None) -> np.ndarray:
+        if blob[:4] != _MAGIC:
+            raise ValueError("not an MGARD-X stream (bad magic)")
+        off = 4
+        version, lossless, dts_len, ndim = struct.unpack_from("<BBBB", blob, off)
+        if version != _VERSION:
+            raise ValueError(f"unsupported MGARD-X version {version}")
+        off += 4
+        dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
+        off += dts_len
+        shape = struct.unpack_from(f"<{ndim}q", blob, off)
+        off += 8 * ndim
+        abs_eb, kappa, dict_size, nbins, noutliers, payload_len = struct.unpack_from(
+            "<ddIIQQ", blob, off
+        )
+        off += struct.calcsize("<ddIIQQ")
+        bins = np.frombuffer(blob, dtype=np.float64, count=nbins, offset=off).copy()
+        off += 8 * nbins
+        outliers = np.frombuffer(blob, dtype=np.int64, count=noutliers, offset=off).copy()
+        off += 8 * noutliers
+        payload = blob[off : off + payload_len]
+
+        coords = self._check_coords(coords, tuple(shape))
+        ctx, hierarchy, factors = self._context(tuple(shape), dtype, coords)
+        if lossless:
+            huff = HuffmanX(adapter=self.adapter, context_cache=self.cache)
+            symbols = huff.decompress_keys(payload)
+        else:
+            symbols = np.frombuffer(payload, dtype=np.int32).astype(np.int64)
+        qflat = from_symbols(symbols, outliers)
+
+        # Split the flat stream back into per-level groups.
+        sizes = [hierarchy.num_coefficients(l) for l in range(hierarchy.total_levels)]
+        sizes.append(int(np.prod(hierarchy.shape_at(hierarchy.total_levels))))
+        bounds = np.cumsum([0] + sizes)
+        if bounds[-1] != qflat.size:
+            raise ValueError(
+                f"stream length {qflat.size} != expected {bounds[-1]}"
+            )
+        qgroups = [qflat[bounds[i] : bounds[i + 1]] for i in range(len(sizes))]
+        groups = dequantize_levels(qgroups, bins, adapter=self.adapter)
+
+        coeffs = groups[:-1]
+        coarsest = groups[-1].reshape(hierarchy.shape_at(hierarchy.total_levels))
+        out = recompose(
+            coeffs, coarsest, hierarchy, adapter=self.adapter, factors_per_level=factors
+        )
+        return out.astype(dtype)
+
+    # ------------------------------------------------------------------
+    def compression_ratio(self, data: np.ndarray, blob: bytes) -> float:
+        return data.nbytes / len(blob)
+
+    def max_error(self, data: np.ndarray, blob: bytes) -> float:
+        back = self.decompress(blob)
+        return float(np.max(np.abs(back.astype(np.float64) - data.astype(np.float64))))

@@ -1,0 +1,155 @@
+"""Multilevel decomposition / recomposition (Algorithm 1, lines 5-13).
+
+Per global level:
+
+1. ``approx`` ← multilinear interpolation of the all-coarse subgrid,
+   computed with one in-place :func:`lerp_fill` pass per active
+   dimension (the passes compose into the tensor-product interpolant;
+   intermediate mixed-node reads are overwritten by later passes, so the
+   result depends only on all-coarse values).
+2. multilevel coefficients ``mc = u - approx`` (zero at all-coarse
+   nodes); the fine-node values are extracted in C order.
+3. global correction: ``corr = (⊗_d M_d^c)^{-1} (⊗_d P_d^T M_d) mc`` —
+   mass multiply + restriction per dimension, then a tridiagonal solve
+   per dimension (Iterative abstraction).
+4. next level ← all-coarse subgrid of ``u`` + ``corr``.
+
+Recomposition runs the exact inverse; without quantization the round
+trip is exact to floating-point roundoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.mgard.hierarchy import Hierarchy
+from repro.compressors.mgard.ops1d import (
+    TridiagFactors,
+    lerp_fill,
+    mass_apply,
+    restrict,
+)
+
+
+def _coarse_selector(hierarchy: Hierarchy, level: int):
+    """``np.ix_`` selector of the all-coarse subgrid at ``level``."""
+    idx = []
+    for d, dimh in enumerate(hierarchy.dims):
+        if level < dimh.num_levels:
+            idx.append(dimh.level(level).coarse_idx)
+        else:
+            idx.append(np.arange(dimh.size_at(level)))
+    return np.ix_(*idx)
+
+
+def _coarse_mask(hierarchy: Hierarchy, level: int) -> np.ndarray:
+    """Boolean mask of all-coarse nodes on the level's fine grid."""
+    shape = hierarchy.shape_at(level)
+    mask = np.ones(shape, dtype=bool)
+    for d, dimh in enumerate(hierarchy.dims):
+        in_coarse = np.zeros(shape[d], dtype=bool)
+        if level < dimh.num_levels:
+            in_coarse[dimh.level(level).coarse_idx] = True
+        else:
+            in_coarse[:] = True
+        expand = [None] * len(shape)
+        expand[d] = slice(None)
+        mask &= in_coarse[tuple(expand)]
+    return mask
+
+
+def level_factors(hierarchy: Hierarchy, level: int) -> dict[int, TridiagFactors]:
+    """Tridiagonal factorizations of each active dim's coarse mass matrix."""
+    out = {}
+    for d in hierarchy.active_dims(level):
+        lvl = hierarchy.dim_level(d, level)
+        coarse_coords = lvl.coords[lvl.coarse_idx]
+        out[d] = TridiagFactors.from_coords(coarse_coords)
+    return out
+
+
+def _correction(
+    mc: np.ndarray,
+    hierarchy: Hierarchy,
+    level: int,
+    factors: dict[int, TridiagFactors],
+    adapter=None,
+) -> np.ndarray:
+    corr = mc
+    dims = hierarchy.active_dims(level)
+    for d in dims:
+        lvl = hierarchy.dim_level(d, level)
+        corr = restrict(mass_apply(corr, lvl, d), lvl, d)
+    for d in dims:
+        corr = factors[d].solve_along(corr, axis=d, adapter=adapter)
+    return corr
+
+
+def decompose(
+    data: np.ndarray,
+    hierarchy: Hierarchy,
+    adapter=None,
+    factors_per_level: list[dict[int, TridiagFactors]] | None = None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Full multilevel decomposition.
+
+    Returns ``(coefficients, coarsest)``: per-level 1-D coefficient
+    arrays (finest level first) and the coarsest-grid approximation.
+    ``factors_per_level`` may come from a CMM context to skip
+    refactorization on repeated calls.
+    """
+    if tuple(data.shape) != hierarchy.shape:
+        raise ValueError(f"data shape {data.shape} != hierarchy {hierarchy.shape}")
+    current = np.asarray(data, dtype=np.float64).copy()
+    coeffs: list[np.ndarray] = []
+    for level in range(hierarchy.total_levels):
+        dims = hierarchy.active_dims(level)
+        factors = (
+            factors_per_level[level]
+            if factors_per_level is not None
+            else level_factors(hierarchy, level)
+        )
+        approx = current.copy()
+        for d in dims:
+            lerp_fill(approx, hierarchy.dim_level(d, level), d)
+        mc = current - approx
+        mask = _coarse_mask(hierarchy, level)
+        coeffs.append(mc[~mask])
+        corr = _correction(mc, hierarchy, level, factors, adapter)
+        current = current[_coarse_selector(hierarchy, level)] + corr
+    return coeffs, current
+
+
+def recompose(
+    coeffs: list[np.ndarray],
+    coarsest: np.ndarray,
+    hierarchy: Hierarchy,
+    adapter=None,
+    factors_per_level: list[dict[int, TridiagFactors]] | None = None,
+) -> np.ndarray:
+    """Exact inverse of :func:`decompose`."""
+    if len(coeffs) != hierarchy.total_levels:
+        raise ValueError(
+            f"{len(coeffs)} coefficient levels != {hierarchy.total_levels}"
+        )
+    current = np.asarray(coarsest, dtype=np.float64).copy()
+    for level in range(hierarchy.total_levels - 1, -1, -1):
+        dims = hierarchy.active_dims(level)
+        factors = (
+            factors_per_level[level]
+            if factors_per_level is not None
+            else level_factors(hierarchy, level)
+        )
+        shape = hierarchy.shape_at(level)
+        mask = _coarse_mask(hierarchy, level)
+        mc = np.zeros(shape, dtype=np.float64)
+        mc[~mask] = coeffs[level]
+        corr = _correction(mc, hierarchy, level, factors, adapter)
+        coarse_vals = current - corr
+        new = np.zeros(shape, dtype=np.float64)
+        new[_coarse_selector(hierarchy, level)] = coarse_vals
+        for d in dims:
+            lerp_fill(new, hierarchy.dim_level(d, level), d)
+        new += mc
+        current = new
+    return current

@@ -1,0 +1,127 @@
+"""Per-level linear quantization (Algorithm 1, line 14).
+
+Each decomposition level's coefficients — plus the coarsest
+approximation, treated as one more group — get their own quantization
+bin, sized so the per-group reconstruction errors compose into the
+user's bound:
+
+    δ_l = 2 · eb / (κ · (L + 1))
+
+``κ`` absorbs the multilevel error amplification of recomposition
+(interpolation and correction propagate per-level errors with a bounded
+factor); the default is conservative and the compressor can verify and
+tighten bins when asked.
+
+Quantized integers map to Huffman symbols by zigzag with an escape
+symbol (0): values outside the dictionary are emitted verbatim in an
+outlier side channel, so the bound holds for arbitrarily wild data.
+
+The per-level dispatch runs under the Map&Process abstraction, matching
+the paper's mapping of quantization onto DEM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.abstractions import map_and_process
+
+#: Default multilevel error-amplification allowance.  The per-group
+#: budget eb/(L+1) already covers additive accumulation across levels;
+#: empirical worst-case amplification over random/smooth inputs stays
+#: below 0.6 at κ=1 (see tests/compressors/test_mgard_bounds.py), so
+#: κ=1 keeps a ~2× safety margin without sacrificing ratio.
+DEFAULT_KAPPA = 1.0
+
+
+def level_bins(
+    error_bound: float,
+    num_groups: int,
+    kappa: float = DEFAULT_KAPPA,
+    s: float = 0.0,
+) -> np.ndarray:
+    """Bin size per group for an absolute error bound.
+
+    ``s`` is MGARD's smoothness parameter: it redistributes the error
+    budget across levels with weights ``2^(-s·g)`` (group 0 = finest
+    coefficients, the last group = coarsest approximation).  ``s > 0``
+    allows larger errors on fine-scale detail while keeping coarse
+    scales — and with them smooth quantities of interest — accurate;
+    ``s = 0`` is the uniform L∞-style split.  The total budget
+    ``Σ ε_g = eb/κ`` is preserved for every ``s``, so the overall bound
+    argument is unchanged.
+    """
+    if error_bound <= 0:
+        raise ValueError(f"error_bound must be positive, got {error_bound}")
+    if num_groups < 1:
+        raise ValueError("need at least one group")
+    g = np.arange(num_groups, dtype=np.float64)
+    weights = np.exp2(-s * g)
+    eps = (error_bound / kappa) * weights / weights.sum()
+    return 2.0 * eps
+
+
+def quantize_levels(
+    groups: list[np.ndarray],
+    bins: np.ndarray,
+    adapter=None,
+) -> list[np.ndarray]:
+    """Quantize each coefficient group with its own bin (Map&Process)."""
+    if len(groups) != bins.size:
+        raise ValueError(f"{len(groups)} groups but {bins.size} bins")
+
+    def _q(group: np.ndarray, i: int) -> np.ndarray:
+        return np.round(group / bins[i]).astype(np.int64)
+
+    return map_and_process(groups, lambda g: list(g), _q, adapter=adapter)
+
+
+def dequantize_levels(
+    qgroups: list[np.ndarray],
+    bins: np.ndarray,
+    adapter=None,
+) -> list[np.ndarray]:
+    """Invert :func:`quantize_levels` (to bin centers)."""
+    if len(qgroups) != bins.size:
+        raise ValueError(f"{len(qgroups)} groups but {bins.size} bins")
+
+    def _dq(group: np.ndarray, i: int) -> np.ndarray:
+        return group.astype(np.float64) * bins[i]
+
+    return map_and_process(qgroups, lambda g: list(g), _dq, adapter=adapter)
+
+
+# ----------------------------------------------------------------------
+# Zigzag symbol mapping with escape/outlier channel
+# ----------------------------------------------------------------------
+def to_symbols(q: np.ndarray, dict_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map signed quantization codes to Huffman symbols.
+
+    Symbol 0 is the escape marker; zigzag values ``z < dict_size - 1``
+    map to ``z + 1``.  Returns ``(symbols, outliers)`` where outliers
+    are the escaped raw codes in stream order.
+    """
+    if dict_size < 2:
+        raise ValueError(f"dict_size must be >= 2, got {dict_size}")
+    q = q.astype(np.int64)
+    z = (q << 1) ^ (q >> 63)  # zigzag: 0,-1,1,-2,2… → 0,1,2,3,4…
+    fits = z < dict_size - 1
+    symbols = np.where(fits, z + 1, 0)
+    outliers = q[~fits]
+    return symbols, outliers
+
+
+def from_symbols(symbols: np.ndarray, outliers: np.ndarray) -> np.ndarray:
+    """Invert :func:`to_symbols`."""
+    symbols = symbols.astype(np.int64)
+    escaped = symbols == 0
+    n_escaped = int(escaped.sum())
+    if n_escaped != outliers.size:
+        raise ValueError(
+            f"{n_escaped} escape markers but {outliers.size} outliers"
+        )
+    z = symbols - 1
+    q = (z >> 1) ^ -(z & 1)  # zigzag inverse
+    if n_escaped:
+        q[escaped] = outliers
+    return q

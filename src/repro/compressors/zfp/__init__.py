@@ -1,0 +1,49 @@
+"""ZFP-X: fixed-rate compressed floating-point arrays on HPDR.
+
+Pipeline (paper Fig. 7 / Algorithm 3):
+
+1. decompose into 4^d blocks — Locality abstraction.
+2. exponent alignment: block-floating-point conversion to fixed point.
+3. near-orthogonal decorrelating transform (the zfp lifting scheme).
+4. truncate + serialize bitplanes; every block emits exactly
+   ``rate × 4^d`` bits, so serialization needs no global coordination
+   (Algorithm 3's observation).
+
+Only fix-rate mode is implemented, matching the paper's scope ("ZFP only
+supports fix-rate mode on GPU at the time of evaluation").
+"""
+
+from repro.compressors.zfp.fixedpoint import (
+    block_exponents,
+    to_fixed_point,
+    from_fixed_point,
+)
+from repro.compressors.zfp.transform import fwd_lift, inv_lift, fwd_transform, inv_transform
+from repro.compressors.zfp.bitplane import (
+    to_negabinary,
+    from_negabinary,
+    encode_blocks,
+    decode_blocks,
+)
+from repro.compressors.zfp.compressor import ZFPX, rate_for_error_bound
+from repro.compressors.zfp.modes import ZFPAccuracy, ZFPPrecision
+from repro.compressors.zfp.embedded import ZFPEmbedded
+
+__all__ = [
+    "block_exponents",
+    "to_fixed_point",
+    "from_fixed_point",
+    "fwd_lift",
+    "inv_lift",
+    "fwd_transform",
+    "inv_transform",
+    "to_negabinary",
+    "from_negabinary",
+    "encode_blocks",
+    "decode_blocks",
+    "ZFPX",
+    "rate_for_error_bound",
+    "ZFPAccuracy",
+    "ZFPPrecision",
+    "ZFPEmbedded",
+]

@@ -1,0 +1,145 @@
+"""Negabinary conversion and fixed-rate bitplane coding.
+
+Transformed coefficients are mapped from two's complement to negabinary
+(zfp's trick: small-magnitude values of either sign get leading zero
+bits), then serialized plane-by-plane from the most significant plane.
+Fix-rate mode truncates each block's stream at exactly ``maxbits`` bits:
+all blocks emit the same size, so — as the paper notes for Algorithm 3 —
+serialization needs no global coordination.
+
+Negabinary width follows zfp's ``intprec``: 32 bits for FP32 blocks and
+64 for FP64, so the plane budget is spent only on meaningful planes.
+
+Per-block layout (bit granularity, zero-padded to whole bytes):
+
+    [1 bit nonzero flag][e_bits biased emax][bitplane bits ...]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.zfp.fixedpoint import E_BIAS, E_BITS
+
+#: bitplane count (zfp intprec) per source dtype.
+INTPREC = {np.dtype(np.float32): 32, np.dtype(np.float64): 64}
+
+
+def _nbmask(width: int) -> np.uint64:
+    if width == 64:
+        return np.uint64(0xAAAAAAAAAAAAAAAA)
+    return np.uint64(0xAAAAAAAAAAAAAAAA) & np.uint64((1 << width) - 1)
+
+
+def _wmask(width: int) -> np.uint64:
+    return np.uint64(0xFFFFFFFFFFFFFFFF) if width == 64 else np.uint64((1 << width) - 1)
+
+
+def to_negabinary(x: np.ndarray, width: int = 64) -> np.ndarray:
+    """Two's complement → negabinary, modulo ``2^width`` (invertible)."""
+    mask = _nbmask(width)
+    u = x.astype(np.int64).view(np.uint64) & _wmask(width)
+    return ((u + mask) ^ mask) & _wmask(width)
+
+
+def from_negabinary(u: np.ndarray, width: int = 64) -> np.ndarray:
+    """Inverse of :func:`to_negabinary`, sign-extended to int64."""
+    mask = _nbmask(width)
+    w = ((u.astype(np.uint64) ^ mask) - mask) & _wmask(width)
+    x = w.view(np.int64)
+    if width < 64:
+        sign = np.uint64(1) << np.uint64(width - 1)
+        x = np.where(
+            (w & sign) != 0,
+            (w | ~_wmask(width)).view(np.int64),
+            x,
+        )
+    return x.astype(np.int64)
+
+
+def _plane_budget(maxbits: int, e_bits: int) -> int:
+    return max(0, maxbits - 1 - e_bits)
+
+
+def encode_blocks(
+    coeffs: np.ndarray,
+    emax: np.ndarray,
+    maxbits: int,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Encode a coefficient batch ``(nblocks, block_size)`` at fixed rate.
+
+    Returns ``(nblocks, ceil(maxbits/8))`` uint8 — one fixed-size record
+    per block.  All-zero blocks emit flag 0 and zero padding.
+    """
+    dtype = np.dtype(dtype)
+    e_bits = E_BITS[dtype]
+    bias = E_BIAS[dtype]
+    width = INTPREC[dtype]
+    if maxbits < 1 + e_bits:
+        raise ValueError(
+            f"maxbits={maxbits} cannot fit the {1 + e_bits}-bit block header"
+        )
+    nblocks, bs = coeffs.shape
+    neg = to_negabinary(coeffs, width)
+
+    nonzero = np.any(coeffs != 0, axis=1)
+    ebiased = (emax.astype(np.int64) + bias).astype(np.uint64)
+
+    bits = np.zeros((nblocks, maxbits), dtype=np.uint8)
+    bits[:, 0] = nonzero
+    for i in range(e_bits):  # exponent, MSB first
+        shift = np.uint64(e_bits - 1 - i)
+        bits[:, 1 + i] = ((ebiased >> shift) & np.uint64(1)).astype(np.uint8)
+
+    plane_bits = _plane_budget(maxbits, e_bits)
+    nplanes = min(width, -(-plane_bits // bs)) if plane_bits else 0
+    if nplanes:
+        shifts = np.arange(width - 1, width - 1 - nplanes, -1, dtype=np.uint64)
+        planes = ((neg[:, None, :] >> shifts[None, :, None]) & np.uint64(1)).astype(np.uint8)
+        flat = planes.reshape(nblocks, nplanes * bs)[:, :plane_bits]
+        bits[:, 1 + e_bits : 1 + e_bits + flat.shape[1]] = flat
+    # Zero blocks carry no payload (their planes are zero anyway, but
+    # masking keeps the stream canonical for byte-equality tests).
+    bits[~nonzero, 1:] = 0
+    return np.packbits(bits, axis=1)
+
+
+def decode_blocks(
+    records: np.ndarray,
+    maxbits: int,
+    block_size: int,
+    dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`encode_blocks`.
+
+    Returns ``(coeffs, emax)``; truncated low planes reconstruct as zero
+    bits (negabinary rounds toward small magnitudes).
+    """
+    dtype = np.dtype(dtype)
+    e_bits = E_BITS[dtype]
+    bias = E_BIAS[dtype]
+    width = INTPREC[dtype]
+    nblocks = records.shape[0]
+    bits = np.unpackbits(records, axis=1)[:, :maxbits]
+
+    nonzero = bits[:, 0].astype(bool)
+    ebiased = np.zeros(nblocks, dtype=np.uint64)
+    for i in range(e_bits):
+        ebiased = (ebiased << np.uint64(1)) | bits[:, 1 + i].astype(np.uint64)
+    emax = ebiased.astype(np.int64) - bias
+
+    plane_bits = _plane_budget(maxbits, e_bits)
+    nplanes = min(width, -(-plane_bits // block_size)) if plane_bits else 0
+    neg = np.zeros((nblocks, block_size), dtype=np.uint64)
+    if nplanes:
+        payload = np.zeros((nblocks, nplanes * block_size), dtype=np.uint8)
+        avail = min(plane_bits, nplanes * block_size)
+        payload[:, :avail] = bits[:, 1 + e_bits : 1 + e_bits + avail]
+        planes = payload.reshape(nblocks, nplanes, block_size).astype(np.uint64)
+        shifts = np.arange(width - 1, width - 1 - nplanes, -1, dtype=np.uint64)
+        neg = (planes << shifts[None, :, None]).sum(axis=1, dtype=np.uint64)
+    coeffs = from_negabinary(neg, width)
+    coeffs[~nonzero] = 0
+    emax[~nonzero] = -bias
+    return coeffs, emax.astype(np.int32)

@@ -1,0 +1,63 @@
+"""Block-floating-point conversion (ZFP step 1: exponent alignment).
+
+Each 4^d block aligns all values to the block's maximum exponent and
+converts to two's-complement fixed point with ``q`` integer bits of
+headroom (q = 30 for FP32 / 62 for FP64, mirroring zfp), guaranteeing
+the subsequent integer lifting transform cannot overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: fixed-point precision q per source dtype (zfp's intprec - 2).
+Q_BITS = {np.dtype(np.float32): 30, np.dtype(np.float64): 62}
+#: exponent field width per source dtype.
+E_BITS = {np.dtype(np.float32): 8, np.dtype(np.float64): 11}
+#: exponent bias per source dtype.
+E_BIAS = {np.dtype(np.float32): 127, np.dtype(np.float64): 1023}
+
+
+def block_exponents(blocks: np.ndarray) -> np.ndarray:
+    """Per-block maximum exponent ``emax`` with ``max|v| < 2^emax``.
+
+    ``blocks`` is ``(nblocks, block_size)`` float.  All-zero blocks get
+    the minimum representable exponent (they encode as a zero flag).
+    """
+    absmax = np.max(np.abs(blocks), axis=1)
+    emax = np.zeros(blocks.shape[0], dtype=np.int32)
+    nz = absmax > 0
+    # frexp: absmax = m * 2^e with m in [0.5, 1)  =>  absmax < 2^e.
+    _, e = np.frexp(absmax[nz])
+    emax[nz] = e
+    bias = E_BIAS[np.dtype(blocks.dtype)]
+    emax[~nz] = -bias
+    return np.clip(emax, -bias + 1, bias)
+
+
+def to_fixed_point(blocks: np.ndarray, emax: np.ndarray) -> np.ndarray:
+    """Scale each block by ``2^(q - emax)`` and truncate to int64.
+
+    Values satisfy ``|x| < 2^q`` afterwards, so the decorrelating
+    transform's bounded amplification stays inside 64-bit integers.
+    """
+    dtype = np.dtype(blocks.dtype)
+    if dtype not in Q_BITS:
+        raise TypeError(f"unsupported dtype {dtype}; use float32/float64")
+    q = Q_BITS[dtype]
+    # Clamp the scale exponent into float64 range: all-zero blocks carry
+    # the minimum exponent, where the scale value is irrelevant (0 · s).
+    exp = np.minimum(q - emax, 1023)
+    scale = np.ldexp(np.ones_like(emax, dtype=np.float64), exp)
+    return (blocks.astype(np.float64) * scale[:, None]).astype(np.int64)
+
+
+def from_fixed_point(
+    iblocks: np.ndarray, emax: np.ndarray, dtype: np.dtype
+) -> np.ndarray:
+    """Invert :func:`to_fixed_point` (up to the truncation)."""
+    dtype = np.dtype(dtype)
+    q = Q_BITS[dtype]
+    exp = np.maximum(emax - q, -1074)
+    scale = np.ldexp(np.ones_like(emax, dtype=np.float64), exp)
+    return (iblocks.astype(np.float64) * scale[:, None]).astype(dtype)

@@ -1,0 +1,58 @@
+"""HPDR framework core — the paper's primary contribution.
+
+Layers (bottom-up, Fig. 2):
+
+* :mod:`repro.core.functor` — the kernel interface reduction algorithms
+  implement.
+* :mod:`repro.core.abstractions` — the four parallelization abstractions
+  (Locality, Iterative, Map&Process, Global pipeline).
+* :mod:`repro.core.execution` — the Group and Domain Execution Models
+  (GEM/DEM) with multi-stage fusion, and the Table I mapping.
+* :mod:`repro.core.context` — the Context Memory Model (CMM): hash-map
+  cached reduction contexts with persistent buffers.
+* :mod:`repro.core.pipeline` — the Host-Device Execution Model pipeline
+  (Fig. 9): 3 queues, 2 buffer sets, overlap-enabling dependencies.
+* :mod:`repro.core.adaptive` — Algorithm 4's adaptive chunk sizing.
+"""
+
+from repro.core.config import Config, ErrorMode
+from repro.core.functor import (
+    DomainFunctor,
+    Functor,
+    IterativeFunctor,
+    LocalityFunctor,
+)
+from repro.core.abstractions import (
+    Abstraction,
+    global_pipeline,
+    iterative,
+    locality,
+    map_and_process,
+)
+from repro.core.execution import (
+    DEM,
+    GEM,
+    ABSTRACTION_TO_MODEL,
+    ExecutionModel,
+)
+from repro.core.context import ContextCache, ReductionContext
+
+__all__ = [
+    "Config",
+    "ErrorMode",
+    "Functor",
+    "LocalityFunctor",
+    "IterativeFunctor",
+    "DomainFunctor",
+    "Abstraction",
+    "locality",
+    "iterative",
+    "map_and_process",
+    "global_pipeline",
+    "GEM",
+    "DEM",
+    "ExecutionModel",
+    "ABSTRACTION_TO_MODEL",
+    "ContextCache",
+    "ReductionContext",
+]

@@ -1,0 +1,73 @@
+"""Framework configuration: error-bound modes and compression settings."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ErrorMode(enum.Enum):
+    """Error-bound interpretation for lossy pipelines.
+
+    ``ABS``: ``max|x - x'| <= eb``.
+    ``REL``: ``max|x - x'| <= eb * (max(x) - min(x))`` — the "relative
+    error bound" convention the paper uses in its evaluation.
+    """
+
+    ABS = "abs"
+    REL = "rel"
+
+
+@dataclass(frozen=True)
+class Config:
+    """Immutable reduction configuration.
+
+    The tuple form (:meth:`cache_key`) keys the Context Memory Model's
+    hash map: two reduction calls with equal keys can share a cached
+    context (buffers, hierarchy, codebooks).
+    """
+
+    error_bound: float = 1e-4
+    error_mode: ErrorMode = ErrorMode.REL
+    #: ZFP fixed-rate mode: compressed bits per value.
+    rate: float = 8.0
+    #: Huffman symbol width for quantized coefficients.
+    huffman_bits: int = 16
+    #: Lossless stage toggle for lossy pipelines.
+    lossless: str = "huffman"
+    #: Adapter name: serial | openmp | cuda | hip.
+    adapter: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.error_bound <= 0:
+            raise ValueError(f"error_bound must be positive, got {self.error_bound}")
+        if self.rate <= 0 or self.rate > 64:
+            raise ValueError(f"rate must be in (0, 64], got {self.rate}")
+        if self.lossless not in ("huffman", "none"):
+            raise ValueError(f"lossless must be huffman|none, got {self.lossless!r}")
+
+    def absolute_bound(self, data: np.ndarray) -> float:
+        """Resolve the configured bound to an absolute tolerance for ``data``."""
+        if self.error_mode is ErrorMode.ABS:
+            return self.error_bound
+        lo = float(np.min(data))
+        hi = float(np.max(data))
+        value_range = hi - lo
+        if value_range == 0.0:
+            return self.error_bound  # constant field: any bound is satisfiable
+        return self.error_bound * value_range
+
+    def cache_key(self, shape: tuple[int, ...], dtype: np.dtype) -> tuple:
+        """Hashable CMM key for a (config, shape, dtype) combination."""
+        return (
+            self.error_bound,
+            self.error_mode.value,
+            self.rate,
+            self.huffman_bits,
+            self.lossless,
+            self.adapter,
+            tuple(shape),
+            np.dtype(dtype).str,
+        )

@@ -1,0 +1,151 @@
+"""Context Memory Model (CMM) — paper Section III-B.
+
+Reduction pipelines repeatedly invoked by an application (every write
+iteration) would otherwise re-allocate their working buffers on every
+call; on dense multi-GPU nodes those allocations serialize inside the
+shared runtime and destroy scalability.  The CMM caches *reduction
+contexts* in a hash map keyed by the data characteristics
+(shape/dtype/config): all allocations associated with a context persist
+across calls, so the steady state performs **zero** runtime memory
+management.
+
+Two layers are provided:
+
+* :class:`ReductionContext` — a named bag of persistent NumPy buffers
+  plus arbitrary cached objects (grid hierarchies, Huffman codebooks).
+* :class:`ContextCache` — the hash map with hit/miss statistics and an
+  LRU eviction bound, plus an optional hook invoked on every real
+  allocation so the simulator can charge runtime-lock time for misses
+  only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+
+class ReductionContext:
+    """Persistent buffers and derived objects for one reduction setup."""
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self._buffers: dict[str, np.ndarray] = {}
+        self._objects: dict[str, Any] = {}
+        self.alloc_count = 0
+        self.alloc_bytes = 0
+
+    def buffer(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+        on_alloc: Callable[[int], None] | None = None,
+    ) -> np.ndarray:
+        """Return the named buffer, allocating it on first use.
+
+        Subsequent calls with the same name return the same memory; a
+        shape/dtype change (data characteristics changed under the same
+        key) reallocates, which counts as a new allocation.
+        """
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is not None and buf.shape == tuple(shape) and buf.dtype == dtype:
+            return buf
+        buf = np.empty(shape, dtype=dtype)
+        self._buffers[name] = buf
+        self.alloc_count += 1
+        self.alloc_bytes += buf.nbytes
+        if on_alloc is not None:
+            on_alloc(buf.nbytes)
+        return buf
+
+    def set_object(self, name: str, value: Any) -> Any:
+        self._objects[name] = value
+        return value
+
+    def get_object(self, name: str, default: Any = None) -> Any:
+        return self._objects.get(name, default)
+
+    def object(self, name: str, builder: Callable[[], Any]) -> Any:
+        """Return the cached object, building it on first use."""
+        if name not in self._objects:
+            self._objects[name] = builder()
+        return self._objects[name]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers or name in self._objects
+
+
+class ContextCache:
+    """Hash-map cache of :class:`ReductionContext` with LRU eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of live contexts; least-recently-used contexts
+        are evicted beyond it (their device memory is "freed").
+    on_alloc / on_free:
+        Optional hooks called with a byte count whenever a context is
+        created/evicted — the simulator charges runtime-lock time here,
+        so cache *hits* cost nothing, reproducing the CMM effect.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        on_alloc: Callable[[int], None] | None = None,
+        on_free: Callable[[int], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._map: OrderedDict[Hashable, ReductionContext] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.on_alloc = on_alloc
+        self.on_free = on_free
+
+    def get(self, key: Hashable) -> ReductionContext:
+        """Return the context for ``key``, creating it on a miss."""
+        ctx = self._map.get(key)
+        if ctx is not None:
+            self.hits += 1
+            self._map.move_to_end(key)
+            return ctx
+        self.misses += 1
+        ctx = ReductionContext(key)
+        self._map[key] = ctx
+        while len(self._map) > self.capacity:
+            _, evicted = self._map.popitem(last=False)
+            self.evictions += 1
+            if self.on_free is not None:
+                self.on_free(evicted.nbytes)
+        return ctx
+
+    def buffer_hook(self) -> Callable[[int], None] | None:
+        return self.on_alloc
+
+    def clear(self) -> None:
+        if self.on_free is not None:
+            for ctx in self._map.values():
+                self.on_free(ctx.nbytes)
+        self._map.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._map

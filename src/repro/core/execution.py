@@ -1,0 +1,106 @@
+"""Execution models (paper Section III-B, Table I).
+
+GEM partitions threads into groups executing independently; DEM puts all
+threads in one synchronized domain.  Both support multi-stage execution:
+operations sharing an execution model fuse into one model instance so
+intermediate data stays staged (cache / shared memory for GEM, DRAM for
+DEM) instead of round-tripping through global memory between launches.
+
+The :data:`ABSTRACTION_TO_MODEL` table is the machine-checkable form of
+the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.abstractions import Abstraction
+from repro.core.functor import DomainFunctor, LocalityFunctor
+
+
+class ExecutionModel(enum.Enum):
+    GEM = "group"
+    DEM = "domain"
+    HDEM = "host-device"
+
+
+#: Table I — which execution model serves each parallel abstraction,
+#: and what maps onto a group/domain.
+ABSTRACTION_TO_MODEL: dict[Abstraction, tuple[ExecutionModel, str]] = {
+    Abstraction.LOCALITY: (ExecutionModel.GEM, "block -> group"),
+    Abstraction.ITERATIVE: (ExecutionModel.GEM, "B vectors -> group"),
+    Abstraction.MAP_AND_PROCESS: (ExecutionModel.DEM, "all subsets -> whole domain"),
+    Abstraction.GLOBAL: (ExecutionModel.DEM, "domain -> whole domain"),
+}
+
+
+class _FusedGroupStages(LocalityFunctor):
+    """Stage-fused GEM functor: stages run back-to-back per group batch,
+    so intermediates stay "staged" (one live array) rather than being
+    written out between separate launches."""
+
+    def __init__(self, stages: Sequence[LocalityFunctor]) -> None:
+        self._stages = list(stages)
+        self.name = "+".join(s.name for s in self._stages)
+        self.bytes_per_element = sum(s.bytes_per_element for s in self._stages)
+
+    def apply(self, blocks: np.ndarray) -> np.ndarray:
+        for stage in self._stages:
+            blocks = stage.apply(blocks)
+        return blocks
+
+
+class GEM:
+    """Group Execution Model: multi-stage group-parallel execution.
+
+    Build with an adapter and one or more :class:`LocalityFunctor`
+    stages; :meth:`run` executes the fused stages over a pre-blocked
+    batch.  Stage order is maintained by block-level synchronization
+    (Table II), which sequential per-group execution satisfies.
+    """
+
+    model = ExecutionModel.GEM
+
+    def __init__(self, adapter, stages: Sequence[LocalityFunctor]) -> None:
+        if not stages:
+            raise ValueError("GEM requires at least one stage")
+        self.adapter = adapter
+        self.stages = list(stages)
+        self._fused = (
+            self.stages[0] if len(self.stages) == 1 else _FusedGroupStages(self.stages)
+        )
+
+    def run(self, batch: np.ndarray) -> np.ndarray:
+        """Execute over ``(ngroups, ...)``; returns the transformed batch."""
+        return self.adapter.execute_group_batch(self._fused, batch)
+
+
+class DEM:
+    """Domain Execution Model: whole-domain multi-stage execution.
+
+    Stages are separated by a global synchronization; on CUDA/HIP this
+    uses cooperative groups, on OpenMP sequential execution (Table II).
+    """
+
+    model = ExecutionModel.DEM
+
+    def __init__(self, adapter, stages: Sequence[Callable[[Any], Any]],
+                 name: str = "dem") -> None:
+        if not stages:
+            raise ValueError("DEM requires at least one stage")
+        from repro.core.functor import FnDomain
+
+        self.adapter = adapter
+        self.stages = list(stages)
+        self._functor = FnDomain(*self.stages, name=name)
+
+    def run(self, data: Any) -> Any:
+        return self.adapter.execute_domain(self._functor, data)
+
+
+def model_for(abstraction: Abstraction) -> ExecutionModel:
+    """Resolve the Table I mapping for one abstraction."""
+    return ABSTRACTION_TO_MODEL[abstraction][0]

@@ -1,0 +1,132 @@
+"""Functor protocol: how reduction kernels plug into the abstractions.
+
+The paper's abstractions all take an *algorithm-defined function f*
+(Fig. 3).  HPDR-Python expresses f as a functor object exposing a
+batched NumPy apply so device adapters can choose their parallelization
+strategy:
+
+* :class:`LocalityFunctor` receives a batch of blocks
+  ``(nblocks, *block_shape)`` — one group per block (GEM, Table I).
+* :class:`IterativeFunctor` receives a batch of vectors
+  ``(nvec, length)`` — B vectors per group (GEM).
+* :class:`DomainFunctor` receives the whole domain (DEM) and may declare
+  multiple stages separated by global synchronization.
+
+Functors also carry lightweight cost metadata (bytes read/written per
+element) so simulated adapters can derive task durations without
+profiling.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+
+class Functor(abc.ABC):
+    """Base kernel interface.
+
+    ``name`` labels simulator traces; ``bytes_per_element`` feeds the
+    memory-bound cost model (reduction kernels are memory bound, per the
+    paper's Section II-B).
+    """
+
+    #: trace label; subclasses usually override.
+    name: str = "functor"
+    #: average device-memory traffic per input element (read+write).
+    bytes_per_element: float = 8.0
+
+    def cost_bytes(self, n_elements: int) -> float:
+        """Simulated memory traffic for ``n_elements`` inputs."""
+        return self.bytes_per_element * n_elements
+
+
+class LocalityFunctor(Functor):
+    """Block-wise kernel for the Locality abstraction."""
+
+    @abc.abstractmethod
+    def apply(self, blocks: np.ndarray) -> np.ndarray:
+        """Transform a batch of blocks ``(nblocks, *block_shape)``.
+
+        Must return an array whose leading dimension is ``nblocks``.
+        Implementations must be pure with respect to block order: block
+        *i*'s output may depend only on block *i*'s input (including any
+        halo the abstraction attached).
+        """
+
+
+class IterativeFunctor(Functor):
+    """Per-vector sequential kernel for the Iterative abstraction.
+
+    Each row of the batch is an independent 1-D problem processed
+    sequentially along its length (e.g. the Thomas algorithm); different
+    rows are independent and parallelize across groups.
+    """
+
+    @abc.abstractmethod
+    def apply(self, vectors: np.ndarray) -> np.ndarray:
+        """Transform a batch of vectors ``(nvec, length)`` → same shape."""
+
+
+class DomainFunctor(Functor):
+    """Whole-domain kernel for Map&Process / Global pipeline (DEM).
+
+    Stages execute in order with a global synchronization between them;
+    each stage receives the previous stage's output.
+    """
+
+    def stages(self) -> Sequence[Callable[[Any], Any]]:
+        """Ordered stage callables; default is the single :meth:`apply`."""
+        return (self.apply,)
+
+    @abc.abstractmethod
+    def apply(self, data: Any) -> Any:
+        """Single-stage entry point."""
+
+
+class FnLocality(LocalityFunctor):
+    """Adapter turning a plain callable into a :class:`LocalityFunctor`."""
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], name: str = "fn",
+                 bytes_per_element: float = 8.0) -> None:
+        self._fn = fn
+        self.name = name
+        self.bytes_per_element = bytes_per_element
+
+    def apply(self, blocks: np.ndarray) -> np.ndarray:
+        return self._fn(blocks)
+
+
+class FnIterative(IterativeFunctor):
+    """Adapter turning a plain callable into an :class:`IterativeFunctor`."""
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], name: str = "fn",
+                 bytes_per_element: float = 8.0) -> None:
+        self._fn = fn
+        self.name = name
+        self.bytes_per_element = bytes_per_element
+
+    def apply(self, vectors: np.ndarray) -> np.ndarray:
+        return self._fn(vectors)
+
+
+class FnDomain(DomainFunctor):
+    """Adapter turning callables into a (possibly multi-stage) DEM functor."""
+
+    def __init__(self, *fns: Callable[[Any], Any], name: str = "fn",
+                 bytes_per_element: float = 8.0) -> None:
+        if not fns:
+            raise ValueError("FnDomain needs at least one stage callable")
+        self._fns = fns
+        self.name = name
+        self.bytes_per_element = bytes_per_element
+
+    def stages(self) -> Sequence[Callable[[Any], Any]]:
+        return self._fns
+
+    def apply(self, data: Any) -> Any:
+        for fn in self._fns:
+            data = fn(data)
+        return data

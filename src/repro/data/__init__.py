@@ -1,0 +1,28 @@
+"""Synthetic scientific datasets standing in for Table III.
+
+The paper evaluates on NYX (cosmology, FP32), XGC (fusion plasma, FP64)
+and E3SM (climate, FP32).  Those production datasets are not available
+offline, so :mod:`repro.data.synthetic` generates spectral/physics-
+inspired fields with matching dimensionality, dtype and smoothness
+character, and :mod:`repro.data.registry` records the paper's full-size
+metadata next to each generator (scaled shapes for laptop runs).
+"""
+
+from repro.data.synthetic import (
+    gaussian_random_field,
+    nyx_like,
+    xgc_like,
+    e3sm_like,
+)
+from repro.data.registry import DATASETS, DatasetSpec, get_dataset, load
+
+__all__ = [
+    "gaussian_random_field",
+    "nyx_like",
+    "xgc_like",
+    "e3sm_like",
+    "DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "load",
+]

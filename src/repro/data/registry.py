@@ -1,0 +1,85 @@
+"""Dataset registry mirroring the paper's Table III.
+
+Each entry records the production dataset's metadata (field, full
+dimensions, dtype, size) alongside the synthetic generator and the
+scaled default shape used in tests and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.synthetic import e3sm_like, nyx_like, xgc_like
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Table III row + generator."""
+
+    name: str
+    field: str
+    full_shape: tuple[int, ...]
+    dtype: str
+    full_size_bytes: int
+    generator: Callable[..., np.ndarray]
+    default_shape: tuple[int, ...]
+
+    @property
+    def full_size_label(self) -> str:
+        size = self.full_size_bytes
+        for unit in ("B", "KB", "MB", "GB", "TB"):
+            if size < 1000:
+                return f"{size:.1f} {unit}"
+            size /= 1000
+        return f"{size:.1f} PB"
+
+    def load(self, shape: tuple[int, ...] | None = None, seed: int = 0) -> np.ndarray:
+        return self.generator(shape or self.default_shape, seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "nyx": DatasetSpec(
+        name="NYX",
+        field="density",
+        full_shape=(512, 512, 512),
+        dtype="float32",
+        full_size_bytes=536_870_912,
+        generator=nyx_like,
+        default_shape=(64, 64, 64),
+    ),
+    "xgc": DatasetSpec(
+        name="XGC",
+        field="e_f",
+        full_shape=(8, 33, 1_117_528, 37),
+        dtype="float64",
+        full_size_bytes=8 * 33 * 1_117_528 * 37 * 8,
+        generator=xgc_like,
+        default_shape=(4, 16, 1024, 16),
+    ),
+    "e3sm": DatasetSpec(
+        name="E3SM",
+        field="PSL",
+        full_shape=(2880, 240, 960),
+        dtype="float32",
+        full_size_bytes=2880 * 240 * 960 * 4,
+        generator=e3sm_like,
+        default_shape=(90, 60, 120),
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    try:
+        return DATASETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+
+
+def load(name: str, shape: tuple[int, ...] | None = None, seed: int = 0) -> np.ndarray:
+    """Generate a (scaled) synthetic stand-in for a Table III dataset."""
+    return get_dataset(name).load(shape, seed)

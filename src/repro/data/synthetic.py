@@ -1,0 +1,152 @@
+"""Spectral synthetic field generators.
+
+Each generator mimics the statistical character that drives compression
+behaviour on its production counterpart:
+
+* **NYX** (cosmology baryon density): log-normal transform of a
+  Gaussian random field with a power-law spectrum — smooth large-scale
+  structure punctuated by sharp high-density filaments, which is why
+  MGARD reaches very high ratios at loose bounds but SZ/ZFP remain
+  competitive at tight ones.
+* **XGC** (gyrokinetic distribution function ``e_f``): near-Maxwellian
+  along the two velocity dimensions, turbulent perturbations along the
+  field line / poloidal plane — extremely smooth in v-space, which is
+  the source of XGC's large compressibility.
+* **E3SM** (sea-level pressure ``PSL``): zonal mean profile plus
+  planetary waves plus weather-scale noise on a lat/lon grid with a
+  time axis.
+
+All generators are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian_random_field(
+    shape: tuple[int, ...],
+    spectral_index: float = -3.0,
+    seed: int = 0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Real Gaussian random field with isotropic power spectrum k^index.
+
+    Unit variance, zero mean.  More negative ``spectral_index`` →
+    smoother field.
+    """
+    if any(n < 1 for n in shape):
+        raise ValueError(f"invalid shape {shape}")
+    rng = np.random.default_rng(seed)
+    white = rng.standard_normal(shape)
+    spec = np.fft.rfftn(white)
+    kgrids = []
+    for i, n in enumerate(shape):
+        if i == len(shape) - 1:
+            k = np.fft.rfftfreq(n)
+        else:
+            k = np.fft.fftfreq(n)
+        expand = [None] * len(shape)
+        expand[i] = slice(None)
+        kgrids.append(np.abs(k)[tuple(expand)])
+    k2 = sum(kg**2 for kg in kgrids)
+    k = np.sqrt(k2)
+    kmin = 1.0 / max(shape)
+    amp = np.where(k > 0, np.maximum(k, kmin) ** (spectral_index / 2.0), 0.0)
+    field = np.fft.irfftn(spec * amp, s=shape, axes=tuple(range(len(shape))))
+    std = field.std()
+    if std > 0:
+        field = field / std
+    return field.astype(dtype)
+
+
+def nyx_like(
+    shape: tuple[int, int, int] = (64, 64, 64),
+    seed: int = 0,
+) -> np.ndarray:
+    """NYX-style baryon density: log-normal field, FP32.
+
+    Full-size counterpart: 512³ FP32 (536.8 MB), Table III.
+    """
+    if len(shape) != 3:
+        raise ValueError(f"NYX density is 3-D, got shape {shape}")
+    g = gaussian_random_field(shape, spectral_index=-2.2, seed=seed)
+    # Log-normal: overdense filaments on a smooth background.
+    density = np.exp(1.2 * g)
+    density *= 1.0 / density.mean()
+    return density.astype(np.float32)
+
+
+def xgc_like(
+    shape: tuple[int, int, int, int] = (4, 16, 1024, 16),
+    seed: int = 0,
+) -> np.ndarray:
+    """XGC-style distribution function ``e_f``: FP64, 4-D.
+
+    Axes mirror the paper's (plane, v_para, mesh node, v_perp) layout;
+    full size 8 × 33 × 1 117 528 × 37 (87.3 GB).  Velocity dimensions
+    (axes 1 and 3) are near-Maxwellian; spatial structure modulates
+    amplitude and temperature.
+    """
+    if len(shape) != 4:
+        raise ValueError(f"XGC e_f is 4-D, got shape {shape}")
+    nplane, nvpar, nnode, nvperp = shape
+    rng = np.random.default_rng(seed)
+
+    vpar = np.linspace(-3.0, 3.0, nvpar)
+    vperp = np.linspace(0.0, 3.0, nvperp)
+    # Per (plane, node) plasma parameters, smoothly varying along nodes.
+    temp = 1.0 + 0.3 * gaussian_random_field((nplane, nnode), -2.5, seed=seed + 1)
+    dens = np.exp(0.5 * gaussian_random_field((nplane, nnode), -2.0, seed=seed + 2))
+    flow = 0.4 * gaussian_random_field((nplane, nnode), -2.5, seed=seed + 3)
+
+    temp = np.clip(temp, 0.3, None)
+    f = (
+        dens[:, None, :, None]
+        * np.exp(
+            -((vpar[None, :, None, None] - flow[:, None, :, None]) ** 2
+              + vperp[None, None, None, :] ** 2)
+            / (2.0 * temp[:, None, :, None])
+        )
+    )
+    # Small turbulent perturbation so the field is not exactly separable.
+    f *= 1.0 + 0.02 * rng.standard_normal(f.shape)
+    return f.astype(np.float64)
+
+
+def e3sm_like(
+    shape: tuple[int, int, int] = (90, 60, 120),
+    seed: int = 0,
+) -> np.ndarray:
+    """E3SM-style sea-level pressure (time, lat, lon): FP32.
+
+    Full size 2880 × 240 × 960 (2.7 GB).  Zonal-mean structure plus
+    slowly evolving planetary waves plus weather noise, in Pa around
+    101 325.
+    """
+    if len(shape) != 3:
+        raise ValueError(f"E3SM PSL is 3-D (time, lat, lon), got {shape}")
+    nt, nlat, nlon = shape
+    lat = np.linspace(-np.pi / 2, np.pi / 2, nlat)
+    lon = np.linspace(0, 2 * np.pi, nlon, endpoint=False)
+    t = np.arange(nt)
+
+    # Subtropical highs / subpolar lows zonal profile.
+    zonal = 101325.0 + 1500.0 * np.cos(2 * lat) - 800.0 * np.cos(4 * lat)
+    waves = np.zeros((nt, nlat, nlon))
+    rng = np.random.default_rng(seed)
+    for wavenum, amp in ((3, 400.0), (5, 250.0), (8, 120.0)):
+        phase = rng.uniform(0, 2 * np.pi)
+        speed = rng.uniform(0.02, 0.1)
+        waves += (
+            amp
+            * np.cos(np.pi * lat)[None, :, None]
+            * np.cos(
+                wavenum * lon[None, None, :]
+                - speed * t[:, None, None]
+                + phase
+            )
+        )
+    noise = 150.0 * gaussian_random_field((nt, nlat, nlon), -2.0, seed=seed + 7)
+    psl = zonal[None, :, None] + waves + noise
+    return psl.astype(np.float32)

@@ -1,0 +1,212 @@
+"""BP5-flavoured self-describing container format.
+
+A BP file holds named variables; each variable records shape, dtype, the
+reduction operator that produced its payload (``none`` for raw data),
+and a CRC32 over the payload.  Reading a variable transparently inverts
+the operator — the integration point the paper uses: HPDR compressors
+plug into the ADIOS2 write/read path as operators.
+
+Operators register by name, so any object with ``compress(ndarray) ->
+bytes`` / ``decompress(bytes) -> ndarray`` participates.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+_MAGIC = b"BP5X"
+_VERSION = 1
+
+_OPERATORS: dict[str, Callable[[], object]] = {}
+
+
+def register_operator(name: str, factory: Callable[[], object]) -> None:
+    """Register a reduction operator factory under ``name``."""
+    _OPERATORS[name] = factory
+
+
+def get_operator(name: str):
+    if name not in _OPERATORS:
+        raise KeyError(
+            f"no reduction operator {name!r} registered; known: {sorted(_OPERATORS)}"
+        )
+    return _OPERATORS[name]()
+
+
+def _register_defaults() -> None:
+    from repro.compressors.mgard.compressor import MGARDX
+    from repro.compressors.zfp.compressor import ZFPX
+    from repro.compressors.huffman.compressor import HuffmanX
+    from repro.compressors.baselines.sz import SZ
+    from repro.compressors.baselines.lz4 import LZ4
+    from repro.compressors.baselines.mgard_gpu import MGARDGPU
+    from repro.compressors.baselines.zfp_cuda import ZFPCUDA
+
+    from repro.compressors.zfp.modes import ZFPAccuracy
+
+    register_operator("mgard-x", MGARDX)
+    register_operator("zfp-accuracy", lambda: ZFPAccuracy(tolerance=1e-3))
+    register_operator("zfp-x", ZFPX)
+    register_operator("huffman-x", HuffmanX)
+    register_operator("cusz", SZ)
+    register_operator("nvcomp-lz4", LZ4)
+    register_operator("mgard-gpu", MGARDGPU)
+    register_operator("zfp-cuda", ZFPCUDA)
+
+
+@dataclass
+class BPVariable:
+    """One variable entry: metadata + (possibly reduced) payload."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    operator: str
+    payload: bytes
+
+    @property
+    def crc(self) -> int:
+        return zlib.crc32(self.payload)
+
+    @property
+    def nbytes_original(self) -> int:
+        return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize
+
+    @property
+    def nbytes_stored(self) -> int:
+        return len(self.payload)
+
+
+class BPFile:
+    """In-memory BP container, serializable to bytes or a file."""
+
+    def __init__(self) -> None:
+        self.variables: dict[str, BPVariable] = {}
+
+    # -- writing -----------------------------------------------------------
+    def put(
+        self,
+        name: str,
+        data: np.ndarray,
+        operator: str = "none",
+        compressor=None,
+    ) -> BPVariable:
+        """Store a variable, reducing it with ``operator`` if not 'none'.
+
+        ``compressor`` overrides the registry instance (to carry a
+        configured error bound); its class must match the operator tag.
+        """
+        data = np.ascontiguousarray(data)
+        if operator == "none":
+            payload = data.tobytes()
+        else:
+            comp = compressor if compressor is not None else get_operator(operator)
+            payload = comp.compress(data)
+        var = BPVariable(name, data.shape, data.dtype.str, operator, payload)
+        self.variables[name] = var
+        return var
+
+    def put_reduced(
+        self,
+        name: str,
+        payload: bytes,
+        shape: tuple[int, ...],
+        dtype,
+        operator: str,
+    ) -> BPVariable:
+        """Store an already-reduced payload (pipeline output)."""
+        var = BPVariable(name, tuple(shape), np.dtype(dtype).str, operator, payload)
+        self.variables[name] = var
+        return var
+
+    # -- reading -----------------------------------------------------------
+    def get(self, name: str, compressor=None) -> np.ndarray:
+        """Read a variable, inverting its reduction operator."""
+        if name not in self.variables:
+            raise KeyError(f"no variable {name!r}; have {sorted(self.variables)}")
+        var = self.variables[name]
+        if var.operator == "none":
+            return np.frombuffer(var.payload, dtype=np.dtype(var.dtype)).reshape(
+                var.shape
+            ).copy()
+        comp = compressor if compressor is not None else get_operator(var.operator)
+        out = comp.decompress(var.payload)
+        return np.asarray(out).reshape(var.shape)
+
+    # -- (de)serialization ---------------------------------------------------
+    def tobytes(self) -> bytes:
+        parts = [_MAGIC, struct.pack("<BI", _VERSION, len(self.variables))]
+        for var in self.variables.values():
+            name_b = var.name.encode("utf-8")
+            dts = var.dtype.encode("ascii")
+            op = var.operator.encode("ascii")
+            parts.append(
+                struct.pack("<HBBB", len(name_b), len(dts), len(op), len(var.shape))
+            )
+            parts.append(name_b + dts + op)
+            parts.append(struct.pack(f"<{len(var.shape)}q", *var.shape))
+            parts.append(struct.pack("<QI", len(var.payload), var.crc))
+            parts.append(var.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def frombytes(cls, blob: bytes) -> "BPFile":
+        if blob[:4] != _MAGIC:
+            raise ValueError("not a BP5X container (bad magic)")
+        version, nvars = struct.unpack_from("<BI", blob, 4)
+        if version != _VERSION:
+            raise ValueError(f"unsupported BP5X version {version}")
+        off = 4 + struct.calcsize("<BI")
+        bp = cls()
+        for _ in range(nvars):
+            nlen, dlen, olen, ndim = struct.unpack_from("<HBBB", blob, off)
+            off += struct.calcsize("<HBBB")
+            name = blob[off : off + nlen].decode("utf-8")
+            off += nlen
+            dtype = blob[off : off + dlen].decode("ascii")
+            off += dlen
+            operator = blob[off : off + olen].decode("ascii")
+            off += olen
+            shape = struct.unpack_from(f"<{ndim}q", blob, off)
+            off += 8 * ndim
+            plen, crc = struct.unpack_from("<QI", blob, off)
+            off += struct.calcsize("<QI")
+            payload = blob[off : off + plen]
+            off += plen
+            if zlib.crc32(payload) != crc:
+                raise ValueError(f"CRC mismatch for variable {name!r}")
+            bp.variables[name] = BPVariable(name, tuple(shape), dtype, operator, payload)
+        return bp
+
+    def save(self, path) -> int:
+        blob = self.tobytes()
+        with open(path, "wb") as f:
+            f.write(blob)
+        return len(blob)
+
+    @classmethod
+    def load(cls, path) -> "BPFile":
+        with open(path, "rb") as f:
+            return cls.frombytes(f.read())
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def stored_bytes(self) -> int:
+        return sum(v.nbytes_stored for v in self.variables.values())
+
+    @property
+    def original_bytes(self) -> int:
+        return sum(v.nbytes_original for v in self.variables.values())
+
+    @property
+    def compression_ratio(self) -> float:
+        stored = self.stored_bytes
+        return self.original_bytes / stored if stored else float("inf")
+
+
+_register_defaults()

@@ -1,0 +1,36 @@
+"""Filesystem time models for the at-scale I/O simulations.
+
+Bandwidth specifications live on
+:class:`repro.machine.topology.FilesystemSpec` (GPFS/Alpine at 2.5 TB/s
+for Summit, Lustre/Orion at 9.4 TB/s for Frontier — the paper's quoted
+peaks).  This module adds the time model used by Figs. 17/18: with N
+aggregating writers, each sustains an equal share of the effective
+bandwidth, plus a per-operation latency floor (metadata, file opens).
+"""
+
+from __future__ import annotations
+
+from repro.machine.topology import FilesystemSpec, SystemSpec
+
+#: fixed per-collective-operation cost (opens, metadata, barriers).
+IO_LATENCY_S = 0.25
+
+
+def effective_bandwidth(fs: FilesystemSpec, writers: int) -> float:
+    """Aggregate bytes/s achievable by ``writers`` concurrent writers."""
+    return fs.effective_bandwidth(writers)
+
+
+def io_time(fs: FilesystemSpec, total_bytes: float, writers: int,
+            latency: float = IO_LATENCY_S) -> float:
+    """Seconds to collectively write/read ``total_bytes``."""
+    if total_bytes < 0:
+        raise ValueError("total_bytes must be non-negative")
+    if total_bytes == 0:
+        return latency
+    return latency + total_bytes / effective_bandwidth(fs, writers)
+
+
+def system_io_time(system: SystemSpec, nodes: int, total_bytes: float) -> float:
+    """I/O time with the system's tuned aggregation strategy."""
+    return io_time(system.filesystem, total_bytes, system.writers(nodes))

@@ -1,0 +1,207 @@
+"""Multi-node reduction and parallel-I/O simulations (Figs. 15-18).
+
+Weak scaling is exploited structurally: every node runs the identical
+workload, so one node is simulated in full (its GPUs genuinely share a
+runtime, contending on allocations when context caching is off) and the
+aggregate is the node count times the node throughput, while the
+filesystem is shared — its effective bandwidth model spans all writers.
+
+The compression *ratios* fed into these simulations come from really
+compressing the synthetic datasets; only time is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.adaptive import AdaptiveConfig, adaptive_schedule
+from repro.core.pipeline import ReductionPipeline, chunk_sizes_for
+from repro.io.filesystem import io_time
+from repro.machine.device import SimDevice
+from repro.machine.engine import Simulator
+from repro.machine.runtime import SharedRuntime
+from repro.machine.topology import SystemSpec
+
+
+@dataclass(frozen=True)
+class ReductionAtScale:
+    """One reduction method's runtime configuration for scale studies."""
+
+    kernel: str                    # perf-model key, e.g. "mgard-x"
+    ratio: float                   # measured compression ratio
+    error_bound: float | None = 1e-2
+    overlapped: bool = True        # Fig. 9 pipeline on/off
+    context_cached: bool = True    # CMM on/off
+    chunk_bytes: int = 500_000_000 # per reduction call (legacy pipelines)
+    allocs_per_call: int = 4       # runtime allocations per call (no CMM)
+    call_overhead_s: float = 0.0   # fixed host-side cost per call
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.label or self.kernel
+
+
+def node_reduction_time(
+    system: SystemSpec,
+    method: ReductionAtScale,
+    bytes_per_gpu: int,
+    num_gpus: int | None = None,
+    decompress: bool = False,
+    chunk_bytes_override: int | None = None,
+) -> float:
+    """Simulated seconds for one node to reduce its GPUs' data.
+
+    All GPUs share the node runtime; when the method does per-call
+    allocations they serialize there — the scalability mechanism of
+    Fig. 16.
+    """
+    from repro.perf.models import kernel_model
+
+    gpus = num_gpus if num_gpus is not None else system.node.gpus_per_node
+    if gpus < 1:
+        raise ValueError("need at least one GPU")
+    spec = system.node.gpus[0]
+    model = kernel_model(method.kernel, spec, method.error_bound, decompress=decompress)
+
+    sim = Simulator()
+    runtime = SharedRuntime(sim, name=f"{system.name}.rt")
+    devices = [SimDevice(sim, spec, runtime=runtime, index=i) for i in range(gpus)]
+
+    # Submit every device's pipeline onto the shared simulator, then run
+    # the global schedule once: allocation tasks from all devices
+    # serialize on the shared runtime lock, compute/DMA stay per-device.
+    for dev in devices:
+        if method.overlapped:
+            sizes = adaptive_schedule(bytes_per_gpu, model, ratio=method.ratio)
+        else:
+            # Legacy tools reduce call-by-call; strong-scaling runs on
+            # time-stepped data shrink the per-call volume with node
+            # count (the occupancy cliff behind Fig. 18's overheads).
+            chunk = chunk_bytes_override or method.chunk_bytes
+            sizes = chunk_sizes_for(bytes_per_gpu, chunk)
+        pipe = ReductionPipeline(
+            dev,
+            model,
+            overlapped=method.overlapped,
+            context_cached=method.context_cached,
+            allocs_per_call=method.allocs_per_call,
+            call_overhead_s=method.call_overhead_s,
+        )
+        if decompress:
+            pipe.build_reconstruction(sizes, ratio=method.ratio)
+        else:
+            pipe.build_compression(sizes, ratio=method.ratio)
+    trace = sim.run()
+    return trace.makespan
+
+
+def aggregate_reduction(
+    system: SystemSpec,
+    nodes: int,
+    method: ReductionAtScale,
+    bytes_per_gpu: int,
+    decompress: bool = False,
+) -> float:
+    """Weak-scaling aggregate reduction throughput (bytes/s), Fig. 15."""
+    t_node = node_reduction_time(system, method, bytes_per_gpu, decompress=decompress)
+    node_bytes = bytes_per_gpu * system.node.gpus_per_node
+    return nodes * node_bytes / t_node
+
+
+@dataclass
+class IOResult:
+    """Write/read costs of one configuration at one scale."""
+
+    method: str
+    nodes: int
+    raw_bytes: int
+    reduced_bytes: int
+    write_time: float
+    read_time: float
+    write_time_raw: float
+    read_time_raw: float
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_bytes / self.reduced_bytes if self.reduced_bytes else float("inf")
+
+    @property
+    def write_speedup(self) -> float:
+        return self.write_time_raw / self.write_time
+
+    @property
+    def read_speedup(self) -> float:
+        return self.read_time_raw / self.read_time
+
+
+def _io_result(
+    system: SystemSpec,
+    nodes: int,
+    method: ReductionAtScale,
+    bytes_per_gpu: int,
+    chunk_bytes_override: int | None = None,
+) -> IOResult:
+    gpus = system.node.gpus_per_node
+    raw_total = bytes_per_gpu * gpus * nodes
+    reduced_total = int(raw_total / method.ratio)
+    writers = system.writers(nodes)
+    fs = system.filesystem
+
+    t_reduce = node_reduction_time(
+        system, method, bytes_per_gpu, chunk_bytes_override=chunk_bytes_override
+    )
+    t_recon = node_reduction_time(
+        system, method, bytes_per_gpu, decompress=True,
+        chunk_bytes_override=chunk_bytes_override,
+    )
+
+    write_time = t_reduce + io_time(fs, reduced_total, writers)
+    read_time = io_time(fs, reduced_total, writers) + t_recon
+    write_raw = io_time(fs, raw_total, writers)
+    read_raw = io_time(fs, raw_total, writers)
+    return IOResult(
+        method=method.name,
+        nodes=nodes,
+        raw_bytes=raw_total,
+        reduced_bytes=reduced_total,
+        write_time=write_time,
+        read_time=read_time,
+        write_time_raw=write_raw,
+        read_time_raw=read_raw,
+    )
+
+
+def weak_scaling_io(
+    system: SystemSpec,
+    node_counts: list[int],
+    method: ReductionAtScale,
+    bytes_per_gpu: int = 7_500_000_000,
+) -> list[IOResult]:
+    """Fig. 17: per-GPU volume fixed, node count swept."""
+    return [_io_result(system, n, method, bytes_per_gpu) for n in node_counts]
+
+
+def strong_scaling_io(
+    system: SystemSpec,
+    node_counts: list[int],
+    method: ReductionAtScale,
+    total_bytes: int,
+    steps_per_gpu: int | None = None,
+) -> list[IOResult]:
+    """Fig. 18: total volume fixed, node count swept.
+
+    ``steps_per_gpu`` models time-stepped campaign data (E3SM/XGC):
+    legacy tools must reduce each step with a separate call, so the
+    per-call volume shrinks with node count, sliding non-pipelined
+    tools down the occupancy ramp; HPDR's adaptive pipeline streams
+    across steps and is unaffected.
+    """
+    out = []
+    for n in node_counts:
+        per_gpu = max(1, total_bytes // (n * system.node.gpus_per_node))
+        override = None
+        if steps_per_gpu and not method.overlapped:
+            override = max(1, per_gpu // steps_per_gpu)
+        out.append(_io_result(system, n, method, per_gpu, override))
+    return out

@@ -1,0 +1,116 @@
+"""Step-based I/O (ADIOS2's begin_step/end_step model).
+
+Scientific applications write *time steps*: every iteration opens a
+step, puts its variables, and closes the step.  This wrapper gives the
+BP engine that shape — each step is an isolated namespace, readers
+iterate steps in order or access one at random — matching how the
+paper's I/O evaluation drives ADIOS2 (each GPU compresses N time steps
+of NYX data).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.io.engine import BPReader, BPWriter
+
+
+class StepWriter:
+    """Step-scoped writer over :class:`BPWriter`.
+
+    Usage::
+
+        w = StepWriter(path, num_aggregators=2)
+        for step in range(n):
+            with w.step() as s:
+                s.put("density", field, rank=rank, operator="mgard-x",
+                      compressor=...)
+        stats = w.close()
+    """
+
+    def __init__(self, path, num_aggregators: int = 1) -> None:
+        self._writer = BPWriter(path, num_aggregators=num_aggregators)
+        self._current: _Step | None = None
+        self.num_steps = 0
+
+    def step(self) -> "_Step":
+        if self._current is not None:
+            raise RuntimeError("previous step not closed")
+        self._current = _Step(self, self.num_steps)
+        return self._current
+
+    def _end_step(self) -> None:
+        self._current = None
+        self.num_steps += 1
+
+    def close(self) -> dict:
+        if self._current is not None:
+            raise RuntimeError("close the open step before closing the writer")
+        stats = self._writer.close()
+        stats["steps"] = self.num_steps
+        return stats
+
+
+class _Step:
+    """One open step; context manager so a step cannot be left dangling."""
+
+    def __init__(self, owner: StepWriter, index: int) -> None:
+        self._owner = owner
+        self.index = index
+
+    def put(self, name: str, data: np.ndarray, rank: int = 0,
+            operator: str = "none", compressor=None) -> None:
+        self._owner._writer.put(
+            f"step{self.index}/{name}", data, rank=rank,
+            operator=operator, compressor=compressor,
+        )
+
+    def __enter__(self) -> "_Step":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._owner._end_step()
+        else:
+            # Abandon the step on error so the writer stays usable.
+            self._owner._current = None
+
+
+class StepReader:
+    """Step-aware reader."""
+
+    def __init__(self, path) -> None:
+        self._reader = BPReader(path)
+        self._steps = self._discover()
+
+    def _discover(self) -> int:
+        steps = set()
+        for key in self._reader.variables():
+            name = key.split("@")[0]
+            if name.startswith("step") and "/" in name:
+                try:
+                    steps.add(int(name.split("/")[0][4:]))
+                except ValueError:
+                    continue
+        return max(steps) + 1 if steps else 0
+
+    @property
+    def num_steps(self) -> int:
+        return self._steps
+
+    def get(self, step: int, name: str, rank: int = 0, compressor=None,
+            selection=None) -> np.ndarray:
+        if not 0 <= step < self._steps:
+            raise IndexError(f"step {step} out of range [0, {self._steps})")
+        return self._reader.get(
+            f"step{step}/{name}", rank=rank, compressor=compressor,
+            selection=selection,
+        )
+
+    def iter_steps(self, name: str, rank: int = 0, compressor=None
+                   ) -> Iterator[np.ndarray]:
+        for step in range(self._steps):
+            yield self.get(step, name, rank=rank, compressor=compressor)

@@ -1,0 +1,70 @@
+"""Simulated hardware substrate for HPDR.
+
+The paper evaluates HPDR on real GPUs (V100, A100, MI250X, RTX 3090) and
+CPUs.  This package replaces the silicon with a deterministic
+discrete-event simulator:
+
+* :mod:`repro.machine.engine` — the event-driven scheduling core
+  (resources, in-order queues, dependency edges, traces).
+* :mod:`repro.machine.specs` — published hardware specifications for the
+  processors and systems used in the paper's evaluation.
+* :mod:`repro.machine.device` — a simulated GPU/CPU device exposing the
+  Host-Device Execution Model surface (two DMA engines + compute engine).
+* :mod:`repro.machine.runtime` — the shared per-node runtime whose
+  serialized allocation path produces the multi-GPU contention studied in
+  the paper's Fig. 16.
+* :mod:`repro.machine.topology` — node/system topologies (Summit,
+  Frontier, Jetstream2, workstation).
+
+The simulator is *calibrated*, not profiled: per-kernel saturated
+throughputs come from :mod:`repro.perf.models` and reproduce the shape of
+the paper's results rather than absolute wall-clock numbers.
+"""
+
+from repro.machine.engine import (
+    Resource,
+    SimQueue,
+    Simulator,
+    Task,
+    TaskKind,
+    Trace,
+)
+from repro.machine.specs import (
+    GPU_SPECS,
+    CPU_SPECS,
+    ProcessorSpec,
+    get_processor,
+)
+from repro.machine.device import SimDevice
+from repro.machine.runtime import SharedRuntime
+from repro.machine.topology import (
+    NodeSpec,
+    SystemSpec,
+    FRONTIER,
+    SUMMIT,
+    JETSTREAM2,
+    WORKSTATION,
+    get_system,
+)
+
+__all__ = [
+    "Resource",
+    "SimQueue",
+    "Simulator",
+    "Task",
+    "TaskKind",
+    "Trace",
+    "GPU_SPECS",
+    "CPU_SPECS",
+    "ProcessorSpec",
+    "get_processor",
+    "SimDevice",
+    "SharedRuntime",
+    "NodeSpec",
+    "SystemSpec",
+    "FRONTIER",
+    "SUMMIT",
+    "JETSTREAM2",
+    "WORKSTATION",
+    "get_system",
+]

@@ -1,0 +1,206 @@
+"""Simulated device implementing the Host-Device Execution Model surface.
+
+Section V-A of the paper abstracts a GPU node as: two independent DMA
+engines (one per copy direction), one compute engine, and queues
+(streams) that order work.  :class:`SimDevice` materializes exactly that
+on top of the discrete-event engine, and routes allocation traffic
+through a (possibly shared) runtime so the multi-GPU contention study is
+expressible.
+"""
+
+from __future__ import annotations
+
+from repro.machine.engine import Resource, SimQueue, Simulator, Task, TaskKind
+from repro.machine.runtime import SharedRuntime
+from repro.machine.specs import ProcessorSpec, get_processor
+
+
+class SimDevice:
+    """One simulated processor attached to a :class:`Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator that owns the schedule.
+    spec:
+        Processor architecture (name or :class:`ProcessorSpec`).
+    runtime:
+        The runtime used for memory management.  Devices on the same
+        node share one :class:`SharedRuntime`, serializing their
+        allocations — the contention mechanism behind the paper's
+        Fig. 16.  When omitted a private runtime is created.
+    index:
+        Device ordinal within its node (for trace labelling).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ProcessorSpec | str,
+        runtime: SharedRuntime | None = None,
+        index: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec if isinstance(spec, ProcessorSpec) else get_processor(spec)
+        self.index = index
+        prefix = f"{self.spec.name}[{index}]"
+        self.compute_engine = sim.resource(f"{prefix}.compute")
+        self.dma_h2d = sim.resource(f"{prefix}.dma_h2d", bandwidth=self.spec.link_h2d)
+        self.dma_d2h = sim.resource(f"{prefix}.dma_d2h", bandwidth=self.spec.link_d2h)
+        # Host-side memcpy engine (application buffer ↔ staging buffer ↔
+        # I/O buffer).  HPDR's pipeline DMA-copies straight from the
+        # application buffer; legacy pipelines pay these staging copies —
+        # the overhead Fig. 1 profiles.
+        self.host_memcpy = sim.resource(f"{prefix}.host_memcpy", bandwidth=48e9)
+        self.runtime = runtime if runtime is not None else SharedRuntime(sim, name=f"{prefix}.rt")
+        self.runtime.attach(self)
+        self._queues: list[SimQueue] = []
+        self.mem_in_use: float = 0.0
+
+    # -- queues --------------------------------------------------------
+    def create_queue(self, name: str | None = None) -> SimQueue:
+        q = self.sim.queue(name or f"{self.spec.name}[{self.index}].q{len(self._queues)}")
+        self._queues.append(q)
+        return q
+
+    def create_queues(self, n: int) -> list[SimQueue]:
+        return [self.create_queue() for _ in range(n)]
+
+    # -- memory --------------------------------------------------------
+    def malloc(
+        self,
+        nbytes: int,
+        queue: SimQueue,
+        deps: list[Task] | None = None,
+        label: str = "malloc",
+    ) -> Task:
+        """Allocate device memory through the (shared) runtime.
+
+        Raises ``MemoryError`` when the device capacity would be
+        exceeded — matching the chunk-size ceiling C_limit in
+        Algorithm 4.
+        """
+        if self.mem_in_use + nbytes > self.spec.mem_capacity:
+            raise MemoryError(
+                f"{self.spec.name}[{self.index}]: allocating {nbytes} bytes "
+                f"exceeds capacity {self.spec.mem_capacity:.3g}"
+            )
+        self.mem_in_use += nbytes
+        return self.runtime.alloc(self, nbytes, queue, deps=deps, label=label)
+
+    def free(
+        self,
+        nbytes: int,
+        queue: SimQueue,
+        deps: list[Task] | None = None,
+        label: str = "free",
+    ) -> Task:
+        self.mem_in_use = max(0.0, self.mem_in_use - nbytes)
+        return self.runtime.free(self, nbytes, queue, deps=deps, label=label)
+
+    # -- data movement ---------------------------------------------------
+    def h2d(
+        self,
+        nbytes: int,
+        queue: SimQueue,
+        deps: list[Task] | None = None,
+        label: str = "h2d",
+    ) -> Task:
+        return self.sim.submit(
+            f"{self.spec.name}[{self.index}].{label}",
+            TaskKind.H2D,
+            self.dma_h2d,
+            queue,
+            nbytes=nbytes,
+            deps=deps,
+        )
+
+    def d2h(
+        self,
+        nbytes: int,
+        queue: SimQueue,
+        deps: list[Task] | None = None,
+        label: str = "d2h",
+    ) -> Task:
+        return self.sim.submit(
+            f"{self.spec.name}[{self.index}].{label}",
+            TaskKind.D2H,
+            self.dma_d2h,
+            queue,
+            nbytes=nbytes,
+            deps=deps,
+        )
+
+    def host_copy(
+        self,
+        nbytes: int,
+        queue: SimQueue,
+        deps: list[Task] | None = None,
+        label: str = "host_copy",
+    ) -> Task:
+        """Host-side staging memcpy (legacy pipelines only)."""
+        return self.sim.submit(
+            f"{self.spec.name}[{self.index}].{label}",
+            TaskKind.HOST,
+            self.host_memcpy,
+            queue,
+            nbytes=nbytes,
+            deps=deps,
+        )
+
+    # -- compute ---------------------------------------------------------
+    def kernel(
+        self,
+        duration: float,
+        queue: SimQueue,
+        deps: list[Task] | None = None,
+        label: str = "kernel",
+        nbytes: int = 0,
+    ) -> Task:
+        """Submit a compute task with a precomputed duration (from Φ)."""
+        return self.sim.submit(
+            f"{self.spec.name}[{self.index}].{label}",
+            TaskKind.COMPUTE,
+            self.compute_engine,
+            queue,
+            duration=duration,
+            nbytes=nbytes,
+            deps=deps,
+        )
+
+    def serialize(
+        self,
+        nbytes: int,
+        queue: SimQueue,
+        deps: list[Task] | None = None,
+        label: str = "serialize",
+    ) -> Task:
+        """Metadata embedding after compute — rides the D2H DMA (Fig. 9)."""
+        return self.sim.submit(
+            f"{self.spec.name}[{self.index}].{label}",
+            TaskKind.SERIALIZE,
+            self.dma_d2h,
+            queue,
+            nbytes=nbytes,
+            deps=deps,
+        )
+
+    def deserialize(
+        self,
+        nbytes: int,
+        queue: SimQueue,
+        deps: list[Task] | None = None,
+        label: str = "deserialize",
+    ) -> Task:
+        """Metadata extraction before compute — rides the H2D DMA (Fig. 9)."""
+        return self.sim.submit(
+            f"{self.spec.name}[{self.index}].{label}",
+            TaskKind.DESERIALIZE,
+            self.dma_h2d,
+            queue,
+            nbytes=nbytes,
+            deps=deps,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SimDevice({self.spec.name}[{self.index}])"

@@ -1,0 +1,205 @@
+"""Processor specifications for the platforms in the paper's evaluation.
+
+Values are published hardware characteristics (memory capacity, device
+memory bandwidth, host link bandwidth, execution-unit counts).  They feed
+the discrete-event simulator; saturated *kernel* throughputs live in
+:mod:`repro.perf.models` and are calibrated to the paper's Fig. 12.
+
+Units: bytes and seconds throughout (``GB = 1e9`` bytes, matching the
+paper's GB/s reporting convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1e9
+MB = 1e6
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Static description of one processor architecture.
+
+    Attributes
+    ----------
+    name:
+        Identifier used throughout benches and traces, e.g. ``"V100"``.
+    kind:
+        ``"gpu"`` or ``"cpu"``.
+    family:
+        The device-adapter family that drives it: ``"cuda"``, ``"hip"``
+        or ``"openmp"`` (Table II).
+    units:
+        Streaming multiprocessors (CUDA), compute units (HIP) or cores
+        (OpenMP) — the group-level parallelism width of GEM.
+    mem_capacity:
+        Device/host memory in bytes.
+    mem_bandwidth:
+        Device memory bandwidth in bytes/s (the roofline ceiling for
+        memory-bound reduction kernels).
+    link_h2d / link_d2h:
+        Host↔device interconnect bandwidth per direction, bytes/s.  For
+        CPUs this is DRAM-to-DRAM copy bandwidth (no PCIe hop).
+    alloc_base:
+        Fixed latency of one runtime memory allocation, seconds.  These
+        serialize on the node-shared runtime (see
+        :class:`repro.machine.runtime.SharedRuntime`), which is the
+        mechanism behind the paper's multi-GPU scalability gap.
+    alloc_per_gb:
+        Additional allocation latency per GB requested.
+    sat_chunk:
+        Chunk size (bytes) at which reduction kernels saturate the
+        processor; below this, throughput ramps roughly linearly
+        (the paper's roofline model Φ(C), Fig. 11).
+    """
+
+    name: str
+    kind: str
+    family: str
+    units: int
+    mem_capacity: float
+    mem_bandwidth: float
+    link_h2d: float
+    link_d2h: float
+    alloc_base: float = 1.0e-3
+    alloc_per_gb: float = 2.5e-3
+    sat_chunk: float = 128 * MB
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError(f"kind must be gpu|cpu, got {self.kind!r}")
+        if self.family not in ("cuda", "hip", "openmp", "serial"):
+            raise ValueError(f"unknown family {self.family!r}")
+
+
+# ----------------------------------------------------------------------
+# GPUs used in the paper (Summit, Jetstream2, Frontier, workstation)
+# ----------------------------------------------------------------------
+V100 = ProcessorSpec(
+    name="V100",
+    kind="gpu",
+    family="cuda",
+    units=80,
+    mem_capacity=16 * GB,
+    mem_bandwidth=900 * GB,
+    # Summit connects V100s to POWER9 over NVLink2: 50 GB/s per direction.
+    link_h2d=50 * GB,
+    link_d2h=50 * GB,
+)
+
+A100 = ProcessorSpec(
+    name="A100",
+    kind="gpu",
+    family="cuda",
+    units=108,
+    mem_capacity=40 * GB,
+    mem_bandwidth=1555 * GB,
+    # Jetstream2 A100s sit on PCIe gen4 x16: ~25 GB/s per direction.
+    link_h2d=25 * GB,
+    link_d2h=25 * GB,
+)
+
+MI250X = ProcessorSpec(
+    name="MI250X",
+    kind="gpu",
+    family="hip",
+    units=220,
+    mem_capacity=128 * GB,
+    mem_bandwidth=3200 * GB,
+    # Frontier's Infinity Fabric CPU-GPU link: 36 GB/s per direction.
+    link_h2d=36 * GB,
+    link_d2h=36 * GB,
+)
+
+RTX3090 = ProcessorSpec(
+    name="RTX3090",
+    kind="gpu",
+    family="cuda",
+    units=82,
+    mem_capacity=24 * GB,
+    mem_bandwidth=936 * GB,
+    link_h2d=25 * GB,
+    link_d2h=25 * GB,
+)
+
+# ----------------------------------------------------------------------
+# CPUs
+# ----------------------------------------------------------------------
+POWER9 = ProcessorSpec(
+    name="POWER9",
+    kind="cpu",
+    family="openmp",
+    units=22,
+    mem_capacity=512 * GB,
+    mem_bandwidth=170 * GB,
+    link_h2d=60 * GB,
+    link_d2h=60 * GB,
+    alloc_base=2.0e-5,
+    alloc_per_gb=5.0e-5,
+    sat_chunk=32 * MB,
+)
+
+EPYC7713 = ProcessorSpec(
+    name="EPYC7713",
+    kind="cpu",
+    family="openmp",
+    units=64,
+    mem_capacity=512 * GB,
+    mem_bandwidth=205 * GB,
+    link_h2d=80 * GB,
+    link_d2h=80 * GB,
+    alloc_base=2.0e-5,
+    alloc_per_gb=5.0e-5,
+    sat_chunk=32 * MB,
+)
+
+EPYC_TRENTO = ProcessorSpec(
+    name="EPYC-Trento",
+    kind="cpu",
+    family="openmp",
+    units=64,
+    mem_capacity=512 * GB,
+    mem_bandwidth=205 * GB,
+    link_h2d=80 * GB,
+    link_d2h=80 * GB,
+    alloc_base=2.0e-5,
+    alloc_per_gb=5.0e-5,
+    sat_chunk=32 * MB,
+)
+
+CORE_I7 = ProcessorSpec(
+    name="i7",
+    kind="cpu",
+    family="openmp",
+    units=20,
+    mem_capacity=32 * GB,
+    mem_bandwidth=75 * GB,
+    link_h2d=30 * GB,
+    link_d2h=30 * GB,
+    alloc_base=2.0e-5,
+    alloc_per_gb=5.0e-5,
+    sat_chunk=16 * MB,
+)
+
+
+GPU_SPECS: dict[str, ProcessorSpec] = {
+    s.name: s for s in (V100, A100, MI250X, RTX3090)
+}
+CPU_SPECS: dict[str, ProcessorSpec] = {
+    s.name: s for s in (POWER9, EPYC7713, EPYC_TRENTO, CORE_I7)
+}
+ALL_SPECS: dict[str, ProcessorSpec] = {**GPU_SPECS, **CPU_SPECS}
+
+#: The five processors of the paper's Fig. 12 portability study.
+FIG12_PROCESSORS: tuple[str, ...] = ("V100", "A100", "MI250X", "RTX3090", "EPYC7713")
+
+
+def get_processor(name: str) -> ProcessorSpec:
+    """Look up a processor spec by name (case-insensitive)."""
+    for key, spec in ALL_SPECS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(
+        f"unknown processor {name!r}; available: {sorted(ALL_SPECS)}"
+    )

@@ -1,0 +1,74 @@
+"""Text timeline rendering of simulation traces (Fig. 10-style).
+
+Turns a :class:`~repro.machine.engine.Trace` into a per-resource Gantt
+chart so pipeline behaviour — overlap, bubbles, contention — is visible
+in a terminal:
+
+    V100[0].dma_h2d  |██░░██░░██      |
+    V100[0].compute  |  ████████████  |
+    V100[0].dma_d2h  |      ▒▒  ▒▒  ▒▒|
+"""
+
+from __future__ import annotations
+
+from repro.machine.engine import Task, TaskKind, Trace
+
+_GLYPH = {
+    TaskKind.H2D: "▓",
+    TaskKind.D2H: "▒",
+    TaskKind.COMPUTE: "█",
+    TaskKind.ALLOC: "a",
+    TaskKind.FREE: "f",
+    TaskKind.SERIALIZE: "s",
+    TaskKind.DESERIALIZE: "d",
+    TaskKind.IO: "I",
+    TaskKind.HOST: "h",
+}
+
+
+def render_timeline(trace: Trace, width: int = 72) -> str:
+    """Render the trace as one row of glyphs per resource.
+
+    Each column covers ``makespan/width`` seconds; a cell shows the kind
+    of the task occupying most of that slice (idle = space).
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    span = trace.makespan
+    if span <= 0 or not trace.tasks:
+        return "(empty trace)"
+
+    by_resource: dict[str, list[Task]] = {}
+    for t in trace.tasks:
+        by_resource.setdefault(t.resource.name, []).append(t)
+
+    dt = span / width
+    name_w = max(len(n) for n in by_resource)
+    lines = [f"{'resource'.ljust(name_w)} |{'-' * width}|  busy"]
+    for name in sorted(by_resource):
+        tasks = sorted(by_resource[name], key=lambda t: t.start)
+        cells = [" "] * width
+        for t in tasks:
+            lo = int(t.start / dt)
+            hi = max(lo + 1, int(round(t.end / dt)))
+            for i in range(lo, min(hi, width)):
+                cells[i] = _GLYPH.get(t.kind, "?")
+        busy = sum(t.end - t.start for t in tasks)
+        lines.append(
+            f"{name.ljust(name_w)} |{''.join(cells)}| {100 * busy / span:5.1f}%"
+        )
+    legend = "  ".join(f"{g}={k.value}" for k, g in _GLYPH.items()
+                       if any(t.kind == k for t in trace.tasks))
+    lines.append(f"{' ' * name_w}  {legend}")
+    return "\n".join(lines)
+
+
+def utilization_summary(trace: Trace) -> dict[str, float]:
+    """Busy fraction per resource name."""
+    span = trace.makespan
+    out: dict[str, float] = {}
+    if span <= 0:
+        return out
+    for t in trace.tasks:
+        out[t.resource.name] = out.get(t.resource.name, 0.0) + (t.end - t.start)
+    return {k: v / span for k, v in out.items()}

@@ -1,0 +1,142 @@
+"""Node and system topologies for the paper's four evaluation platforms.
+
+* **Summit** (OLCF): 4,608 nodes, 6×V100 + 2×POWER9 per node, GPFS
+  filesystem with 2.5 TB/s peak bandwidth.
+* **Frontier** (OLCF): 9,408 nodes, 4×MI250X + 1×EPYC per node, Lustre
+  filesystem with 9.4 TB/s peak bandwidth.
+* **Jetstream2** (Indiana University / ACCESS): 90 GPU nodes with
+  4×A100 + 2×Milan each.
+* **Workstation**: 1×RTX 3090 + 20-core i7.
+
+The aggregation strategies the paper tunes per system (one writer per
+node on Summit, one per GPU on Frontier) are recorded here so the I/O
+simulation uses the same defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.specs import (
+    A100,
+    CORE_I7,
+    EPYC7713,
+    EPYC_TRENTO,
+    MI250X,
+    POWER9,
+    RTX3090,
+    V100,
+    GB,
+    ProcessorSpec,
+)
+
+TB = 1e12
+
+
+@dataclass(frozen=True)
+class FilesystemSpec:
+    """Parallel filesystem bandwidth model.
+
+    ``peak_bandwidth`` is the aggregate ceiling; ``per_node_bandwidth``
+    caps a single node's injection rate (network-interface bound).
+    Effective bandwidth at N writers is
+    ``min(N × per_node, peak) × efficiency(N)`` where efficiency decays
+    gently with contention at very large N (metadata/OST contention).
+    """
+
+    name: str
+    peak_bandwidth: float
+    per_node_bandwidth: float
+    contention_knee: int = 4096
+    contention_floor: float = 0.6
+
+    def effective_bandwidth(self, writers: int) -> float:
+        if writers <= 0:
+            raise ValueError("writers must be positive")
+        raw = min(writers * self.per_node_bandwidth, self.peak_bandwidth)
+        if writers <= self.contention_knee:
+            eff = 1.0
+        else:
+            over = writers / self.contention_knee
+            eff = max(self.contention_floor, 1.0 / over**0.25)
+        return raw * eff
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: GPUs, host CPUs, per-node memory."""
+
+    name: str
+    gpus: tuple[ProcessorSpec, ...]
+    cpus: tuple[ProcessorSpec, ...]
+    host_memory: float = 512 * GB
+
+    @property
+    def gpus_per_node(self) -> int:
+        return len(self.gpus)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A full platform: nodes, count, filesystem, aggregation default."""
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+    filesystem: FilesystemSpec
+    #: "node" → one I/O aggregator per node; "gpu" → one per GPU.
+    aggregation: str = "node"
+
+    def writers(self, nodes: int) -> int:
+        if nodes < 1 or nodes > self.num_nodes:
+            raise ValueError(
+                f"{self.name} has {self.num_nodes} nodes; requested {nodes}"
+            )
+        if self.aggregation == "gpu":
+            return nodes * self.node.gpus_per_node
+        return nodes
+
+    def total_gpus(self, nodes: int) -> int:
+        return nodes * self.node.gpus_per_node
+
+
+SUMMIT = SystemSpec(
+    name="Summit",
+    node=NodeSpec("summit-node", (V100,) * 6, (POWER9,) * 2),
+    num_nodes=4608,
+    filesystem=FilesystemSpec("GPFS(Alpine)", 2.5 * TB, 12.5 * GB),
+    aggregation="node",
+)
+
+FRONTIER = SystemSpec(
+    name="Frontier",
+    node=NodeSpec("frontier-node", (MI250X,) * 4, (EPYC_TRENTO,)),
+    num_nodes=9408,
+    filesystem=FilesystemSpec("Lustre(Orion)", 9.4 * TB, 25 * GB),
+    aggregation="gpu",
+)
+
+JETSTREAM2 = SystemSpec(
+    name="Jetstream2",
+    node=NodeSpec("js2-node", (A100,) * 4, (EPYC7713,) * 2),
+    num_nodes=90,
+    filesystem=FilesystemSpec("JS2-store", 0.2 * TB, 5 * GB),
+    aggregation="node",
+)
+
+WORKSTATION = SystemSpec(
+    name="Workstation",
+    node=NodeSpec("workstation", (RTX3090,), (CORE_I7,), host_memory=32 * GB),
+    num_nodes=1,
+    filesystem=FilesystemSpec("NVMe", 5 * GB, 5 * GB),
+    aggregation="node",
+)
+
+_SYSTEMS = {s.name.lower(): s for s in (SUMMIT, FRONTIER, JETSTREAM2, WORKSTATION)}
+
+
+def get_system(name: str) -> SystemSpec:
+    try:
+        return _SYSTEMS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown system {name!r}; available: {sorted(_SYSTEMS)}") from None

@@ -1,0 +1,197 @@
+"""In-process MPI-style communicator.
+
+The paper's parallel I/O evaluation runs under MPI; this environment has
+no ``mpi4py``/``mpiexec``, so this module provides the closest
+single-process equivalent: N rank *threads* executing the same program
+against a :class:`Communicator` with the familiar surface — ``send`` /
+``recv``, ``bcast``, ``scatter``, ``gather``, ``allgather``,
+``allreduce``, ``barrier``.  NumPy arrays pass by reference (threads
+share memory), so semantics match mpi4py's lowercase generic-object API.
+
+This is a correctness substrate for writing rank-decomposed reduction
+programs (see ``examples/mpi_style_reduction.py``), not a performance
+model — at-scale timing lives in :mod:`repro.io.parallel`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+
+class Communicator:
+    """Per-rank handle into a rank group."""
+
+    def __init__(self, world: "_World", rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    # -- point to point ----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range")
+        self._world.mailbox[(self.rank, dest, tag)].put(obj)
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} out of range")
+        try:
+            return self._world.mailbox[(source, self.rank, tag)].get(
+                timeout=timeout
+            )
+        except queue.Empty:
+            raise TimeoutError(
+                f"rank {self.rank} timed out receiving from {source} (tag {tag})"
+            ) from None
+
+    # -- collectives ---------------------------------------------------------
+    def barrier(self) -> None:
+        self._world.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        slot = self._world.round_slot()
+        if self.rank == root:
+            slot["value"] = obj
+        self._world.barrier.wait()
+        value = slot["value"]
+        self._world.barrier.wait()  # all read before the slot recycles
+        return value
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        slot = self._world.round_slot()
+        slot.setdefault("items", {})[self.rank] = obj
+        self._world.barrier.wait()
+        out = None
+        if self.rank == root:
+            items = slot["items"]
+            out = [items[r] for r in range(self.size)]
+        self._world.barrier.wait()
+        return out
+
+    def allgather(self, obj: Any) -> list[Any]:
+        slot = self._world.round_slot()
+        slot.setdefault("items", {})[self.rank] = obj
+        self._world.barrier.wait()
+        items = slot["items"]
+        out = [items[r] for r in range(self.size)]
+        self._world.barrier.wait()
+        return out
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        slot = self._world.round_slot()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"root must scatter exactly {self.size} items"
+                )
+            slot["items"] = list(objs)
+        self._world.barrier.wait()
+        value = slot["items"][self.rank]
+        self._world.barrier.wait()
+        return value
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        import operator
+
+        op = op if op is not None else operator.add
+        items = self.allgather(obj)
+        acc = items[0]
+        for x in items[1:]:
+            acc = op(acc, x)
+        return acc
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = None,
+               root: int = 0) -> Any | None:
+        import operator
+
+        op = op if op is not None else operator.add
+        items = self.gather(obj, root=root)
+        if items is None:
+            return None
+        acc = items[0]
+        for x in items[1:]:
+            acc = op(acc, x)
+        return acc
+
+
+class _World:
+    """Shared state of one rank group."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.mailbox: dict[tuple, queue.Queue] = _DefaultQueues()
+        self._round_lock = threading.Lock()
+        self._rounds: list[dict] = []
+        self._round_users: list[int] = []
+
+    def round_slot(self) -> dict:
+        """Slot shared by all ranks of one collective round.
+
+        Each rank's Nth call to a collective must map to the same slot.
+        Ranks count their own collective calls; the slot list grows on
+        demand.
+        """
+        me = threading.current_thread()
+        idx = getattr(me, "_hpdr_round", 0)
+        me._hpdr_round = idx + 1
+        with self._round_lock:
+            while len(self._rounds) <= idx:
+                self._rounds.append({})
+            return self._rounds[idx]
+
+
+class _DefaultQueues(dict):
+    def __missing__(self, key):
+        with _QUEUE_LOCK:
+            if key not in self:
+                self[key] = queue.Queue()
+            return self[key]
+
+
+_QUEUE_LOCK = threading.Lock()
+
+
+def run_ranks(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 60.0,
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` rank threads; return results
+    ordered by rank.
+
+    Any rank's exception is re-raised in the caller (after the other
+    ranks are released), so failing programs fail loudly.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    world = _World(size)
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors.append((rank, exc))
+            world.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            world.barrier.abort()
+            raise TimeoutError("rank program did not finish in time")
+    if errors:
+        rank, exc = errors[0]
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    return results

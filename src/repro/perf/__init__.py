@@ -1,0 +1,26 @@
+"""Performance models for the simulated substrate.
+
+* :mod:`repro.perf.models` — calibrated saturated kernel throughputs per
+  (pipeline, processor) pair, the chunk-size-dependent throughput model
+  Φ(C), and the transfer model Θ(t) used by the adaptive pipeline.
+* :mod:`repro.perf.roofline` — the paper's Fig. 11 model-fitting
+  procedure: profile throughput over chunk sizes, detect the saturation
+  plateau, fit the linear ramp by least squares.
+"""
+
+from repro.perf.models import (
+    KernelModel,
+    kernel_model,
+    kernel_throughput,
+    list_pipelines,
+)
+from repro.perf.roofline import RooflineModel, fit_roofline
+
+__all__ = [
+    "KernelModel",
+    "kernel_model",
+    "kernel_throughput",
+    "list_pipelines",
+    "RooflineModel",
+    "fit_roofline",
+]

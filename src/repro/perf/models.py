@@ -1,0 +1,190 @@
+"""Calibrated kernel-throughput models.
+
+The paper reports saturated reduction-kernel throughputs in Fig. 12 (up
+to 45 GB/s MGARD-X, 210 GB/s ZFP-X, 150 GB/s Huffman-X on GPUs; 2, 18
+and 48 GB/s on CPUs).  This module encodes per-(pipeline, processor)
+saturated throughputs consistent with those ranges, plus the paper's
+chunk-size model:
+
+    Φ(C) = α·C + β          if C <  C_threshold   (ramp: GPU not saturated)
+    Φ(C) = γ                if C >= C_threshold   (plateau)
+
+and the host-to-device transfer model Θ(t) = t / β_link used by the
+adaptive chunking strategy (Algorithm 4).
+
+Throughputs are in **bytes of input processed per second**.  Error-bound
+sensitivity is modelled as a mild multiplicative factor (looser bounds
+quantize to fewer distinct symbols, shortening entropy-coding work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.specs import ProcessorSpec, get_processor
+
+GB = 1e9
+
+# Saturated throughput (GB/s of input) per pipeline per processor.
+# Calibrated to reproduce the paper's Fig. 12 / Fig. 15 orderings.
+_SATURATED: dict[str, dict[str, float]] = {
+    # HPDR pipelines
+    "mgard-x": {
+        "V100": 14.0, "A100": 45.0, "MI250X": 24.0, "RTX3090": 15.0,
+        "POWER9": 1.2, "EPYC7713": 2.0, "EPYC-Trento": 2.0, "i7": 1.0,
+    },
+    "zfp-x": {
+        "V100": 120.0, "A100": 210.0, "MI250X": 160.0, "RTX3090": 90.0,
+        "POWER9": 8.0, "EPYC7713": 18.0, "EPYC-Trento": 18.0, "i7": 10.0,
+    },
+    "huffman-x": {
+        "V100": 100.0, "A100": 150.0, "MI250X": 120.0, "RTX3090": 70.0,
+        "POWER9": 20.0, "EPYC7713": 48.0, "EPYC-Trento": 48.0, "i7": 25.0,
+    },
+    # Baselines (release GPU versions the paper compares against).  Their
+    # kernels are broadly comparable; the end-to-end gap in the paper
+    # comes from missing pipelining and per-call allocation, which the
+    # simulator models separately.
+    # MGARD-GPU v1.5 kernels are markedly slower than MGARD-X's
+    # (IPDPS'21 reports single-digit GB/s on V100).
+    "mgard-gpu": {
+        "V100": 12.0, "A100": 18.0, "MI250X": 6.5, "RTX3090": 6.0,
+        "POWER9": 0.4, "EPYC7713": 0.6, "EPYC-Trento": 0.6, "i7": 0.3,
+    },
+    "zfp-cuda": {
+        "V100": 130.0, "A100": 190.0, "RTX3090": 85.0,
+    },
+    "cusz": {
+        "V100": 70.0, "A100": 110.0, "RTX3090": 55.0,
+    },
+    "nvcomp-lz4": {
+        "V100": 55.0, "A100": 90.0, "RTX3090": 45.0,
+    },
+}
+
+# Decompression runs the same kernels in reverse order; the paper's
+# Fig. 15 shows decompression slightly slower for MGARD-family pipelines
+# (the recomposition's tridiagonal solves dominate).
+_DECOMP_FACTOR: dict[str, float] = {
+    "mgard-x": 0.85,
+    "mgard-gpu": 0.80,
+    "zfp-x": 1.05,
+    "zfp-cuda": 1.00,
+    "huffman-x": 0.90,
+    "cusz": 0.90,
+    "nvcomp-lz4": 1.20,
+}
+
+# Relative compute-time split across pipeline stages (sums to 1.0) —
+# used when the simulator wants stage-level tasks (Fig. 1 breakdown).
+STAGE_SPLIT: dict[str, dict[str, float]] = {
+    "mgard-x": {"decompose": 0.55, "quantize": 0.10, "encode": 0.35},
+    "mgard-gpu": {"decompose": 0.55, "quantize": 0.10, "encode": 0.35},
+    "zfp-x": {"transform": 0.60, "bitplane": 0.40},
+    "zfp-cuda": {"transform": 0.60, "bitplane": 0.40},
+    "huffman-x": {"histogram": 0.25, "codebook": 0.05, "encode": 0.45, "serialize": 0.25},
+    "cusz": {"predict": 0.35, "quantize": 0.15, "encode": 0.50},
+    "nvcomp-lz4": {"match": 0.70, "emit": 0.30},
+}
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Chunk-size-dependent throughput model for one (pipeline, device).
+
+    Implements the paper's piecewise Φ(C): a linear ramp below the
+    saturation chunk size and a constant plateau γ above it.
+    """
+
+    pipeline: str
+    processor: ProcessorSpec
+    gamma: float          # saturated throughput, bytes/s
+    c_threshold: float    # saturation chunk size, bytes
+    ramp_floor: float = 0.05  # fraction of γ reached as C → 0
+
+    def phi(self, chunk_bytes: float) -> float:
+        """Throughput (bytes/s) at chunk size ``chunk_bytes``."""
+        if chunk_bytes <= 0:
+            return self.ramp_floor * self.gamma
+        if chunk_bytes >= self.c_threshold:
+            return self.gamma
+        frac = self.ramp_floor + (1.0 - self.ramp_floor) * (
+            chunk_bytes / self.c_threshold
+        )
+        return frac * self.gamma
+
+    def kernel_time(self, chunk_bytes: float) -> float:
+        """Seconds of compute to reduce ``chunk_bytes`` of input."""
+        return chunk_bytes / self.phi(chunk_bytes)
+
+    def theta(self, t: float) -> float:
+        """Θ(t): max bytes transferable host→device in ``t`` seconds."""
+        return t * self.processor.link_h2d
+
+
+def _eb_factor(error_bound: float | None) -> float:
+    """Mild throughput sensitivity to the error bound.
+
+    Looser bounds → fewer quantization symbols → faster entropy coding.
+    Calibrated so eb=1e-2 is ~10 % faster and eb=1e-6 ~10 % slower than
+    the eb=1e-4 midpoint.
+    """
+    if error_bound is None or error_bound <= 0:
+        return 1.0
+    exponent = math.log10(error_bound)
+    # eb=1e-4 → factor 1.0; each decade shifts 5 %.
+    return max(0.6, min(1.4, 1.0 + 0.05 * (exponent + 4.0)))
+
+
+def kernel_model(
+    pipeline: str,
+    processor: str | ProcessorSpec,
+    error_bound: float | None = None,
+    decompress: bool = False,
+) -> KernelModel:
+    """Build the Φ model for a (pipeline, processor) pair.
+
+    Raises ``KeyError`` when the pipeline has no released implementation
+    on the processor — mirroring the paper's evaluation, where e.g. cuSZ
+    and ZFP-CUDA have no stable HIP build for Frontier.
+    """
+    spec = processor if isinstance(processor, ProcessorSpec) else get_processor(processor)
+    key = pipeline.lower()
+    if key not in _SATURATED:
+        raise KeyError(f"unknown pipeline {pipeline!r}; available: {sorted(_SATURATED)}")
+    table = _SATURATED[key]
+    if spec.name not in table:
+        raise KeyError(
+            f"{pipeline!r} has no implementation for {spec.name} "
+            "(matches the paper's exclusion of unstable ports)"
+        )
+    gamma = table[spec.name] * GB * _eb_factor(error_bound)
+    if decompress:
+        gamma *= _DECOMP_FACTOR.get(key, 1.0)
+    return KernelModel(key, spec, gamma, spec.sat_chunk)
+
+
+def kernel_throughput(
+    pipeline: str,
+    processor: str | ProcessorSpec,
+    chunk_bytes: float | None = None,
+    error_bound: float | None = None,
+    decompress: bool = False,
+) -> float:
+    """Convenience: Φ(C) in bytes/s (saturated if ``chunk_bytes`` is None)."""
+    model = kernel_model(pipeline, processor, error_bound, decompress)
+    if chunk_bytes is None:
+        return model.gamma
+    return model.phi(chunk_bytes)
+
+
+def list_pipelines() -> list[str]:
+    return sorted(_SATURATED)
+
+
+def supported_processors(pipeline: str) -> list[str]:
+    key = pipeline.lower()
+    if key not in _SATURATED:
+        raise KeyError(f"unknown pipeline {pipeline!r}")
+    return sorted(_SATURATED[key])

@@ -1,0 +1,110 @@
+"""Roofline model fitting (paper Fig. 11).
+
+The adaptive pipeline needs Φ(C): estimated reduction throughput at chunk
+size C.  The paper builds it by profiling a dataset/error-bound
+combination over a range of chunk sizes, taking the largest profiled
+chunk's throughput as the plateau γ, walking down until throughput drops
+below ``f·γ`` (default f = 0.1 in the paper's example; we expose it), and
+least-squares fitting the remaining points with a line ``α·C + β``.
+
+This module implements exactly that procedure over (chunk_size,
+throughput) profile points — whether they come from the calibrated
+simulator or from real wall-clock measurements of the NumPy kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Fitted piecewise throughput model.
+
+    ``phi(C) = min(alpha*C + beta, gamma)`` with the crossover at
+    ``c_threshold``.
+    """
+
+    alpha: float
+    beta: float
+    gamma: float
+    c_threshold: float
+
+    def phi(self, chunk_bytes: float) -> float:
+        if chunk_bytes >= self.c_threshold:
+            return self.gamma
+        return max(0.0, self.alpha * chunk_bytes + self.beta)
+
+    def predict(self, chunks: np.ndarray) -> np.ndarray:
+        chunks = np.asarray(chunks, dtype=np.float64)
+        ramp = np.maximum(0.0, self.alpha * chunks + self.beta)
+        return np.where(chunks >= self.c_threshold, self.gamma, np.minimum(ramp, self.gamma))
+
+
+def fit_roofline(
+    chunk_sizes: np.ndarray,
+    throughputs: np.ndarray,
+    plateau_fraction: float = 0.9,
+    ramp_cutoff: float = 0.1,
+) -> RooflineModel:
+    """Fit Φ(C) from profile points, following the paper's procedure.
+
+    Parameters
+    ----------
+    chunk_sizes, throughputs:
+        Paired profile observations.  Need not be sorted.
+    plateau_fraction:
+        Points with throughput ≥ ``plateau_fraction·γ`` are treated as
+        saturated; γ is the throughput of the largest profiled chunk.
+    ramp_cutoff:
+        The paper's ``f``: ramp fitting starts from the first chunk whose
+        throughput exceeds ``f·γ`` (tiny chunks below the cutoff are
+        dominated by launch overhead and excluded).
+
+    Raises
+    ------
+    ValueError
+        On mismatched/empty inputs or non-positive sizes.
+    """
+    c = np.asarray(chunk_sizes, dtype=np.float64)
+    p = np.asarray(throughputs, dtype=np.float64)
+    if c.shape != p.shape or c.ndim != 1:
+        raise ValueError("chunk_sizes and throughputs must be equal-length 1-D arrays")
+    if c.size < 2:
+        raise ValueError("need at least two profile points")
+    if np.any(c <= 0) or np.any(p <= 0):
+        raise ValueError("chunk sizes and throughputs must be positive")
+
+    order = np.argsort(c)
+    c, p = c[order], p[order]
+    gamma = float(p[-1])
+
+    saturated = p >= plateau_fraction * gamma
+    # The threshold is the smallest chunk already on the plateau.
+    c_threshold = float(c[saturated][0]) if saturated.any() else float(c[-1])
+
+    ramp_mask = (~saturated) & (p >= ramp_cutoff * gamma)
+    if ramp_mask.sum() >= 2:
+        A = np.stack([c[ramp_mask], np.ones(ramp_mask.sum())], axis=1)
+        (alpha, beta), *_ = np.linalg.lstsq(A, p[ramp_mask], rcond=None)
+    elif ramp_mask.sum() == 1:
+        # One usable ramp point: line through it and the plateau knee.
+        x0, y0 = float(c[ramp_mask][0]), float(p[ramp_mask][0])
+        alpha = (gamma - y0) / max(c_threshold - x0, 1e-30)
+        beta = y0 - alpha * x0
+    else:
+        # Everything is saturated: a flat model.
+        alpha, beta = 0.0, gamma
+    return RooflineModel(float(alpha), float(beta), gamma, c_threshold)
+
+
+def profile_points(
+    model_phi,
+    chunk_sizes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate a Φ callable over chunk sizes, returning profile pairs."""
+    c = np.asarray(chunk_sizes, dtype=np.float64)
+    p = np.array([model_phi(x) for x in c], dtype=np.float64)
+    return c, p

@@ -1,0 +1,121 @@
+"""Conformance kit for device-adapter authors.
+
+The paper's extensibility story (Section III-C) is "implement a new
+device adapter".  :func:`check_adapter` is the executable contract: run
+it against a new backend and it verifies everything the framework
+assumes — GEM/DEM semantics, shape handling, batch-order stability, and
+numerical agreement with the reference serial backend on real reduction
+kernels.
+
+Usage (e.g. in a downstream package's test suite)::
+
+    from repro.testing import check_adapter
+    check_adapter(MyKokkosAdapter())
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.functor import FnDomain, FnLocality
+
+
+class AdapterConformanceError(AssertionError):
+    """A backend violated the adapter contract."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise AdapterConformanceError(message)
+
+
+def check_adapter(adapter, rng: np.random.Generator | None = None) -> None:
+    """Run the full conformance suite against ``adapter``.
+
+    Raises :class:`AdapterConformanceError` on the first violation;
+    returns ``None`` when the backend conforms.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    _check_gem_identity(adapter, rng)
+    _check_gem_elementwise(adapter, rng)
+    _check_gem_shape_change(adapter, rng)
+    _check_gem_order_stability(adapter)
+    _check_gem_empty_batch(adapter)
+    _check_dem_stages(adapter)
+    _check_reference_agreement(adapter, rng)
+    _check_real_kernels(adapter, rng)
+
+
+def _check_gem_identity(adapter, rng) -> None:
+    batch = rng.normal(size=(7, 3, 4))
+    out = adapter.execute_group_batch(FnLocality(lambda b: b.copy(), "id"), batch)
+    _require(np.array_equal(out, batch), "GEM identity functor altered data")
+
+
+def _check_gem_elementwise(adapter, rng) -> None:
+    batch = rng.normal(size=(5, 6))
+    out = adapter.execute_group_batch(FnLocality(lambda b: b * 2 + 1, "affine"), batch)
+    _require(np.allclose(out, batch * 2 + 1), "GEM elementwise result wrong")
+
+
+def _check_gem_shape_change(adapter, rng) -> None:
+    batch = rng.normal(size=(4, 8))
+    out = adapter.execute_group_batch(
+        FnLocality(lambda b: b.sum(axis=-1, keepdims=True), "sum"), batch
+    )
+    _require(out.shape == (4, 1), "GEM must preserve the leading group axis")
+    _require(np.allclose(out[:, 0], batch.sum(axis=1)),
+             "GEM shape-changing functor result wrong")
+
+
+def _check_gem_order_stability(adapter) -> None:
+    batch = np.arange(12, dtype=np.float64).reshape(12, 1)
+    out = adapter.execute_group_batch(FnLocality(lambda b: b, "id"), batch)
+    _require(np.array_equal(out, batch),
+             "GEM reordered groups: results must stay in submission order")
+
+
+def _check_gem_empty_batch(adapter) -> None:
+    batch = np.zeros((0, 4))
+    out = adapter.execute_group_batch(FnLocality(lambda b: b, "id"), batch)
+    _require(out.shape[0] == 0, "GEM must pass empty batches through")
+
+
+def _check_dem_stages(adapter) -> None:
+    functor = FnDomain(lambda d: d + "b", lambda d: d + "c", name="chain")
+    out = adapter.execute_domain(functor, "a")
+    _require(out == "abc", "DEM must run stages in order with global sync")
+
+
+def _check_reference_agreement(adapter, rng) -> None:
+    from repro.adapters import get_adapter
+
+    serial = get_adapter("serial")
+    batch = rng.normal(size=(9, 5, 5))
+    f = FnLocality(lambda b: np.tanh(b) + b**2, "mix")
+    ref = serial.execute_group_batch(f, batch)
+    out = adapter.execute_group_batch(f, batch)
+    _require(np.array_equal(ref, out),
+             "backend result differs from the serial reference "
+             "(bit-exact agreement is the portability guarantee)")
+
+
+def _check_real_kernels(adapter, rng) -> None:
+    """The acid test: full reduction streams must be byte-identical."""
+    from repro import Config, ErrorMode, HuffmanX, MGARDX, ZFPX
+
+    data = rng.normal(size=(12, 16)).astype(np.float32)
+    cfg = Config(error_bound=1e-3, error_mode=ErrorMode.REL)
+
+    ref = MGARDX(cfg).compress(data)
+    got = MGARDX(cfg, adapter=adapter).compress(data)
+    _require(ref == got, "MGARD-X stream differs on this backend")
+
+    ref = ZFPX(rate=10).compress(data)
+    got = ZFPX(rate=10, adapter=adapter).compress(data)
+    _require(ref == got, "ZFP-X stream differs on this backend")
+
+    keys = rng.integers(0, 40, size=2000).astype(np.int64)
+    ref = HuffmanX().compress_keys(keys, 64)
+    got = HuffmanX(adapter=adapter).compress_keys(keys, 64)
+    _require(ref == got, "Huffman-X stream differs on this backend")

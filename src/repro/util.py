@@ -1,0 +1,40 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import functools
+import struct
+
+
+class CorruptStreamError(ValueError):
+    """A reduction stream failed to parse (truncated or tampered)."""
+
+
+def stream_errors(fn):
+    """Decorator: low-level parse failures become :class:`CorruptStreamError`.
+
+    Deserializers index, unpack and decode raw bytes; on truncated or
+    tampered input those operations raise a zoo of exception types.  A
+    library sitting in an I/O path must fail with one predictable error
+    class instead.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except CorruptStreamError:
+            raise
+        except (
+            struct.error,
+            IndexError,
+            KeyError,
+            TypeError,
+            UnicodeDecodeError,
+            OverflowError,
+        ) as exc:
+            raise CorruptStreamError(f"corrupt stream: {exc}") from exc
+        except ValueError as exc:
+            raise CorruptStreamError(str(exc)) from exc
+
+    return wrapper

@@ -1,0 +1,124 @@
+"""Huffman two-phase codebook generation."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.huffman.codebook import (
+    MAX_CODE_LENGTH,
+    Codebook,
+    build_codebook,
+    canonical_codes,
+    huffman_code_lengths,
+)
+
+
+def kraft(lengths: np.ndarray) -> float:
+    used = lengths[lengths > 0].astype(np.float64)
+    return float(np.sum(2.0 ** -used))
+
+
+class TestCodeLengths:
+    def test_uniform_frequencies_balanced(self):
+        ls = huffman_code_lengths(np.full(8, 10, dtype=np.int64))
+        assert np.all(ls == 3)
+
+    def test_skewed_frequencies_short_code_for_frequent(self):
+        freqs = np.array([1000, 10, 10, 10], dtype=np.int64)
+        ls = huffman_code_lengths(freqs)
+        assert ls[0] == ls.min()
+        assert kraft(ls) <= 1.0 + 1e-12
+
+    def test_zero_frequency_gets_no_code(self):
+        freqs = np.array([5, 0, 3, 0], dtype=np.int64)
+        ls = huffman_code_lengths(freqs)
+        assert ls[1] == 0 and ls[3] == 0
+        assert ls[0] > 0 and ls[2] > 0
+
+    def test_single_symbol(self):
+        ls = huffman_code_lengths(np.array([42], dtype=np.int64))
+        assert list(ls) == [1]
+
+    def test_two_symbols(self):
+        ls = huffman_code_lengths(np.array([1, 99], dtype=np.int64))
+        assert list(ls) == [1, 1]
+
+    def test_empty_histogram(self):
+        ls = huffman_code_lengths(np.zeros(16, dtype=np.int64))
+        assert np.all(ls == 0)
+
+    def test_fibonacci_worst_case_length_limited(self):
+        """Fibonacci frequencies force maximal skew; the limiter must
+        clamp to MAX_CODE_LENGTH with a valid Kraft sum."""
+        fib = [1, 1]
+        for _ in range(38):
+            fib.append(fib[-1] + fib[-2])
+        ls = huffman_code_lengths(np.array(fib, dtype=np.int64))
+        assert ls.max() <= MAX_CODE_LENGTH
+        assert kraft(ls) <= 1.0 + 1e-12
+
+    def test_optimality_vs_entropy(self):
+        """Expected length within 1 bit of entropy (Huffman guarantee)."""
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(1, 1000, size=64).astype(np.int64)
+        ls = huffman_code_lengths(freqs)
+        p = freqs / freqs.sum()
+        entropy = -np.sum(p * np.log2(p))
+        expected_len = np.sum(p * ls)
+        assert entropy <= expected_len + 1e-9 <= entropy + 1 + 1e-9
+
+    def test_negative_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths(np.array([-1, 2], dtype=np.int64))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths(np.ones((2, 2), dtype=np.int64))
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        rng = np.random.default_rng(1)
+        freqs = rng.integers(0, 500, size=100).astype(np.int64)
+        book = build_codebook(freqs)
+        used = np.flatnonzero(book.lengths)
+        codes = [
+            format(book.codes[s], f"0{book.lengths[s]}b") for s in used
+        ]
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert not b.startswith(a), (a, b)
+
+    def test_canonical_ordering(self):
+        """Within a length, codes increase with symbol index."""
+        freqs = np.array([10, 10, 10, 10], dtype=np.int64)
+        book = build_codebook(freqs)
+        assert list(book.codes) == [0, 1, 2, 3]
+
+    def test_codes_from_lengths_only(self):
+        """Decoder-side reconstruction: same lengths → same codes."""
+        freqs = np.array([7, 1, 3, 9, 9, 2], dtype=np.int64)
+        book = build_codebook(freqs)
+        again = canonical_codes(book.lengths)
+        assert np.array_equal(book.codes, again)
+
+
+class TestDecodeTable:
+    def test_table_decodes_every_code(self):
+        freqs = np.array([50, 20, 20, 5, 5], dtype=np.int64)
+        book = build_codebook(freqs)
+        sym, ln, width = book.decode_table()
+        for s in np.flatnonzero(book.lengths):
+            l = int(book.lengths[s])
+            window = int(book.codes[s]) << (width - l)
+            assert sym[window] == s
+            assert ln[window] == l
+
+    def test_width_too_small_rejected(self):
+        book = build_codebook(np.array([1, 1, 1, 1], dtype=np.int64))
+        with pytest.raises(ValueError):
+            book.decode_table(width=1)
+
+    def test_kraft_sum_property(self):
+        book = build_codebook(np.array([3, 3, 2], dtype=np.int64))
+        assert book.kraft_sum() <= 1.0 + 1e-12

@@ -1,0 +1,89 @@
+"""LZ4-flavoured lossless baseline."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.baselines.lz4 import (
+    LZ4,
+    compress_block,
+    decompress_block,
+)
+
+
+class TestBlockCodec:
+    def test_empty(self):
+        assert decompress_block(compress_block(b""), 0) == b""
+
+    def test_short_literal_only(self):
+        src = b"abc"
+        assert decompress_block(compress_block(src), len(src)) == src
+
+    def test_repetitive_compresses(self):
+        src = b"abcd" * 5000
+        out = compress_block(src)
+        assert len(out) < len(src) / 10
+        assert decompress_block(out, len(src)) == src
+
+    def test_self_overlapping_match(self):
+        """RLE-style runs use offset < match length (overlap copy)."""
+        src = b"a" * 1000
+        out = compress_block(src)
+        assert decompress_block(out, len(src)) == src
+        assert len(out) < 50
+
+    def test_incompressible_random(self, rng):
+        src = rng.integers(0, 256, size=4096).astype(np.uint8).tobytes()
+        out = compress_block(src)
+        assert decompress_block(out, len(src)) == src
+        # Bounded expansion on incompressible input.
+        assert len(out) < len(src) * 1.1
+
+    def test_long_literal_run_length_encoding(self, rng):
+        """Literal runs > 15 need length continuation bytes."""
+        src = bytes(rng.integers(0, 256, size=300).astype(np.uint8)) + b"ab" * 40
+        assert decompress_block(compress_block(src), len(src)) == src
+
+    def test_long_match_length_encoding(self):
+        src = b"x" * 20 + b"0123456789abcdef" * 100
+        assert decompress_block(compress_block(src), len(src)) == src
+
+    def test_corrupt_size_rejected(self):
+        out = compress_block(b"hello world, hello world")
+        with pytest.raises(ValueError):
+            decompress_block(out, 999)
+
+    def test_window_limit_respected(self, rng):
+        """Matches beyond the 64 KiB window are not referenced."""
+        chunk = rng.integers(0, 256, size=70_000).astype(np.uint8).tobytes()
+        src = b"MAGIC-PREFIX-123" + chunk + b"MAGIC-PREFIX-123"
+        assert decompress_block(compress_block(src), len(src)) == src
+
+
+class TestContainer:
+    def test_array_roundtrip(self, rng):
+        data = (rng.integers(0, 3, size=(50, 20)) * 1000).astype(np.int32)
+        lz = LZ4()
+        back = lz.decompress(lz.compress(data))
+        assert back.dtype == np.int32
+        assert np.array_equal(back, data)
+
+    def test_bytes_roundtrip(self):
+        raw = b"scientific data reduction" * 300
+        lz = LZ4()
+        assert lz.decompress(lz.compress(raw)).tobytes() == raw
+
+    def test_float_data_ratio_near_one(self, rng):
+        """The paper's observation: LZ4 on floats ≈ 1.1× — no real
+        reduction, hence no I/O acceleration in Fig. 17."""
+        from repro.data import nyx_like
+
+        data = nyx_like((24, 24, 24), seed=3)
+        lz = LZ4()
+        blob = lz.compress(data)
+        ratio = lz.compression_ratio(data, blob)
+        assert 0.9 < ratio < 1.6
+        assert np.array_equal(lz.decompress(blob), data)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            LZ4().decompress(b"AAAA" + bytes(32))

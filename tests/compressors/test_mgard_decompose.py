@@ -1,0 +1,93 @@
+"""Multilevel decomposition: exactness, structure, linear reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.mgard.decompose import decompose, recompose
+from repro.compressors.mgard.hierarchy import Hierarchy
+
+
+@pytest.mark.parametrize(
+    "shape",
+    [(17,), (16,), (9, 13), (8, 8), (7, 6, 5), (33, 32, 31), (5, 4, 3, 6)],
+)
+def test_roundtrip_exact(shape, rng):
+    data = rng.normal(size=shape)
+    h = Hierarchy(shape)
+    coeffs, coarsest = decompose(data, h)
+    back = recompose(coeffs, coarsest, h)
+    assert np.max(np.abs(back - data)) < 1e-9
+
+
+def test_coefficient_count_partition(rng):
+    shape = (12, 10)
+    h = Hierarchy(shape)
+    coeffs, coarsest = decompose(rng.normal(size=shape), h)
+    assert sum(c.size for c in coeffs) + coarsest.size == 120
+    for l, c in enumerate(coeffs):
+        assert c.size == h.num_coefficients(l)
+
+
+def test_linear_field_zero_coefficients(rng):
+    """Multilinear data is exactly reproduced by lerp → all mc ≈ 0."""
+    x, y = np.meshgrid(np.arange(17.0), np.arange(9.0), indexing="ij")
+    data = 2.0 * x + 3.0 * y + 1.0
+    h = Hierarchy(data.shape)
+    coeffs, _ = decompose(data, h)
+    for c in coeffs:
+        assert np.max(np.abs(c)) < 1e-9
+
+
+def test_smooth_field_decaying_coefficients(smooth_2d):
+    """Finer levels of a smooth field carry smaller coefficients."""
+    h = Hierarchy(smooth_2d.shape)
+    coeffs, _ = decompose(smooth_2d.astype(np.float64), h)
+    norms = [np.abs(c).max() for c in coeffs if c.size]
+    # finest level (index 0) ≪ coarsest coefficient level
+    assert norms[0] < norms[-1]
+
+
+def test_shape_mismatch_rejected(rng):
+    h = Hierarchy((8, 8))
+    with pytest.raises(ValueError):
+        decompose(rng.normal(size=(8, 9)), h)
+
+
+def test_wrong_level_count_rejected(rng):
+    h = Hierarchy((9,))
+    coeffs, coarsest = decompose(rng.normal(size=9), h)
+    with pytest.raises(ValueError):
+        recompose(coeffs[:-1], coarsest, h)
+
+
+def test_decompose_is_deterministic(rng):
+    data = rng.normal(size=(11, 7))
+    h = Hierarchy(data.shape)
+    c1, g1 = decompose(data, h)
+    c2, g2 = decompose(data, h)
+    assert all(np.array_equal(a, b) for a, b in zip(c1, c2))
+    assert np.array_equal(g1, g2)
+
+
+def test_energy_compaction_on_smooth_data(smooth_2d):
+    """Dropping the finest level's coefficients perturbs the field only
+    slightly — the multiresolution property MGARD compression exploits."""
+    data = smooth_2d.astype(np.float64)
+    h = Hierarchy(data.shape)
+    coeffs, coarsest = decompose(data, h)
+    coeffs[0] = np.zeros_like(coeffs[0])
+    approx = recompose(coeffs, coarsest, h)
+    rel = np.max(np.abs(approx - data)) / np.ptp(data)
+    assert rel < 0.05
+
+
+def test_cached_factors_match_fresh(rng):
+    from repro.compressors.mgard.decompose import level_factors
+
+    data = rng.normal(size=(17, 9))
+    h = Hierarchy(data.shape)
+    factors = [level_factors(h, l) for l in range(h.total_levels)]
+    c1, g1 = decompose(data, h, factors_per_level=factors)
+    c2, g2 = decompose(data, h)
+    assert all(np.array_equal(a, b) for a, b in zip(c1, c2))
+    assert np.array_equal(g1, g2)

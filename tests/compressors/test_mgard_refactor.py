@@ -1,0 +1,98 @@
+"""Progressive refactoring / retrieval on the MGARD hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.mgard.refactor import MGARDRefactor, RefactoredData
+
+
+@pytest.fixture(scope="module")
+def field():
+    axes = [np.linspace(0, 2 * np.pi, 33)] * 2
+    x, y = np.meshgrid(*axes, indexing="ij")
+    return (np.sin(x) * np.cos(y) + 0.1 * np.sin(5 * x)).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def refactored(field):
+    return MGARDRefactor(precision=1e-7).refactor(field)
+
+
+class TestRefactor:
+    def test_full_retrieval_near_lossless(self, field, refactored):
+        r = MGARDRefactor(precision=1e-7)
+        back = r.retrieve(refactored)
+        assert np.max(np.abs(back - field)) < 1e-5 * np.ptp(field)
+
+    def test_error_decreases_with_levels(self, field, refactored):
+        r = MGARDRefactor(precision=1e-7)
+        errs = []
+        for k in range(1, refactored.num_levels + 1):
+            approx = r.retrieve(refactored, num_levels=k)
+            errs.append(float(np.max(np.abs(approx - field))))
+        # Essentially monotone: MGARD guarantees monotonicity in the L2
+        # sense; tiny local L-infinity bumps (<15%) can occur when one
+        # level arrives without its finer corrections.
+        assert all(b <= a * 1.15 for a, b in zip(errs, errs[1:]))
+        assert errs[-1] < 0.01 * errs[0]
+
+    def test_prefix_bytes_increase(self, refactored):
+        sizes = [refactored.prefix_bytes(k)
+                 for k in range(1, refactored.num_levels + 1)]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] == refactored.total_bytes
+
+    def test_partial_retrieval_reads_fewer_bytes(self, field, refactored):
+        """The refactoring payoff: a coarse read touches a fraction of
+        the bytes."""
+        coarse = refactored.prefix_bytes(2)
+        assert coarse < 0.5 * refactored.total_bytes
+
+    def test_error_estimates_are_upper_bounds_in_shape(self, field, refactored):
+        """Estimates decrease with the prefix and order the real errors."""
+        ests = [refactored.error_estimate(k)
+                for k in range(1, refactored.num_levels + 1)]
+        assert all(a >= b for a, b in zip(ests, ests[1:]))
+
+    def test_bytes_for_error_target(self, field, refactored):
+        r = MGARDRefactor(precision=1e-7)
+        k_loose, b_loose = r.bytes_for(refactored, 0.5 * np.ptp(field))
+        k_tight, b_tight = r.bytes_for(refactored, 1e-6)
+        assert k_loose <= k_tight
+        assert b_loose <= b_tight
+        with pytest.raises(ValueError):
+            r.bytes_for(refactored, 0.0)
+
+    def test_serialization_roundtrip(self, field, refactored):
+        blob = refactored.tobytes()
+        again = RefactoredData.frombytes(blob)
+        r = MGARDRefactor(precision=1e-7)
+        a = r.retrieve(refactored, num_levels=3)
+        b = r.retrieve(again, num_levels=3)
+        assert np.array_equal(a, b)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            RefactoredData.frombytes(b"XXXX" + bytes(64))
+
+    def test_retrieve_validates_levels(self, refactored):
+        r = MGARDRefactor()
+        with pytest.raises(ValueError):
+            r.retrieve(refactored, num_levels=0)
+        with pytest.raises(ValueError):
+            r.retrieve(refactored, num_levels=99)
+
+    def test_3d_field(self, rng):
+        data = rng.normal(size=(9, 10, 11))
+        r = MGARDRefactor(precision=1e-8)
+        ref = r.refactor(data)
+        full = r.retrieve(ref)
+        assert np.max(np.abs(full - data)) < 1e-5
+        coarse = r.retrieve(ref, num_levels=1)
+        assert coarse.shape == data.shape
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MGARDRefactor(precision=0.0)
+        with pytest.raises(TypeError):
+            MGARDRefactor().refactor(np.zeros(4, dtype=np.int32))

@@ -1,0 +1,125 @@
+"""Reference embedded bitplane coder (zfp's encode_ints/decode_ints)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.zfp import ZFPX
+from repro.compressors.zfp.embedded import (
+    BitReader,
+    BitWriter,
+    ZFPEmbedded,
+    decode_block_embedded,
+    encode_block_embedded,
+)
+
+
+class TestBitIO:
+    def test_bit_roundtrip(self):
+        w = BitWriter()
+        pattern = [1, 0, 1, 1, 0, 0, 1]
+        for b in pattern:
+            w.write_bit(b)
+        r = BitReader(w.tobytes())
+        assert [r.read_bit() for _ in pattern] == pattern
+
+    def test_multibit_roundtrip(self):
+        w = BitWriter()
+        w.write_bits(0b1011010, 7)
+        w.write_bits(0xFF, 8)
+        r = BitReader(w.tobytes())
+        assert r.read_bits(7) == 0b1011010
+        assert r.read_bits(8) == 0xFF
+
+    def test_write_bits_returns_shifted(self):
+        w = BitWriter()
+        assert w.write_bits(0b110101, 3) == 0b110
+
+    def test_padding_and_overflow(self):
+        w = BitWriter()
+        w.write_bits(0b11, 2)
+        assert len(w.tobytes(pad_to_bits=16)) == 2
+        with pytest.raises(ValueError):
+            w.tobytes(pad_to_bits=1)
+
+    def test_read_past_end_returns_zero(self):
+        r = BitReader(b"\x01")
+        assert r.read_bits(8) == 1
+        assert r.read_bits(16) == 0
+
+
+class TestBlockCoder:
+    @pytest.mark.parametrize("size", [4, 16, 64])
+    def test_unlimited_budget_is_lossless(self, size, rng):
+        vals = rng.integers(0, 2**31, size=size).astype(np.uint64)
+        w = encode_block_embedded(vals, maxbits=10**6, maxprec=32)
+        back = decode_block_embedded(BitReader(w.tobytes()), 10**6, 32, size)
+        assert np.array_equal(back, vals)
+
+    def test_truncation_keeps_top_planes(self, rng):
+        vals = rng.integers(0, 2**31, size=16).astype(np.uint64)
+        errs = []
+        for budget in (64, 128, 256, 2048):
+            w = encode_block_embedded(vals, budget, 32)
+            back = decode_block_embedded(BitReader(w.tobytes()), budget, 32, 16)
+            errs.append(int(np.max(np.abs(back.astype(np.int64)
+                                          - vals.astype(np.int64)))))
+        assert errs[0] >= errs[1] >= errs[2] >= errs[3]
+        assert errs[-1] == 0
+
+    def test_sparse_block_cheap(self):
+        """One significant coefficient: group testing spends almost all
+        budget on it rather than on the 63 zeros."""
+        vals = np.zeros(64, dtype=np.uint64)
+        vals[0] = 2**30
+        w = encode_block_embedded(vals, maxbits=10**6, maxprec=32)
+        # Lossless in far fewer bits than 64 coefficients × 32 planes.
+        assert len(w) < 300
+        back = decode_block_embedded(BitReader(w.tobytes()), 10**6, 32, 64)
+        assert np.array_equal(back, vals)
+
+    def test_zero_block_minimal(self):
+        vals = np.zeros(16, dtype=np.uint64)
+        w = encode_block_embedded(vals, maxbits=10**6, maxprec=32)
+        assert len(w) <= 32  # one group-test zero per plane
+
+
+class TestEmbeddedCodec:
+    @pytest.fixture(scope="class")
+    def field(self):
+        axes = [np.linspace(0, 3 * np.pi, 16)] * 3
+        x, y, z = np.meshgrid(*axes, indexing="ij")
+        return (np.sin(x) * np.cos(y) * np.sin(z)).astype(np.float32)
+
+    def test_high_rate_tiny_error(self, field):
+        z = ZFPEmbedded(rate=24)
+        back = z.decompress(z.compress(field))
+        assert np.max(np.abs(back - field)) < 1e-6 * np.ptp(field)
+
+    def test_beats_truncation_coder_at_low_rate(self, field):
+        """The group-testing advantage: same bits, far smaller error."""
+        for rate in (4, 8):
+            emb = ZFPEmbedded(rate=rate)
+            raw = ZFPX(rate=rate)
+            e_emb = np.max(np.abs(emb.decompress(emb.compress(field)) - field))
+            e_raw = np.max(np.abs(raw.decompress(raw.compress(field)) - field))
+            assert e_emb < 0.5 * e_raw
+
+    def test_fixed_stream_size(self, field, rng):
+        z = ZFPEmbedded(rate=8)
+        a = z.compress(field)
+        b = z.compress(rng.normal(size=field.shape).astype(np.float32))
+        assert len(a) == len(b)
+
+    def test_float64(self, rng):
+        data = rng.normal(size=(8, 8)).astype(np.float64)
+        z = ZFPEmbedded(rate=40)
+        back = z.decompress(z.compress(data))
+        assert np.max(np.abs(back - data)) < 1e-9 * np.ptp(data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZFPEmbedded(rate=0)
+        with pytest.raises(ValueError):
+            ZFPEmbedded(rate=8).decompress(b"XXXX" + bytes(64))
+        with pytest.raises(TypeError):
+            ZFPEmbedded(rate=8).compress(np.zeros(4, dtype=np.int32))

@@ -1,0 +1,49 @@
+"""Shared fixtures for the HPDR test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapters import get_adapter
+
+ADAPTER_FAMILIES = ["serial", "openmp", "cuda", "hip", "sycl"]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth_3d():
+    """Small smooth 3-D FP32 field (compressible)."""
+    axes = [np.linspace(0, 3 * np.pi, 24)] * 3
+    x, y, z = np.meshgrid(*axes, indexing="ij")
+    return (np.sin(x) * np.cos(y) * np.sin(z) + 0.05 * np.sin(7 * x)).astype(
+        np.float32
+    )
+
+
+@pytest.fixture
+def smooth_2d():
+    axes = [np.linspace(0, 2 * np.pi, 40), np.linspace(0, 2 * np.pi, 56)]
+    x, y = np.meshgrid(*axes, indexing="ij")
+    return (np.cos(2 * x) + np.sin(3 * y)).astype(np.float64)
+
+
+@pytest.fixture(params=ADAPTER_FAMILIES)
+def any_adapter(request):
+    """Parametrized over every adapter family."""
+    return get_adapter(request.param)
+
+
+@pytest.fixture
+def serial_adapter():
+    return get_adapter("serial")
+
+
+@pytest.fixture
+def strict_serial_adapter():
+    """Per-group oracle mode (functor purity checking)."""
+    return get_adapter("serial", strict=True)

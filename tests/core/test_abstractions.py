@@ -1,0 +1,174 @@
+"""The four parallelization abstractions and block decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.abstractions import (
+    blockize,
+    global_pipeline,
+    iterative,
+    locality,
+    map_and_process,
+    unblockize,
+)
+from repro.core.functor import FnDomain, FnIterative, FnLocality
+
+
+class TestBlockize:
+    def test_exact_tiling_roundtrip(self, rng):
+        x = rng.normal(size=(8, 12))
+        batch, grid = blockize(x, (4, 3))
+        assert batch.shape == (2 * 4, 4, 3)
+        assert grid == (2, 4)
+        assert np.array_equal(unblockize(batch, grid, x.shape), x)
+
+    def test_padding_roundtrip(self, rng):
+        x = rng.normal(size=(7, 11, 5))
+        batch, grid = blockize(x, (4, 4, 4))
+        assert grid == (2, 3, 2)
+        assert np.array_equal(unblockize(batch, grid, x.shape), x)
+
+    def test_halo_blocks_contain_neighbors(self):
+        x = np.arange(16, dtype=float).reshape(4, 4)
+        batch, grid = blockize(x, (2, 2), halo=1)
+        assert batch.shape == (4, 4, 4)
+        # Second block's core is x[0:2, 2:4]; its left halo column holds
+        # x[:, 1] values.
+        core = batch[1][1:3, 1:3]
+        assert np.array_equal(core, x[0:2, 2:4])
+        assert np.array_equal(batch[1][1:3, 0], x[0:2, 1])
+
+    def test_halo_roundtrip(self, rng):
+        x = rng.normal(size=(10, 9))
+        batch, grid = blockize(x, (3, 3), halo=2)
+        assert np.array_equal(unblockize(batch, grid, x.shape, halo=2), x)
+
+    def test_1d_and_4d(self, rng):
+        for shape, bs in [((17,), (4,)), ((3, 4, 5, 6), (2, 2, 2, 2))]:
+            x = rng.normal(size=shape)
+            batch, grid = blockize(x, bs)
+            assert np.array_equal(unblockize(batch, grid, x.shape), x)
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            blockize(np.zeros((4, 4)), (2,))
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            blockize(np.zeros(4), (0,))
+        with pytest.raises(ValueError):
+            blockize(np.zeros(4), (2,), halo=-1)
+
+
+class TestLocality:
+    def test_identity_functor_roundtrip(self, rng, any_adapter):
+        x = rng.normal(size=(9, 14))
+        out = locality(x, FnLocality(lambda b: b.copy(), "id"), (4, 4),
+                       adapter=any_adapter)
+        assert np.allclose(out, x)
+
+    def test_whole_array_single_block(self, rng, serial_adapter):
+        x = rng.normal(size=(5, 5))
+        seen = []
+        f = FnLocality(lambda b: (seen.append(b.shape), b * 2)[1], "dbl")
+        out = locality(x, f, adapter=serial_adapter)
+        assert seen == [(1, 5, 5)]
+        assert np.allclose(out, 2 * x)
+
+    def test_shape_changing_output_returns_batch(self, rng, serial_adapter):
+        x = rng.normal(size=(8, 8))
+        f = FnLocality(lambda b: b.reshape(b.shape[0], -1).sum(axis=1, keepdims=True),
+                       "sum")
+        out = locality(x, f, (4, 4), adapter=serial_adapter)
+        assert out.shape == (4, 1)
+
+    def test_block_count_change_rejected(self, rng, serial_adapter):
+        x = rng.normal(size=(8,))
+        f = FnLocality(lambda b: b[:1], "bad")
+        with pytest.raises(ValueError, match="block count"):
+            locality(x, f, (4,), adapter=serial_adapter)
+
+    def test_halo_requires_block_shape(self, rng):
+        with pytest.raises(ValueError):
+            locality(rng.normal(size=(4,)), FnLocality(lambda b: b, "f"), halo=1)
+
+    def test_halo_neighbor_stencil(self, serial_adapter):
+        """A 3-point mean via halo=1 equals the direct computation."""
+        x = np.arange(12, dtype=float)
+        f = FnLocality(
+            lambda b: (b[:, :-2] + b[:, 1:-1] + b[:, 2:]) / 3.0, "mean3"
+        )
+        out = locality(x, f, (4,), halo=1, adapter=serial_adapter)
+        padded = np.pad(x, 1, mode="edge")
+        expect = (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+        assert np.allclose(out, expect)
+
+
+class TestIterative:
+    def test_cumsum_along_each_axis(self, rng, any_adapter):
+        x = rng.normal(size=(6, 10))
+        f = FnIterative(lambda v: np.cumsum(v, axis=1), "cumsum")
+        for axis in (0, 1):
+            out = iterative(x, f, axis=axis, group_size=4, adapter=any_adapter)
+            assert np.allclose(out, np.cumsum(x, axis=axis))
+
+    def test_group_padding_dropped(self, rng, serial_adapter):
+        x = rng.normal(size=(5, 3))  # 5 vectors, group_size 4 → pad to 8
+        f = FnIterative(lambda v: v * 2, "dbl")
+        out = iterative(x, f, axis=1, group_size=4, adapter=serial_adapter)
+        assert out.shape == x.shape
+        assert np.allclose(out, 2 * x)
+
+    def test_3d_middle_axis(self, rng, serial_adapter):
+        x = rng.normal(size=(3, 7, 4))
+        f = FnIterative(lambda v: np.flip(v, axis=1), "flip")
+        out = iterative(x, f, axis=1, adapter=serial_adapter)
+        assert np.allclose(out, np.flip(x, axis=1))
+
+    def test_invalid_group_size(self, rng):
+        with pytest.raises(ValueError):
+            iterative(rng.normal(size=(4, 4)),
+                      FnIterative(lambda v: v, "id"), group_size=0)
+
+
+class TestMapAndProcess:
+    def test_per_subset_functions(self, rng, serial_adapter):
+        x = rng.normal(size=(10,))
+        out = map_and_process(
+            x,
+            lambda d: [d[:5], d[5:]],
+            [lambda s: s + 1, lambda s: s * 2],
+            adapter=serial_adapter,
+        )
+        assert np.allclose(out[0], x[:5] + 1)
+        assert np.allclose(out[1], x[5:] * 2)
+
+    def test_single_callable_gets_index(self, rng, serial_adapter):
+        x = rng.normal(size=(9,))
+        out = map_and_process(
+            x, lambda d: [d[:3], d[3:6], d[6:]], lambda s, i: s * i,
+            adapter=serial_adapter,
+        )
+        assert np.allclose(out[0], 0)
+        assert np.allclose(out[2], x[6:] * 2)
+
+    def test_mismatched_processors_raise(self, rng, serial_adapter):
+        with pytest.raises(ValueError):
+            map_and_process(
+                rng.normal(size=(4,)),
+                lambda d: [d[:2], d[2:]],
+                [lambda s: s],
+                adapter=serial_adapter,
+            )
+
+
+class TestGlobalPipeline:
+    def test_multi_stage_order(self, serial_adapter):
+        f = FnDomain(lambda d: d + 1, lambda d: d * 10, name="chain")
+        assert global_pipeline(np.array([1.0]), f, adapter=serial_adapter) == 20.0
+
+    def test_histogram_style_reduction(self, rng, any_adapter):
+        keys = rng.integers(0, 8, size=100)
+        f = FnDomain(lambda k: np.bincount(k, minlength=8), name="hist")
+        out = global_pipeline(keys, f, adapter=any_adapter)
+        assert out.sum() == 100

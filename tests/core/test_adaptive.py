@@ -1,0 +1,119 @@
+"""Algorithm 4: adaptive chunk scheduling."""
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    adaptive_schedule,
+    bottleneck_chunk,
+    run_adaptive_compression,
+)
+from repro.core.pipeline import ReductionPipeline, chunk_sizes_for
+from repro.machine.device import SimDevice
+from repro.machine.engine import Simulator
+from repro.perf.models import kernel_model
+
+GB = int(1e9)
+MB = int(1e6)
+
+
+def test_schedule_sums_to_total():
+    model = kernel_model("mgard-x", "V100")
+    for total in (3 * MB, 500 * MB, int(4.3 * GB)):
+        sizes = adaptive_schedule(total, model)
+        assert sum(sizes) == total
+        assert all(s > 0 for s in sizes)
+
+
+def test_first_chunk_is_initial_size():
+    model = kernel_model("mgard-x", "V100")
+    cfg = AdaptiveConfig(initial_chunk=8 * MB)
+    sizes = adaptive_schedule(2 * GB, model, cfg)
+    assert sizes[0] == 8 * MB
+
+
+def test_chunks_grow_for_compute_bound_kernel():
+    """MGARD (14 GB/s) on a 50 GB/s link: Θ > C, chunks must grow."""
+    model = kernel_model("mgard-x", "V100")
+    sizes = adaptive_schedule(int(4.3 * GB), model)
+    # Growth until C_limit or the tail.
+    growing = sizes[:-1]
+    assert all(a <= b for a, b in zip(growing, growing[1:]))
+    assert sizes[-2] > sizes[0]
+
+
+def test_chunk_limit_respected():
+    model = kernel_model("mgard-x", "V100")
+    cfg = AdaptiveConfig(max_chunk=256 * MB)
+    sizes = adaptive_schedule(4 * GB, model, cfg)
+    assert max(sizes) <= 256 * MB
+
+
+def test_default_limit_fits_device_memory():
+    model = kernel_model("mgard-x", "V100")  # 16 GB card
+    sizes = adaptive_schedule(100 * GB, model)
+    assert max(sizes) <= 4 * GB
+
+
+def test_transfer_bound_kernel_floors_at_bottleneck():
+    """ZFP outruns the link; chunks must not shrink into the ramp."""
+    model = kernel_model("zfp-x", "V100")
+    floor = bottleneck_chunk(model, ratio=4.0)
+    sizes = adaptive_schedule(4 * GB, model, ratio=4.0)
+    assert all(s >= min(floor, sizes[0]) for s in sizes[1:-1])
+
+
+def test_bottleneck_chunk_compute_bound_is_saturation():
+    model = kernel_model("mgard-x", "V100")
+    assert bottleneck_chunk(model) == int(model.c_threshold)
+
+
+def test_bottleneck_chunk_monotone_in_ratio():
+    """Lower compression ratio → larger output copies → bigger floor."""
+    model = kernel_model("zfp-x", "V100")
+    assert bottleneck_chunk(model, ratio=2.0) >= bottleneck_chunk(model, ratio=10.0)
+
+
+def test_invalid_inputs():
+    model = kernel_model("mgard-x", "V100")
+    with pytest.raises(ValueError):
+        adaptive_schedule(0, model)
+    with pytest.raises(ValueError):
+        AdaptiveConfig(initial_chunk=0)
+    with pytest.raises(ValueError):
+        AdaptiveConfig(min_chunk=0)
+
+
+def test_adaptive_beats_fixed_for_compute_bound():
+    """Fig. 13's adaptive-vs-fixed claim for MGARD-class kernels."""
+    model = kernel_model("mgard-x", "V100", error_bound=1e-2)
+    total = int(4.3 * GB)
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    adaptive = run_adaptive_compression(dev, model, total, ratio=10)
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    fixed = ReductionPipeline(dev, model).run_compression(
+        chunk_sizes_for(total, 100 * MB), ratio=10
+    )
+    assert adaptive.throughput > 1.1 * fixed.throughput
+
+
+def test_adaptive_not_worse_for_transfer_bound():
+    model = kernel_model("zfp-x", "V100", error_bound=1e-2)
+    total = int(4.3 * GB)
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    adaptive = run_adaptive_compression(dev, model, total, ratio=4)
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    fixed = ReductionPipeline(dev, model).run_compression(
+        chunk_sizes_for(total, 100 * MB), ratio=4
+    )
+    assert adaptive.throughput >= 0.97 * fixed.throughput
+
+
+def test_single_chunk_when_total_small():
+    model = kernel_model("mgard-x", "V100")
+    sizes = adaptive_schedule(5 * MB, model)
+    assert sizes == [5 * MB]

@@ -1,0 +1,114 @@
+"""Context Memory Model: hash-map caching, persistence, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextCache, ReductionContext
+
+
+def test_buffer_persists_across_lookups():
+    ctx = ReductionContext(("k",))
+    b1 = ctx.buffer("work", (16,), np.float64)
+    b1[:] = 7.0
+    b2 = ctx.buffer("work", (16,), np.float64)
+    assert b1 is b2
+    assert ctx.alloc_count == 1
+
+
+def test_buffer_reallocates_on_shape_change():
+    ctx = ReductionContext(("k",))
+    ctx.buffer("work", (16,), np.float64)
+    b2 = ctx.buffer("work", (32,), np.float64)
+    assert b2.shape == (32,)
+    assert ctx.alloc_count == 2
+
+
+def test_buffer_reallocates_on_dtype_change():
+    ctx = ReductionContext(("k",))
+    ctx.buffer("work", (8,), np.float32)
+    b = ctx.buffer("work", (8,), np.float64)
+    assert b.dtype == np.float64
+    assert ctx.alloc_count == 2
+
+
+def test_alloc_hook_fires_on_real_allocations_only():
+    calls = []
+    ctx = ReductionContext(("k",))
+    ctx.buffer("a", (4,), np.float64, on_alloc=calls.append)
+    ctx.buffer("a", (4,), np.float64, on_alloc=calls.append)
+    assert calls == [32]
+
+
+def test_object_builder_runs_once():
+    ctx = ReductionContext(("k",))
+    built = []
+    obj1 = ctx.object("h", lambda: built.append(1) or "hierarchy")
+    obj2 = ctx.object("h", lambda: built.append(1) or "other")
+    assert obj1 == obj2 == "hierarchy"
+    assert built == [1]
+
+
+def test_cache_hit_miss_stats():
+    cache = ContextCache()
+    cache.get(("a",))
+    cache.get(("a",))
+    cache.get(("b",))
+    assert cache.hits == 1
+    assert cache.misses == 2
+    assert cache.hit_rate == pytest.approx(1 / 3)
+
+
+def test_cache_returns_same_context():
+    cache = ContextCache()
+    c1 = cache.get(("shape", "dtype"))
+    c1.buffer("x", (8,))
+    c2 = cache.get(("shape", "dtype"))
+    assert c1 is c2
+    assert "x" in c2
+
+
+def test_lru_eviction():
+    cache = ContextCache(capacity=2)
+    cache.get(("a",))
+    cache.get(("b",))
+    cache.get(("a",))   # refresh a
+    cache.get(("c",))   # evicts b
+    assert ("a",) in cache
+    assert ("b",) not in cache
+    assert ("c",) in cache
+    assert cache.evictions == 1
+
+
+def test_eviction_invokes_free_hook():
+    freed = []
+    cache = ContextCache(capacity=1, on_free=freed.append)
+    c1 = cache.get(("a",))
+    c1.buffer("buf", (100,), np.float64)
+    cache.get(("b",))
+    assert freed == [800]
+
+
+def test_clear_frees_everything():
+    freed = []
+    cache = ContextCache(on_free=freed.append)
+    cache.get(("a",)).buffer("x", (10,), np.float64)
+    cache.get(("b",)).buffer("y", (20,), np.float64)
+    cache.clear()
+    assert sorted(freed) == [80, 160]
+    assert len(cache) == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        ContextCache(capacity=0)
+
+
+def test_config_cache_key_distinguishes_settings():
+    from repro.core.config import Config, ErrorMode
+
+    base = Config(error_bound=1e-3)
+    assert base.cache_key((4, 4), np.float32) == base.cache_key((4, 4), np.float32)
+    assert base.cache_key((4, 4), np.float32) != base.cache_key((4, 4), np.float64)
+    assert base.cache_key((4, 4), np.float32) != base.cache_key((4, 5), np.float32)
+    other = Config(error_bound=1e-4)
+    assert base.cache_key((4, 4), np.float32) != other.cache_key((4, 4), np.float32)

@@ -1,0 +1,55 @@
+"""Stage-split pipeline traces."""
+
+from repro.core.pipeline import ReductionPipeline, chunk_sizes_for
+from repro.machine.device import SimDevice
+from repro.machine.engine import Simulator, TaskKind
+from repro.perf.models import STAGE_SPLIT, kernel_model
+
+GB = int(1e9)
+MB = int(1e6)
+
+
+def run(stage_split: bool, pipeline="mgard-x", direction="compress"):
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    model = kernel_model(pipeline, "V100")
+    p = ReductionPipeline(dev, model, stage_split=stage_split)
+    chunks = chunk_sizes_for(1 * GB, 200 * MB)
+    if direction == "compress":
+        return p.run_compression(chunks, ratio=8)
+    return p.run_reconstruction(chunks, ratio=8)
+
+
+def test_split_preserves_total_time():
+    assert abs(run(False).makespan - run(True).makespan) < 1e-12
+
+
+def test_split_emits_stage_tasks():
+    res = run(True)
+    names = {t.name.rsplit(".", 1)[-1] for t in res.trace.of_kind(TaskKind.COMPUTE)}
+    assert names == set(STAGE_SPLIT["mgard-x"])
+
+
+def test_split_stage_time_fractions():
+    res = run(True)
+    total = res.trace.total_time(TaskKind.COMPUTE)
+    for stage, frac in STAGE_SPLIT["mgard-x"].items():
+        t = sum(
+            x.end - x.start
+            for x in res.trace.of_kind(TaskKind.COMPUTE)
+            if x.name.endswith("." + stage)
+        )
+        assert abs(t / total - frac) < 1e-9
+
+
+def test_split_in_reconstruction():
+    res = run(True, direction="reconstruct")
+    assert any("." in t.name.split("]")[-1]
+               for t in res.trace.of_kind(TaskKind.COMPUTE))
+
+
+def test_split_for_every_modeled_pipeline():
+    for pipeline in STAGE_SPLIT:
+        if pipeline in ("mgard-x", "zfp-x", "huffman-x"):
+            res = run(True, pipeline=pipeline)
+            res.trace.validate()

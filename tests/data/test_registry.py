@@ -1,0 +1,55 @@
+"""Table III dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import DATASETS, get_dataset, load
+
+
+def test_table3_inventory():
+    assert set(DATASETS) == {"nyx", "xgc", "e3sm"}
+
+
+def test_nyx_row_matches_paper():
+    d = get_dataset("nyx")
+    assert d.field == "density"
+    assert d.full_shape == (512, 512, 512)
+    assert d.dtype == "float32"
+    assert d.full_size_label == "536.9 MB"
+
+
+def test_xgc_row_matches_paper():
+    d = get_dataset("xgc")
+    assert d.field == "e_f"
+    assert d.full_shape == (8, 33, 1_117_528, 37)
+    assert d.dtype == "float64"
+    assert d.full_size_label == "87.3 GB"
+
+
+def test_e3sm_row_matches_paper():
+    d = get_dataset("e3sm")
+    assert d.field == "PSL"
+    assert d.full_shape == (2880, 240, 960)
+    assert d.full_size_label == "2.7 GB"
+
+
+def test_load_scaled_default():
+    data = load("nyx")
+    assert data.shape == get_dataset("nyx").default_shape
+    assert data.dtype == np.float32
+
+
+def test_load_custom_shape_and_seed():
+    a = load("e3sm", shape=(4, 12, 24), seed=1)
+    b = load("e3sm", shape=(4, 12, 24), seed=2)
+    assert a.shape == (4, 12, 24)
+    assert not np.array_equal(a, b)
+
+
+def test_unknown_dataset():
+    with pytest.raises(KeyError):
+        get_dataset("hacc")
+
+
+def test_case_insensitive():
+    assert get_dataset("NYX") is get_dataset("nyx")

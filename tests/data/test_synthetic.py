@@ -1,0 +1,119 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    e3sm_like,
+    gaussian_random_field,
+    nyx_like,
+    xgc_like,
+)
+
+
+class TestGaussianRandomField:
+    def test_statistics(self):
+        f = gaussian_random_field((32, 32, 32), seed=1)
+        assert abs(f.mean()) < 0.1
+        assert f.std() == pytest.approx(1.0, rel=0.01)
+
+    def test_deterministic_per_seed(self):
+        a = gaussian_random_field((16, 16), seed=5)
+        b = gaussian_random_field((16, 16), seed=5)
+        c = gaussian_random_field((16, 16), seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_spectral_index_controls_smoothness(self):
+        """Steeper spectrum → smaller gradients (smoother field)."""
+        rough = gaussian_random_field((64, 64), spectral_index=-1.0, seed=0)
+        smooth = gaussian_random_field((64, 64), spectral_index=-4.0, seed=0)
+        g_rough = np.abs(np.diff(rough, axis=0)).mean()
+        g_smooth = np.abs(np.diff(smooth, axis=0)).mean()
+        assert g_smooth < g_rough
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((0, 4))
+
+    def test_1d_and_4d(self):
+        assert gaussian_random_field((100,)).shape == (100,)
+        assert gaussian_random_field((4, 5, 6, 7)).shape == (4, 5, 6, 7)
+
+
+class TestNyx:
+    def test_shape_dtype(self):
+        d = nyx_like((16, 16, 16))
+        assert d.shape == (16, 16, 16)
+        assert d.dtype == np.float32
+
+    def test_density_positive_mean_one(self):
+        d = nyx_like((24, 24, 24), seed=2)
+        assert np.all(d > 0)
+        assert d.mean() == pytest.approx(1.0, rel=0.01)
+
+    def test_lognormal_skew(self):
+        """Cosmological density: rare dense filaments → heavy right tail."""
+        d = nyx_like((32, 32, 32), seed=1)
+        assert d.max() / np.median(d) > 3
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            nyx_like((16, 16))
+
+    def test_compressible_by_mgard(self):
+        from repro import Config, ErrorMode, MGARDX
+
+        d = nyx_like((32, 32, 32), seed=0)
+        c = MGARDX(Config(error_bound=1e-2, error_mode=ErrorMode.REL))
+        assert c.compression_ratio(d, c.compress(d)) > 3
+
+
+class TestXgc:
+    def test_shape_dtype(self):
+        d = xgc_like((2, 8, 64, 8))
+        assert d.shape == (2, 8, 64, 8)
+        assert d.dtype == np.float64
+
+    def test_velocity_space_maxwellian_profile(self):
+        """f decays away from the flow velocity along v_par (axis 1)."""
+        d = xgc_like((2, 16, 32, 8), seed=0)
+        core = d[:, 7:9].mean()
+        edge = d[:, :2].mean()
+        assert core > 3 * edge
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            xgc_like((4, 4, 4))
+
+    def test_highly_compressible(self):
+        """XGC's v-space smoothness → very high MGARD ratios (the paper
+        reports XGC CR 9.1 at 1e-4; far higher at loose bounds)."""
+        from repro import Config, ErrorMode, MGARDX
+
+        d = xgc_like((2, 16, 128, 16), seed=0).astype(np.float64)
+        c = MGARDX(Config(error_bound=1e-2, error_mode=ErrorMode.REL))
+        assert c.compression_ratio(d, c.compress(d)) > 10
+
+
+class TestE3sm:
+    def test_shape_dtype(self):
+        d = e3sm_like((10, 20, 40))
+        assert d.shape == (10, 20, 40)
+        assert d.dtype == np.float32
+
+    def test_pressure_magnitude(self):
+        d = e3sm_like((8, 24, 48), seed=0)
+        assert 90_000 < d.mean() < 110_000  # sea-level pressure in Pa
+
+    def test_temporal_evolution(self):
+        """Waves move: successive time steps differ but correlate."""
+        d = e3sm_like((6, 24, 48), seed=0).astype(np.float64)
+        diff = np.abs(d[1] - d[0]).mean()
+        assert diff > 0
+        c = np.corrcoef(d[0].ravel(), d[1].ravel())[0, 1]
+        assert c > 0.9
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            e3sm_like((10, 10))

@@ -1,0 +1,115 @@
+"""BPWriter/BPReader aggregation engines."""
+
+import numpy as np
+import pytest
+
+from repro import Config, ErrorMode, MGARDX
+from repro.io.engine import BPReader, BPWriter
+
+
+def test_single_rank_roundtrip(tmp_path, rng):
+    w = BPWriter(tmp_path / "run", num_aggregators=1)
+    data = rng.normal(size=(8, 8))
+    w.put("u", data)
+    stats = w.close()
+    assert stats["subfiles"] == 1
+    r = BPReader(tmp_path / "run")
+    assert np.array_equal(r.get("u"), data)
+
+
+def test_multi_rank_aggregation(tmp_path, rng):
+    """12 ranks onto 4 aggregators (Summit-style: fewer writers)."""
+    w = BPWriter(tmp_path / "run", num_aggregators=4)
+    fields = {}
+    for rank in range(12):
+        data = rng.normal(size=(6,)) + rank
+        fields[rank] = data
+        w.put("u", data, rank=rank)
+    w.close()
+    r = BPReader(tmp_path / "run")
+    for rank, data in fields.items():
+        assert np.array_equal(r.get("u", rank=rank), data)
+    # Exactly 4 subfiles on disk.
+    assert len(list((tmp_path / "run").glob("data.*"))) == 4
+
+
+def test_variables_listing(tmp_path, rng):
+    w = BPWriter(tmp_path / "run", num_aggregators=2)
+    w.put("a", rng.normal(size=(2,)), rank=0)
+    w.put("b", rng.normal(size=(2,)), rank=1)
+    w.close()
+    r = BPReader(tmp_path / "run")
+    assert r.variables() == ["a@0", "b@1"]
+
+
+def test_reduced_variables_through_writer(tmp_path, smooth_2d):
+    cfg = Config(error_bound=1e-3, error_mode=ErrorMode.REL)
+    w = BPWriter(tmp_path / "run", num_aggregators=2)
+    for rank in range(4):
+        w.put("psl", smooth_2d, rank=rank, operator="mgard-x",
+              compressor=MGARDX(cfg))
+    stats = w.close()
+    assert stats["stored_bytes"] < stats["original_bytes"]
+    r = BPReader(tmp_path / "run")
+    back = r.get("psl", rank=3, compressor=MGARDX(cfg))
+    assert np.max(np.abs(back - smooth_2d)) <= 1e-3 * np.ptp(smooth_2d)
+
+
+def test_writer_close_only_once(tmp_path, rng):
+    w = BPWriter(tmp_path / "run")
+    w.put("x", rng.normal(size=(2,)))
+    w.close()
+    with pytest.raises(RuntimeError):
+        w.close()
+    with pytest.raises(RuntimeError):
+        w.put("y", rng.normal(size=(2,)))
+
+
+def test_reader_missing_index(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        BPReader(tmp_path / "nothing")
+
+
+def test_reader_missing_variable(tmp_path, rng):
+    w = BPWriter(tmp_path / "run")
+    w.put("x", rng.normal(size=(2,)))
+    w.close()
+    with pytest.raises(KeyError):
+        BPReader(tmp_path / "run").get("y")
+
+
+def test_invalid_aggregators(tmp_path):
+    with pytest.raises(ValueError):
+        BPWriter(tmp_path / "run", num_aggregators=0)
+
+
+def test_hyperslab_selection(tmp_path, rng):
+    w = BPWriter(tmp_path / "run")
+    data = rng.normal(size=(10, 12, 14))
+    w.put("u", data)
+    w.close()
+    r = BPReader(tmp_path / "run")
+    sel = (slice(2, 5), slice(None), slice(0, 7))
+    out = r.get("u", selection=sel)
+    assert np.array_equal(out, data[sel])
+    assert out.flags["C_CONTIGUOUS"]
+
+
+def test_hyperslab_on_reduced_variable(tmp_path, smooth_2d):
+    cfg = Config(error_bound=1e-3, error_mode=ErrorMode.REL)
+    w = BPWriter(tmp_path / "run")
+    w.put("psl", smooth_2d, operator="mgard-x", compressor=MGARDX(cfg))
+    w.close()
+    r = BPReader(tmp_path / "run")
+    out = r.get("psl", compressor=MGARDX(cfg), selection=(slice(0, 5),))
+    assert out.shape == (5, smooth_2d.shape[1])
+    assert np.max(np.abs(out - smooth_2d[:5])) <= 1e-3 * np.ptp(smooth_2d)
+
+
+def test_hyperslab_rank_validated(tmp_path, rng):
+    w = BPWriter(tmp_path / "run")
+    w.put("u", rng.normal(size=(4, 4)))
+    w.close()
+    r = BPReader(tmp_path / "run")
+    with pytest.raises(ValueError):
+        r.get("u", selection=(slice(None),) * 3)

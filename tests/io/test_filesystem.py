@@ -1,0 +1,56 @@
+"""Filesystem time models."""
+
+import pytest
+
+from repro.io.filesystem import IO_LATENCY_S, effective_bandwidth, io_time, system_io_time
+from repro.machine.topology import FRONTIER, SUMMIT
+
+TB = 1e12
+GB = 1e9
+
+
+def test_io_time_includes_latency():
+    fs = SUMMIT.filesystem
+    assert io_time(fs, 0, 1) == IO_LATENCY_S
+    t = io_time(fs, 1 * TB, 512)
+    assert t > IO_LATENCY_S
+
+
+def test_io_time_scales_with_volume():
+    fs = FRONTIER.filesystem
+    t1 = io_time(fs, 1 * TB, 1024)
+    t2 = io_time(fs, 2 * TB, 1024)
+    assert t2 > t1
+    assert (t2 - IO_LATENCY_S) == pytest.approx(2 * (t1 - IO_LATENCY_S))
+
+
+def test_more_writers_faster_until_peak():
+    fs = SUMMIT.filesystem
+    t_few = io_time(fs, 10 * TB, 8)
+    t_many = io_time(fs, 10 * TB, 512)
+    assert t_many < t_few
+
+
+def test_peak_bandwidth_reached_at_scale():
+    fs = SUMMIT.filesystem
+    # 512 writers × 12.5 GB/s = 6.4 TB/s raw > 2.5 TB/s peak: capped.
+    assert effective_bandwidth(fs, 512) == pytest.approx(2.5 * TB)
+
+
+def test_system_io_time_uses_tuned_aggregation():
+    # Frontier aggregates per GPU → 4× the writers of per-node.
+    t = system_io_time(FRONTIER, 128, 10 * TB)
+    assert t > 0
+    few_writers = io_time(FRONTIER.filesystem, 10 * TB, 128)
+    assert t <= few_writers
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        io_time(SUMMIT.filesystem, -1, 4)
+
+
+def test_writing_full_summit_dataset():
+    """Paper scale check: 23 TB over GPFS at 512 nodes ≈ 9-10 s."""
+    t = system_io_time(SUMMIT, 512, 23 * TB)
+    assert 8 < t < 12

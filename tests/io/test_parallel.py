@@ -1,0 +1,136 @@
+"""At-scale reduction and I/O simulations (Figs. 15-18 machinery)."""
+
+import pytest
+
+from repro.bench.methods import EVAL_METHODS, method_at_scale
+from repro.io.parallel import (
+    ReductionAtScale,
+    aggregate_reduction,
+    node_reduction_time,
+    strong_scaling_io,
+    weak_scaling_io,
+)
+from repro.machine.topology import FRONTIER, SUMMIT
+
+GB = int(1e9)
+TB = int(1e12)
+
+
+class TestNodeReduction:
+    def test_weak_scaling_efficiency_with_cmm(self):
+        m = EVAL_METHODS["mgard-x"]
+        t1 = node_reduction_time(SUMMIT, m, 2 * GB, num_gpus=1)
+        t6 = node_reduction_time(SUMMIT, m, 2 * GB, num_gpus=6)
+        assert t6 / t1 < 1.12  # near-ideal scaling
+
+    def test_no_cmm_contention_costs_scaling(self):
+        m = EVAL_METHODS["mgard-gpu"]
+        t1 = node_reduction_time(SUMMIT, m, 2 * GB, num_gpus=1)
+        t6 = node_reduction_time(SUMMIT, m, 2 * GB, num_gpus=6)
+        assert t6 / t1 > 1.25  # visible contention
+
+    def test_fig16_ordering(self):
+        """MGARD-X scales best; ZFP-CUDA/cuSZ worst (Fig. 16)."""
+        def avg_eff(m):
+            t1 = node_reduction_time(SUMMIT, m, 2 * GB, num_gpus=1)
+            effs = [
+                t1 / node_reduction_time(SUMMIT, m, 2 * GB, num_gpus=g)
+                for g in range(2, 7)
+            ]
+            return sum(effs) / len(effs)
+
+        mgx = avg_eff(EVAL_METHODS["mgard-x"])
+        mgg = avg_eff(EVAL_METHODS["mgard-gpu"])
+        zfc = avg_eff(EVAL_METHODS["zfp-cuda"])
+        csz = avg_eff(EVAL_METHODS["cusz"])
+        lz4 = avg_eff(EVAL_METHODS["nvcomp-lz4"])
+        assert mgx > 0.9
+        assert mgx > mgg > zfc
+        assert mgx > lz4 > csz
+        assert zfc < 0.65 and csz < 0.65
+
+    def test_decompress_path(self):
+        m = EVAL_METHODS["mgard-x"]
+        t = node_reduction_time(SUMMIT, m, 1 * GB, decompress=True)
+        assert t > 0
+
+    def test_invalid_gpus(self):
+        with pytest.raises(ValueError):
+            node_reduction_time(SUMMIT, EVAL_METHODS["mgard-x"], GB, num_gpus=0)
+
+
+class TestAggregate:
+    def test_fig15_headline_summit(self):
+        """MGARD-X ≈ 45 TB/s on 512 Summit nodes."""
+        agg = aggregate_reduction(SUMMIT, 512, EVAL_METHODS["mgard-x"], 7 * GB)
+        assert 35 * TB < agg < 60 * TB
+
+    def test_fig15_headline_frontier(self):
+        """MGARD-X ≈ 103 TB/s on 1,024 Frontier nodes."""
+        agg = aggregate_reduction(FRONTIER, 1024, EVAL_METHODS["mgard-x"], 15 * GB)
+        assert 85 * TB < agg < 125 * TB
+
+    def test_fig15_baseline_gap(self):
+        """Baselines land at a small fraction of MGARD-X (paper: 9-13
+        vs 45 TB/s on Summit)."""
+        mgx = aggregate_reduction(SUMMIT, 512, EVAL_METHODS["mgard-x"], 7 * GB)
+        for name in ("mgard-gpu", "cusz", "zfp-cuda", "nvcomp-lz4"):
+            base = aggregate_reduction(SUMMIT, 512, EVAL_METHODS[name], 7 * GB)
+            assert base < 0.45 * mgx, name
+
+    def test_linear_in_nodes(self):
+        m = EVAL_METHODS["mgard-x"]
+        a128 = aggregate_reduction(SUMMIT, 128, m, 2 * GB)
+        a512 = aggregate_reduction(SUMMIT, 512, m, 2 * GB)
+        assert a512 == pytest.approx(4 * a128)
+
+
+class TestWeakScalingIO:
+    def test_mgard_x_accelerates_io(self):
+        m = method_at_scale("mgard-x", ratio=20.0)
+        results = weak_scaling_io(SUMMIT, [64, 256, 512], m)
+        for r in results:
+            assert r.write_speedup > 3
+            assert r.read_speedup > 2
+
+    def test_lz4_fails_to_accelerate(self):
+        """Paper: NVCOMP-LZ4's 1.1× ratio cannot pay for its overhead."""
+        m = method_at_scale("nvcomp-lz4", ratio=1.1)
+        results = weak_scaling_io(SUMMIT, [512], m)
+        assert results[0].write_speedup < 1.0
+
+    def test_mgard_x_beats_mgard_gpu(self):
+        mx = weak_scaling_io(SUMMIT, [512], method_at_scale("mgard-x", ratio=20.0))[0]
+        mg = weak_scaling_io(SUMMIT, [512], method_at_scale("mgard-gpu", ratio=20.0))[0]
+        assert mx.write_speedup > mg.write_speedup
+        assert mx.read_speedup > mg.read_speedup
+
+    def test_ratio_reported(self):
+        m = method_at_scale("mgard-x", ratio=10.0)
+        r = weak_scaling_io(SUMMIT, [8], m, bytes_per_gpu=GB)[0]
+        assert r.ratio == pytest.approx(10.0, rel=0.01)
+        assert r.raw_bytes == 6 * GB * 8
+
+
+class TestStrongScalingIO:
+    def test_fixed_volume_split(self):
+        m = method_at_scale("mgard-x", ratio=7.9, error_bound=1e-4)
+        results = strong_scaling_io(FRONTIER, [512, 1024, 2048], m, 32 * TB)
+        assert results[0].raw_bytes >= results[1].raw_bytes
+        # More nodes → lower write time (both I/O share and reduction shrink)
+        assert results[-1].write_time < results[0].write_time
+
+    def test_fig18_mgard_x_accelerates_mgard_gpu_does_not(self):
+        """Fig. 18: MGARD-X 1.7-3.4× write acceleration; MGARD-GPU adds
+        overhead instead."""
+        e3sm_x = strong_scaling_io(
+            FRONTIER, [512, 1024, 2048],
+            method_at_scale("mgard-x", ratio=7.9, error_bound=1e-4), 32 * TB,
+            steps_per_gpu=64)
+        e3sm_g = strong_scaling_io(
+            FRONTIER, [512, 1024, 2048],
+            method_at_scale("mgard-gpu", ratio=7.9, error_bound=1e-4), 32 * TB,
+            steps_per_gpu=64)
+        for rx, rg in zip(e3sm_x, e3sm_g):
+            assert rx.write_speedup > 1.5
+            assert rg.write_speedup < 1.0  # extra overhead, as in the paper

@@ -1,0 +1,92 @@
+"""Step-based I/O (begin_step/end_step model)."""
+
+import numpy as np
+import pytest
+
+from repro import Config, ErrorMode, MGARDX
+from repro.io.steps import StepReader, StepWriter
+
+
+def test_step_roundtrip(tmp_path, rng):
+    fields = [rng.normal(size=(8, 10)) + i for i in range(4)]
+    w = StepWriter(tmp_path / "run")
+    for f in fields:
+        with w.step() as s:
+            s.put("u", f)
+    stats = w.close()
+    assert stats["steps"] == 4
+
+    r = StepReader(tmp_path / "run")
+    assert r.num_steps == 4
+    for i, f in enumerate(fields):
+        assert np.array_equal(r.get(i, "u"), f)
+
+
+def test_iter_steps(tmp_path, rng):
+    w = StepWriter(tmp_path / "run")
+    for i in range(3):
+        with w.step() as s:
+            s.put("v", np.full((4,), float(i)))
+    w.close()
+    r = StepReader(tmp_path / "run")
+    values = [v[0] for v in r.iter_steps("v")]
+    assert values == [0.0, 1.0, 2.0]
+
+
+def test_reduced_steps_multirank(tmp_path, smooth_2d):
+    cfg = Config(error_bound=1e-3, error_mode=ErrorMode.REL)
+    w = StepWriter(tmp_path / "run", num_aggregators=2)
+    for step in range(2):
+        with w.step() as s:
+            for rank in range(3):
+                s.put("psl", smooth_2d + rank, rank=rank,
+                      operator="mgard-x", compressor=MGARDX(cfg))
+    w.close()
+    r = StepReader(tmp_path / "run")
+    out = r.get(1, "psl", rank=2, compressor=MGARDX(cfg))
+    assert np.max(np.abs(out - (smooth_2d + 2))) <= 1e-3 * np.ptp(smooth_2d)
+
+
+def test_unclosed_step_blocks_new_step(tmp_path, rng):
+    w = StepWriter(tmp_path / "run")
+    s = w.step()
+    with pytest.raises(RuntimeError):
+        w.step()
+    with pytest.raises(RuntimeError):
+        w.close()
+    with s:
+        s.put("u", rng.normal(size=(2,)))
+    w.close()
+
+
+def test_failed_step_abandoned(tmp_path, rng):
+    w = StepWriter(tmp_path / "run")
+    with pytest.raises(RuntimeError, match="boom"):
+        with w.step() as s:
+            s.put("u", rng.normal(size=(2,)))
+            raise RuntimeError("boom")
+    # The failed step did not count; the writer stays usable.
+    with w.step() as s:
+        s.put("u", rng.normal(size=(2,)))
+    assert w.close()["steps"] == 1
+
+
+def test_step_out_of_range(tmp_path, rng):
+    w = StepWriter(tmp_path / "run")
+    with w.step() as s:
+        s.put("u", rng.normal(size=(2,)))
+    w.close()
+    r = StepReader(tmp_path / "run")
+    with pytest.raises(IndexError):
+        r.get(5, "u")
+
+
+def test_hyperslab_through_steps(tmp_path, rng):
+    data = rng.normal(size=(6, 8))
+    w = StepWriter(tmp_path / "run")
+    with w.step() as s:
+        s.put("u", data)
+    w.close()
+    r = StepReader(tmp_path / "run")
+    out = r.get(0, "u", selection=(slice(1, 3),))
+    assert np.array_equal(out, data[1:3])

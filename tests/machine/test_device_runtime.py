@@ -1,0 +1,119 @@
+"""SimDevice and SharedRuntime behaviour."""
+
+import pytest
+
+from repro.machine.device import SimDevice
+from repro.machine.engine import Simulator, TaskKind
+from repro.machine.runtime import SharedRuntime
+from repro.machine.specs import V100, get_processor
+
+
+def test_device_has_hdem_resources():
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    assert dev.dma_h2d.bandwidth == V100.link_h2d
+    assert dev.dma_d2h.bandwidth == V100.link_d2h
+    assert dev.compute_engine.bandwidth is None
+
+
+def test_h2d_d2h_use_separate_engines():
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    q1, q2 = dev.create_queues(2)
+    a = dev.h2d(int(50e9), q1)  # 1 second
+    b = dev.d2h(int(50e9), q2)
+    trace = sim.run()
+    assert trace.makespan == pytest.approx(1.0)  # overlapped
+
+
+def test_malloc_over_capacity_raises():
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    q = dev.create_queue()
+    with pytest.raises(MemoryError):
+        dev.malloc(int(17e9), q)  # V100 has 16 GB
+
+
+def test_malloc_free_accounting():
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    q = dev.create_queue()
+    dev.malloc(int(4e9), q)
+    assert dev.mem_in_use == pytest.approx(4e9)
+    dev.free(int(4e9), q)
+    assert dev.mem_in_use == 0.0
+
+
+def test_shared_runtime_serializes_allocs():
+    """Allocations from two devices on one runtime cannot overlap."""
+    sim = Simulator()
+    rt = SharedRuntime(sim, "node-rt")
+    d1 = SimDevice(sim, "V100", runtime=rt, index=0)
+    d2 = SimDevice(sim, "V100", runtime=rt, index=1)
+    q1 = d1.create_queue()
+    q2 = d2.create_queue()
+    a = d1.malloc(int(1e9), q1)
+    b = d2.malloc(int(1e9), q2)
+    sim.run()
+    assert a.end <= b.start or b.end <= a.start
+    assert rt.alloc_count == 2
+
+
+def test_private_runtimes_do_not_contend():
+    sim = Simulator()
+    d1 = SimDevice(sim, "V100", index=0)
+    d2 = SimDevice(sim, "V100", index=1)
+    a = d1.malloc(int(1e9), d1.create_queue())
+    b = d2.malloc(int(1e9), d2.create_queue())
+    sim.run()
+    assert a.start == b.start == 0.0
+
+
+def test_contention_increases_latency():
+    """Arbitration overhead grows with attached devices."""
+    def alloc_time(n_devices: int) -> float:
+        sim = Simulator()
+        rt = SharedRuntime(sim, "rt")
+        devs = [SimDevice(sim, "V100", runtime=rt, index=i) for i in range(n_devices)]
+        t = devs[0].malloc(int(1e9), devs[0].create_queue())
+        sim.run()
+        return t.end - t.start
+
+    assert alloc_time(6) > alloc_time(1)
+
+
+def test_free_cheaper_than_alloc():
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    q = dev.create_queue()
+    a = dev.malloc(int(1e9), q)
+    f = dev.free(int(1e9), q)
+    sim.run()
+    assert (f.end - f.start) < (a.end - a.start)
+
+
+def test_launch_arbitration_serializes():
+    sim = Simulator()
+    rt = SharedRuntime(sim, "rt")
+    d1 = SimDevice(sim, "V100", runtime=rt, index=0)
+    d2 = SimDevice(sim, "V100", runtime=rt, index=1)
+    a = rt.launch(d1, d1.create_queue())
+    b = rt.launch(d2, d2.create_queue())
+    sim.run()
+    assert a.end <= b.start or b.end <= a.start
+
+
+def test_serialize_rides_d2h_engine():
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    q = dev.create_queue()
+    s = dev.serialize(4096, q)
+    assert s.resource is dev.dma_d2h
+    d = dev.deserialize(4096, q)
+    assert d.resource is dev.dma_h2d
+
+
+def test_get_processor_case_insensitive():
+    assert get_processor("v100") is V100
+    with pytest.raises(KeyError):
+        get_processor("H100")

@@ -1,0 +1,188 @@
+"""Discrete-event engine: scheduling semantics and trace metrics."""
+
+import math
+
+import pytest
+
+from repro.machine.engine import Simulator, TaskKind, Trace
+
+
+def test_single_task_runs_immediately():
+    sim = Simulator()
+    r = sim.resource("r")
+    q = sim.queue("q")
+    t = sim.submit("t", TaskKind.COMPUTE, r, q, duration=2.0)
+    trace = sim.run()
+    assert t.start == 0.0
+    assert t.end == 2.0
+    assert trace.makespan == 2.0
+
+
+def test_queue_preserves_submission_order():
+    sim = Simulator()
+    r1, r2 = sim.resource("r1"), sim.resource("r2")
+    q = sim.queue("q")
+    a = sim.submit("a", TaskKind.COMPUTE, r1, q, duration=1.0)
+    b = sim.submit("b", TaskKind.COMPUTE, r2, q, duration=1.0)
+    sim.run()
+    # b is on a different resource but same queue: starts after a.
+    assert b.start >= a.end
+
+
+def test_resource_exclusive_across_queues():
+    sim = Simulator()
+    r = sim.resource("dma")
+    q1, q2 = sim.queue("q1"), sim.queue("q2")
+    a = sim.submit("a", TaskKind.H2D, r, q1, duration=3.0)
+    b = sim.submit("b", TaskKind.H2D, r, q2, duration=3.0)
+    sim.run()
+    assert {a.start, b.start} == {0.0, 3.0}
+
+
+def test_dependency_enforced_across_queues():
+    sim = Simulator()
+    r1, r2 = sim.resource("r1"), sim.resource("r2")
+    q1, q2 = sim.queue("q1"), sim.queue("q2")
+    a = sim.submit("a", TaskKind.COMPUTE, r1, q1, duration=5.0)
+    b = sim.submit("b", TaskKind.COMPUTE, r2, q2, duration=1.0, deps=[a])
+    sim.run()
+    assert b.start >= a.end
+
+
+def test_bandwidth_derived_duration():
+    sim = Simulator()
+    r = sim.resource("dma", bandwidth=100.0)
+    q = sim.queue("q")
+    t = sim.submit("t", TaskKind.H2D, r, q, nbytes=250)
+    sim.run()
+    assert t.end - t.start == pytest.approx(2.5)
+
+
+def test_duration_requires_bandwidth_or_explicit():
+    sim = Simulator()
+    r = sim.resource("r")  # no bandwidth
+    q = sim.queue("q")
+    with pytest.raises(ValueError):
+        sim.submit("t", TaskKind.H2D, r, q, nbytes=100)
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    r = sim.resource("r")
+    q = sim.queue("q")
+    with pytest.raises(ValueError):
+        sim.submit("t", TaskKind.COMPUTE, r, q, duration=-1.0)
+
+
+def test_deadlock_detected():
+    sim = Simulator()
+    r = sim.resource("r")
+    q1, q2 = sim.queue("q1"), sim.queue("q2")
+    a = sim.submit("a", TaskKind.COMPUTE, r, q1, duration=1.0)
+    b = sim.submit("b", TaskKind.COMPUTE, r, q2, duration=1.0)
+    # Cycle: a depends on b, b depends on a.
+    a.add_dep(b)
+    b.add_dep(a)
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run()
+
+
+def test_two_dma_engines_overlap():
+    """H2D and D2H on separate engines overlap; overlap_ratio sees it."""
+    sim = Simulator()
+    h2d = sim.resource("h2d", bandwidth=1.0)
+    d2h = sim.resource("d2h", bandwidth=1.0)
+    q1, q2 = sim.queue("q1"), sim.queue("q2")
+    sim.submit("in", TaskKind.H2D, h2d, q1, duration=4.0)
+    sim.submit("out", TaskKind.D2H, d2h, q2, duration=4.0)
+    trace = sim.run()
+    assert trace.makespan == 4.0
+    assert trace.overlap_ratio() == pytest.approx(1.0)
+
+
+def test_overlap_ratio_zero_when_serial():
+    sim = Simulator()
+    h2d = sim.resource("h2d")
+    d2h = sim.resource("d2h")
+    q = sim.queue("q")
+    sim.submit("in", TaskKind.H2D, h2d, q, duration=2.0)
+    sim.submit("out", TaskKind.D2H, d2h, q, duration=2.0)
+    trace = sim.run()
+    assert trace.overlap_ratio() == 0.0
+
+
+def test_hidden_copy_ratio():
+    sim = Simulator()
+    h2d = sim.resource("h2d")
+    comp = sim.resource("comp")
+    q1, q2 = sim.queue("q1"), sim.queue("q2")
+    sim.submit("k", TaskKind.COMPUTE, comp, q1, duration=10.0)
+    sim.submit("c", TaskKind.H2D, h2d, q2, duration=4.0)
+    trace = sim.run()
+    assert trace.hidden_copy_ratio() == pytest.approx(1.0)
+
+
+def test_breakdown_sums_busy_time():
+    sim = Simulator()
+    r = sim.resource("r")
+    q = sim.queue("q")
+    sim.submit("a", TaskKind.H2D, r, q, duration=1.0)
+    sim.submit("b", TaskKind.COMPUTE, r, q, duration=2.0)
+    sim.submit("c", TaskKind.D2H, r, q, duration=3.0)
+    trace = sim.run()
+    bd = trace.breakdown()
+    assert bd == {"h2d": 1.0, "compute": 2.0, "d2h": 3.0}
+
+
+def test_utilization():
+    sim = Simulator()
+    r = sim.resource("busy")
+    idle = sim.resource("idle")
+    q = sim.queue("q")
+    sim.submit("a", TaskKind.COMPUTE, r, q, duration=2.0)
+    sim.submit("b", TaskKind.COMPUTE, idle, q, duration=2.0)
+    trace = sim.run()
+    assert trace.utilization(r) == pytest.approx(0.5)
+
+
+def test_validate_catches_dependency_violation():
+    sim = Simulator()
+    r = sim.resource("r")
+    q = sim.queue("q")
+    a = sim.submit("a", TaskKind.COMPUTE, r, q, duration=1.0)
+    trace = sim.run()
+    # Forge an inconsistent trace.
+    a.deps.append(a)
+    with pytest.raises(AssertionError):
+        trace.validate()
+
+
+def test_reset_clears_state():
+    sim = Simulator()
+    r = sim.resource("r")
+    q = sim.queue("q")
+    sim.submit("a", TaskKind.COMPUTE, r, q, duration=1.0)
+    sim.run()
+    sim.reset()
+    assert r.busy_until == 0.0
+    assert not q.pending
+    t = sim.submit("b", TaskKind.COMPUTE, r, q, duration=1.0)
+    sim.run()
+    assert t.start == 0.0
+
+
+def test_empty_simulation():
+    sim = Simulator()
+    trace = sim.run()
+    assert trace.makespan == 0.0
+    assert trace.tasks == []
+
+
+def test_fifo_tie_break_is_submission_order():
+    sim = Simulator()
+    r = sim.resource("r")
+    q1, q2 = sim.queue("q1"), sim.queue("q2")
+    a = sim.submit("a", TaskKind.COMPUTE, r, q1, duration=1.0)
+    b = sim.submit("b", TaskKind.COMPUTE, r, q2, duration=1.0)
+    sim.run()
+    assert a.start < b.start

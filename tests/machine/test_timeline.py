@@ -1,0 +1,56 @@
+"""Trace timeline rendering."""
+
+import pytest
+
+from repro.core.pipeline import ReductionPipeline, chunk_sizes_for
+from repro.machine.device import SimDevice
+from repro.machine.engine import Simulator, TaskKind, Trace
+from repro.machine.timeline import render_timeline, utilization_summary
+from repro.perf.models import kernel_model
+
+
+def make_trace() -> Trace:
+    sim = Simulator()
+    dev = SimDevice(sim, "V100")
+    model = kernel_model("mgard-x", "V100")
+    pipe = ReductionPipeline(dev, model)
+    return pipe.run_compression(chunk_sizes_for(int(1e9), int(2e8)), ratio=8).trace
+
+
+def test_renders_all_resources():
+    text = render_timeline(make_trace())
+    assert "dma_h2d" in text
+    assert "compute" in text
+    assert "dma_d2h" in text
+
+
+def test_busy_percentages_present():
+    text = render_timeline(make_trace())
+    assert "%" in text
+    # Compute engine should be the busiest for MGARD (compute-bound).
+    util = utilization_summary(make_trace())
+    compute = [v for k, v in util.items() if "compute" in k][0]
+    h2d = [v for k, v in util.items() if "dma_h2d" in k][0]
+    assert compute > h2d
+
+
+def test_legend_lists_present_kinds():
+    text = render_timeline(make_trace())
+    assert "compute" in text.splitlines()[-1]
+
+
+def test_empty_trace():
+    assert render_timeline(Trace([])) == "(empty trace)"
+    assert utilization_summary(Trace([])) == {}
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        render_timeline(make_trace(), width=4)
+
+
+def test_custom_width():
+    text = render_timeline(make_trace(), width=30)
+    row = text.splitlines()[1]
+    bar = row.split("|")[1]
+    assert len(bar) == 30

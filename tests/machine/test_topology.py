@@ -1,0 +1,85 @@
+"""System topologies and filesystem bandwidth models."""
+
+import pytest
+
+from repro.machine.topology import (
+    FRONTIER,
+    JETSTREAM2,
+    SUMMIT,
+    WORKSTATION,
+    FilesystemSpec,
+    get_system,
+)
+
+
+def test_summit_matches_paper():
+    assert SUMMIT.num_nodes == 4608
+    assert SUMMIT.node.gpus_per_node == 6
+    assert SUMMIT.node.gpus[0].name == "V100"
+    assert SUMMIT.filesystem.peak_bandwidth == pytest.approx(2.5e12)
+    assert SUMMIT.aggregation == "node"
+
+
+def test_frontier_matches_paper():
+    assert FRONTIER.num_nodes == 9408
+    assert FRONTIER.node.gpus_per_node == 4
+    assert FRONTIER.node.gpus[0].name == "MI250X"
+    assert FRONTIER.filesystem.peak_bandwidth == pytest.approx(9.4e12)
+    assert FRONTIER.aggregation == "gpu"
+
+
+def test_jetstream2_and_workstation():
+    assert JETSTREAM2.node.gpus[0].name == "A100"
+    assert JETSTREAM2.num_nodes == 90
+    assert WORKSTATION.node.gpus[0].name == "RTX3090"
+
+
+def test_writers_follow_aggregation_strategy():
+    # One writer per node on Summit; one per GPU on Frontier.
+    assert SUMMIT.writers(512) == 512
+    assert FRONTIER.writers(1024) == 4096
+
+
+def test_writers_rejects_excess_nodes():
+    with pytest.raises(ValueError):
+        SUMMIT.writers(SUMMIT.num_nodes + 1)
+    with pytest.raises(ValueError):
+        SUMMIT.writers(0)
+
+
+def test_total_gpus():
+    assert SUMMIT.total_gpus(512) == 3072  # the paper's 3,072 V100s
+    assert FRONTIER.total_gpus(1024) == 4096
+
+
+def test_fs_bandwidth_caps_at_peak():
+    fs = SUMMIT.filesystem
+    assert fs.effective_bandwidth(1) == pytest.approx(fs.per_node_bandwidth)
+    many = fs.effective_bandwidth(4096)
+    assert many <= fs.peak_bandwidth
+
+
+def test_fs_bandwidth_monotonic_then_saturates():
+    fs = FRONTIER.filesystem
+    b = [fs.effective_bandwidth(n) for n in (1, 16, 256, 1024)]
+    assert all(x <= y * 1.0001 for x, y in zip(b, b[1:]))
+
+
+def test_fs_contention_beyond_knee():
+    fs = FilesystemSpec("t", 1e12, 1e9, contention_knee=10, contention_floor=0.5)
+    at_knee = fs.effective_bandwidth(10)
+    past = fs.effective_bandwidth(1000)
+    # raw caps at peak either way; efficiency decays past the knee
+    assert past <= at_knee * 1.0001 or past < 1e12
+
+
+def test_fs_invalid_writers():
+    with pytest.raises(ValueError):
+        SUMMIT.filesystem.effective_bandwidth(0)
+
+
+def test_get_system():
+    assert get_system("summit") is SUMMIT
+    assert get_system("FRONTIER") is FRONTIER
+    with pytest.raises(KeyError):
+        get_system("aurora")

@@ -1,0 +1,106 @@
+"""Calibrated kernel models: Fig. 12 shapes, Φ behaviour, eb factor."""
+
+import pytest
+
+from repro.machine.specs import FIG12_PROCESSORS
+from repro.perf.models import (
+    STAGE_SPLIT,
+    kernel_model,
+    kernel_throughput,
+    list_pipelines,
+    supported_processors,
+)
+
+GB = 1e9
+
+
+def test_fig12_gpu_throughput_ranges():
+    """Paper: up to 45 / 210 / 150 GB/s on GPUs for the three kernels."""
+    gpus = [p for p in FIG12_PROCESSORS if p != "EPYC7713"]
+    mg = max(kernel_throughput("mgard-x", g) for g in gpus)
+    zf = max(kernel_throughput("zfp-x", g) for g in gpus)
+    hf = max(kernel_throughput("huffman-x", g) for g in gpus)
+    assert 40 * GB <= mg <= 50 * GB
+    assert 190 * GB <= zf <= 230 * GB
+    assert 130 * GB <= hf <= 170 * GB
+
+
+def test_fig12_cpu_throughputs():
+    """Paper: up to 2 / 18 / 48 GB/s on CPUs."""
+    assert kernel_throughput("mgard-x", "EPYC7713") == pytest.approx(2 * GB)
+    assert kernel_throughput("zfp-x", "EPYC7713") == pytest.approx(18 * GB)
+    assert kernel_throughput("huffman-x", "EPYC7713") == pytest.approx(48 * GB)
+
+
+def test_ordering_zfp_fastest_mgard_slowest():
+    for proc in FIG12_PROCESSORS:
+        mg = kernel_throughput("mgard-x", proc)
+        zf = kernel_throughput("zfp-x", proc)
+        hf = kernel_throughput("huffman-x", proc)
+        assert mg < hf < zf or mg < zf  # MGARD always the heaviest
+
+
+def test_phi_ramp_then_plateau():
+    m = kernel_model("mgard-x", "V100")
+    small = m.phi(1e6)
+    mid = m.phi(m.c_threshold / 2)
+    sat = m.phi(m.c_threshold * 2)
+    assert small < mid < sat
+    assert sat == m.gamma
+    assert m.phi(m.c_threshold * 10) == sat
+
+
+def test_phi_floor_at_zero_chunk():
+    m = kernel_model("zfp-x", "A100")
+    assert m.phi(0) == pytest.approx(m.ramp_floor * m.gamma)
+
+
+def test_kernel_time_inverse_of_phi():
+    m = kernel_model("huffman-x", "V100")
+    c = 64e6
+    assert m.kernel_time(c) == pytest.approx(c / m.phi(c))
+
+
+def test_theta_linear_in_time():
+    m = kernel_model("mgard-x", "V100")
+    assert m.theta(2.0) == pytest.approx(2 * m.processor.link_h2d)
+
+
+def test_error_bound_factor_direction():
+    loose = kernel_throughput("mgard-x", "V100", error_bound=1e-2)
+    mid = kernel_throughput("mgard-x", "V100", error_bound=1e-4)
+    tight = kernel_throughput("mgard-x", "V100", error_bound=1e-6)
+    assert loose > mid > tight
+
+
+def test_decompress_factor():
+    c = kernel_throughput("mgard-x", "V100")
+    d = kernel_throughput("mgard-x", "V100", decompress=True)
+    assert d < c  # recomposition slower (tridiagonal solves)
+    z = kernel_throughput("zfp-x", "V100", decompress=True)
+    assert z > kernel_throughput("zfp-x", "V100")  # zfp decode faster
+
+
+def test_unsupported_combinations_raise():
+    with pytest.raises(KeyError):
+        kernel_model("zfp-cuda", "MI250X")
+    with pytest.raises(KeyError):
+        kernel_model("unknown-algo", "V100")
+
+
+def test_supported_processors():
+    assert "MI250X" in supported_processors("mgard-x")
+    assert "MI250X" not in supported_processors("cusz")
+    with pytest.raises(KeyError):
+        supported_processors("nope")
+
+
+def test_list_pipelines_complete():
+    have = set(list_pipelines())
+    assert {"mgard-x", "zfp-x", "huffman-x", "mgard-gpu",
+            "zfp-cuda", "cusz", "nvcomp-lz4"} <= have
+
+
+def test_stage_splits_sum_to_one():
+    for name, split in STAGE_SPLIT.items():
+        assert sum(split.values()) == pytest.approx(1.0), name

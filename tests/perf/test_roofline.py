@@ -1,0 +1,92 @@
+"""Fig. 11 roofline fitting."""
+
+import numpy as np
+import pytest
+
+from repro.perf.models import kernel_model
+from repro.perf.roofline import RooflineModel, fit_roofline, profile_points
+
+MB = 1e6
+
+
+def synthetic_profile(gamma=30e9, c_th=128e6, floor=0.05):
+    chunks = np.array([1, 2, 4, 8, 16, 32, 64, 128, 256, 512]) * MB
+    phi = np.where(
+        chunks >= c_th,
+        gamma,
+        (floor + (1 - floor) * chunks / c_th) * gamma,
+    )
+    return chunks, phi
+
+
+def test_fit_recovers_plateau():
+    chunks, phi = synthetic_profile()
+    m = fit_roofline(chunks, phi)
+    assert m.gamma == pytest.approx(30e9)
+    assert m.c_threshold <= 128 * MB * 1.01
+
+
+def test_fit_ramp_slope_positive():
+    chunks, phi = synthetic_profile()
+    m = fit_roofline(chunks, phi)
+    assert m.alpha > 0
+    # Ramp predictions close to truth at a mid chunk.
+    mid = 32 * MB
+    truth = (0.05 + 0.95 * mid / (128 * MB)) * 30e9
+    assert m.phi(mid) == pytest.approx(truth, rel=0.15)
+
+
+def test_predict_vectorized_monotone():
+    chunks, phi = synthetic_profile()
+    m = fit_roofline(chunks, phi)
+    xs = np.linspace(1 * MB, 600 * MB, 50)
+    ys = m.predict(xs)
+    assert np.all(np.diff(ys) >= -1e-6)
+    assert ys[-1] == pytest.approx(m.gamma)
+
+
+def test_fit_on_calibrated_model_round_trips():
+    """Fitting the simulator's own Φ must recover it closely — this is
+    exactly the paper's profiling procedure."""
+    km = kernel_model("mgard-x", "V100")
+    chunks = np.array([4, 8, 16, 32, 64, 128, 256, 512, 1024]) * MB
+    c, p = profile_points(km.phi, chunks)
+    m = fit_roofline(c, p)
+    assert m.gamma == pytest.approx(km.gamma, rel=0.01)
+    for test_chunk in (16 * MB, 64 * MB, 300 * MB):
+        assert m.phi(test_chunk) == pytest.approx(km.phi(test_chunk), rel=0.25)
+
+
+def test_all_saturated_flat_model():
+    chunks = np.array([256, 512, 1024]) * MB
+    phi = np.full(3, 10e9)
+    m = fit_roofline(chunks, phi)
+    assert m.phi(1 * MB) == pytest.approx(10e9)
+
+
+def test_ramp_cutoff_excludes_launch_dominated_points():
+    """Tiny chunks below f·γ are excluded from the fit (paper: f=0.1)."""
+    chunks, phi = synthetic_profile()
+    phi = phi.copy()
+    phi[0] = 0.001 * 30e9  # pathological tiny-chunk point
+    m = fit_roofline(chunks, phi, ramp_cutoff=0.1)
+    assert m.alpha > 0
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        fit_roofline(np.array([1.0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        fit_roofline(np.array([1.0, 2.0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        fit_roofline(np.array([1.0, -2.0]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        fit_roofline(np.array([[1.0, 2.0]]), np.array([[1.0, 2.0]]))
+
+
+def test_single_ramp_point_line_through_knee():
+    chunks = np.array([32, 256, 512]) * MB
+    phi = np.array([10e9, 30e9, 30e9])
+    m = fit_roofline(chunks, phi)
+    assert m.phi(32 * MB) == pytest.approx(10e9, rel=0.05)
+    assert m.gamma == pytest.approx(30e9)

@@ -1,0 +1,65 @@
+"""Property-based tests: adaptive chunk scheduling invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveConfig, adaptive_schedule, bottleneck_chunk
+from repro.perf.models import kernel_model, list_pipelines
+from repro.machine.specs import GPU_SPECS
+
+MB = int(1e6)
+GB = int(1e9)
+
+pipelines = st.sampled_from(["mgard-x", "zfp-x", "huffman-x"])
+processors = st.sampled_from(sorted(GPU_SPECS))
+
+
+@given(
+    total=st.integers(1, 20 * GB),
+    pipeline=pipelines,
+    proc=processors,
+    init=st.integers(1 * MB, 256 * MB),
+    ratio=st.floats(1.1, 100.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_schedule_partitions_total(total, pipeline, proc, init, ratio):
+    model = kernel_model(pipeline, proc)
+    cfg = AdaptiveConfig(initial_chunk=init)
+    sizes = adaptive_schedule(total, model, cfg, ratio=ratio)
+    assert sum(sizes) == total
+    assert all(s > 0 for s in sizes)
+
+
+@given(
+    total=st.integers(1 * GB, 20 * GB),
+    pipeline=pipelines,
+    proc=processors,
+    limit=st.integers(64 * MB, 2 * GB),
+)
+@settings(max_examples=60, deadline=None)
+def test_schedule_respects_limit(total, pipeline, proc, limit):
+    model = kernel_model(pipeline, proc)
+    cfg = AdaptiveConfig(max_chunk=limit)
+    sizes = adaptive_schedule(total, model, cfg)
+    assert max(sizes) <= limit
+
+
+@given(pipeline=pipelines, proc=processors,
+       ratio=st.floats(1.1, 100.0))
+@settings(max_examples=60, deadline=None)
+def test_bottleneck_chunk_bounded(pipeline, proc, ratio):
+    model = kernel_model(pipeline, proc)
+    c = bottleneck_chunk(model, ratio)
+    assert 0 <= c <= model.c_threshold
+
+
+@given(pipeline=pipelines, proc=processors)
+@settings(max_examples=40, deadline=None)
+def test_steady_state_chunks_do_not_shrink(pipeline, proc):
+    """After the ramp-up, chunks never fall below the floor — no
+    occupancy-collapse regression in the steady state."""
+    model = kernel_model(pipeline, proc)
+    sizes = adaptive_schedule(30 * GB, model, ratio=8.0)
+    if len(sizes) > 3:
+        steady = sizes[1:-1]
+        assert min(steady) >= min(steady[0], bottleneck_chunk(model, 8.0))

@@ -1,0 +1,81 @@
+"""Property-based tests: discrete-event engine schedule invariants.
+
+Random task graphs (random queues, resources, chain dependencies) must
+always produce a valid schedule: queue order respected, resources
+exclusive, dependencies satisfied, makespan bounded by total work.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.abstractions import blockize, unblockize
+from repro.machine.engine import Simulator, TaskKind
+
+
+@st.composite
+def task_graphs(draw):
+    n_tasks = draw(st.integers(1, 30))
+    n_queues = draw(st.integers(1, 4))
+    n_resources = draw(st.integers(1, 4))
+    specs = []
+    for i in range(n_tasks):
+        specs.append(
+            dict(
+                queue=draw(st.integers(0, n_queues - 1)),
+                resource=draw(st.integers(0, n_resources - 1)),
+                duration=draw(
+                    st.floats(min_value=0.001, max_value=10.0,
+                              allow_nan=False, allow_infinity=False)
+                ),
+                # dependencies only on earlier tasks → acyclic
+                deps=draw(
+                    st.lists(st.integers(0, i - 1), max_size=3, unique=True)
+                )
+                if i > 0
+                else [],
+            )
+        )
+    return n_queues, n_resources, specs
+
+
+@given(graph=task_graphs())
+@settings(max_examples=80, deadline=None)
+def test_random_dags_schedule_validly(graph):
+    n_queues, n_resources, specs = graph
+    sim = Simulator()
+    queues = [sim.queue(f"q{i}") for i in range(n_queues)]
+    resources = [sim.resource(f"r{i}") for i in range(n_resources)]
+    tasks = []
+    for i, s in enumerate(specs):
+        t = sim.submit(
+            f"t{i}",
+            TaskKind.COMPUTE,
+            resources[s["resource"]],
+            queues[s["queue"]],
+            duration=s["duration"],
+            deps=[tasks[d] for d in s["deps"]],
+        )
+        tasks.append(t)
+    trace = sim.run()
+    trace.validate()  # raises on any invariant violation
+    total_work = sum(s["duration"] for s in specs)
+    assert trace.makespan <= total_work + 1e-9
+    # Work conservation: busy time equals submitted durations.
+    assert sum(t.end - t.start for t in trace.tasks) <= total_work + 1e-6
+
+
+@given(
+    shape=st.lists(st.integers(1, 12), min_size=1, max_size=3),
+    block=st.integers(1, 5),
+    halo=st.integers(0, 2),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=80, deadline=None)
+def test_blockize_unblockize_roundtrip(shape, block, halo, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=tuple(shape))
+    block_shape = tuple(min(block, n) if halo == 0 else block for n in shape)
+    batch, grid = blockize(data, block_shape, halo=halo)
+    back = unblockize(batch, grid, data.shape, halo=halo)
+    assert np.array_equal(back, data)

@@ -1,0 +1,73 @@
+"""Property-based tests: Huffman coding invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compressors.huffman import HuffmanX, build_codebook, huffman_code_lengths
+from repro.compressors.huffman.codebook import MAX_CODE_LENGTH
+
+key_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 600),
+    elements=st.integers(0, 63),
+)
+
+frequency_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 128),
+    elements=st.integers(0, 10_000),
+)
+
+
+@given(keys=key_arrays)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_lossless(keys):
+    h = HuffmanX(chunk_size=64)
+    assert np.array_equal(h.decompress_keys(h.compress_keys(keys, 64)), keys)
+
+
+@given(freqs=frequency_arrays)
+@settings(max_examples=100, deadline=None)
+def test_kraft_inequality_always_holds(freqs):
+    lengths = huffman_code_lengths(freqs)
+    used = lengths[lengths > 0].astype(np.float64)
+    if used.size:
+        assert np.sum(2.0 ** -used) <= 1.0 + 1e-12
+    assert lengths.max(initial=0) <= MAX_CODE_LENGTH
+
+
+@given(freqs=frequency_arrays)
+@settings(max_examples=60, deadline=None)
+def test_prefix_freeness(freqs):
+    book = build_codebook(freqs)
+    used = np.flatnonzero(book.lengths)
+    codes = [format(book.codes[s], f"0{book.lengths[s]}b") for s in used]
+    codes.sort()
+    for a, b in zip(codes, codes[1:]):
+        assert not b.startswith(a)
+
+
+@given(freqs=frequency_arrays)
+@settings(max_examples=60, deadline=None)
+def test_monotone_lengths_vs_frequency(freqs):
+    """More frequent symbols never get longer codes (optimality)."""
+    lengths = huffman_code_lengths(freqs)
+    used = np.flatnonzero(freqs)
+    for i in used:
+        for j in used:
+            if freqs[i] > freqs[j]:
+                assert lengths[i] <= lengths[j]
+
+
+@given(
+    data=arrays(
+        dtype=np.uint8, shape=st.integers(0, 400), elements=st.integers(0, 255)
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_byte_level_lossless(data):
+    h = HuffmanX(chunk_size=128)
+    back = h.decompress(h.compress(data))
+    assert np.array_equal(back, data)

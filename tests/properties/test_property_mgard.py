@@ -1,0 +1,65 @@
+"""Property-based tests: MGARD invariants (transform exactness and the
+error-bound guarantee)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import Config, ErrorMode, MGARDX
+from repro.compressors.mgard.decompose import decompose, recompose
+from repro.compressors.mgard.hierarchy import Hierarchy
+from repro.compressors.mgard.quantize import from_symbols, to_symbols
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+small_fields = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=2, max_side=14),
+    elements=finite_floats,
+)
+
+
+@given(data=small_fields)
+@settings(max_examples=40, deadline=None)
+def test_decompose_recompose_identity(data):
+    h = Hierarchy(data.shape)
+    coeffs, coarsest = decompose(data, h)
+    back = recompose(coeffs, coarsest, h)
+    scale = max(1.0, np.abs(data).max())
+    assert np.max(np.abs(back - data)) <= 1e-8 * scale
+
+
+@given(data=small_fields, eb=st.floats(min_value=1e-4, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_absolute_error_bound_holds(data, eb):
+    scale = max(1.0, np.abs(data).max())
+    bound = eb * scale
+    c = MGARDX(Config(error_bound=bound, error_mode=ErrorMode.ABS))
+    blob = c.compress(data)
+    assert c.max_error(data, blob) <= bound * (1 + 1e-9)
+
+
+@given(
+    q=arrays(
+        dtype=np.int64,
+        shape=st.integers(0, 300),
+        elements=st.integers(-(2**40), 2**40),
+    ),
+    dict_size=st.sampled_from([2, 16, 256, 4096]),
+)
+@settings(max_examples=60, deadline=None)
+def test_symbol_mapping_roundtrip(q, dict_size):
+    syms, outliers = to_symbols(q, dict_size)
+    assert np.all(syms >= 0) and np.all(syms < dict_size)
+    assert np.array_equal(from_symbols(syms, outliers), q)
+
+
+@given(data=small_fields)
+@settings(max_examples=25, deadline=None)
+def test_coefficient_count_invariant(data):
+    h = Hierarchy(data.shape)
+    coeffs, coarsest = decompose(data, h)
+    assert sum(c.size for c in coeffs) + coarsest.size == data.size

@@ -1,0 +1,108 @@
+"""Quality metrics and rate-distortion sweeps."""
+
+import numpy as np
+import pytest
+
+from repro import Config, ErrorMode, MGARDX, SZ, ZFPX
+from repro.analysis import (
+    RatePoint,
+    max_abs_error,
+    preserved_gradient_error,
+    preserved_mean_error,
+    psnr,
+    rate_distortion,
+    rmse,
+)
+
+
+class TestMetrics:
+    def test_exact_reconstruction(self, rng):
+        a = rng.normal(size=(10, 10))
+        assert max_abs_error(a, a) == 0.0
+        assert rmse(a, a) == 0.0
+        assert psnr(a, a) == float("inf")
+        assert preserved_mean_error(a, a) == 0.0
+        assert preserved_gradient_error(a, a) == 0.0
+
+    def test_known_error(self):
+        a = np.zeros((4,))
+        b = np.array([0.0, 0.0, 0.0, 1.0])
+        assert max_abs_error(a, b) == 1.0
+        assert rmse(a, b) == pytest.approx(0.5)
+
+    def test_psnr_decreases_with_noise(self, rng):
+        a = rng.normal(size=(32, 32))
+        small = a + 1e-4 * rng.normal(size=a.shape)
+        large = a + 1e-1 * rng.normal(size=a.shape)
+        assert psnr(a, small) > psnr(a, large)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            max_abs_error(rng.normal(size=(3,)), rng.normal(size=(4,)))
+
+    def test_empty_arrays(self):
+        e = np.zeros((0,))
+        assert max_abs_error(e, e) == 0.0
+        assert rmse(e, e) == 0.0
+
+
+class TestQoIPreservation:
+    """MGARD's purpose: bounded pointwise error bounds linear QoIs too."""
+
+    def test_mean_preserved_within_bound(self, smooth_3d):
+        eb = 1e-3 * float(np.ptp(smooth_3d))
+        c = MGARDX(Config(error_bound=eb, error_mode=ErrorMode.ABS))
+        back = c.decompress(c.compress(smooth_3d))
+        # |mean(x) - mean(x')| <= max|x - x'| <= eb.
+        assert preserved_mean_error(smooth_3d, back) <= eb
+
+    def test_gradient_error_bounded_by_twice_eb(self, smooth_2d):
+        eb = 1e-3 * float(np.ptp(smooth_2d))
+        c = MGARDX(Config(error_bound=eb, error_mode=ErrorMode.ABS))
+        back = c.decompress(c.compress(smooth_2d))
+        # First differences amplify pointwise error by at most 2.
+        assert preserved_gradient_error(smooth_2d, back) <= 2 * eb
+
+    def test_smoothness_parameter_trades_qoi_for_ratio(self, rng):
+        """s>0 keeps the coarse scales (and the mean) extra accurate."""
+        x, y = np.meshgrid(*[np.linspace(0, 2 * np.pi, 33)] * 2, indexing="ij")
+        data = np.sin(x) * np.cos(y) + 0.01 * rng.normal(size=(33, 33))
+        cfg = Config(error_bound=5e-3, error_mode=ErrorMode.REL)
+        flat = MGARDX(cfg, s=0.0)
+        smooth = MGARDX(cfg, s=1.0)
+        mean_flat = preserved_mean_error(data, flat.decompress(flat.compress(data)))
+        mean_s = preserved_mean_error(data, smooth.decompress(smooth.compress(data)))
+        assert mean_s <= mean_flat * 1.5  # never substantially worse
+
+
+class TestRateDistortion:
+    def test_mgard_curve_monotone(self, smooth_3d):
+        ebs = [1e-1, 1e-2, 1e-3]
+        pts = rate_distortion(
+            smooth_3d,
+            lambda eb: MGARDX(Config(error_bound=eb, error_mode=ErrorMode.REL)),
+            ebs,
+        )
+        assert [p.parameter for p in pts] == ebs
+        # Tighter bound → more bits, less error, higher PSNR.
+        assert pts[0].bits_per_value < pts[-1].bits_per_value
+        assert pts[0].max_error > pts[-1].max_error
+        assert pts[0].psnr < pts[-1].psnr
+
+    def test_zfp_rate_sweep(self, smooth_3d):
+        pts = rate_distortion(smooth_3d, lambda r: ZFPX(rate=r), [4, 8, 16])
+        for p, r in zip(pts, (4, 8, 16)):
+            assert p.bits_per_value == pytest.approx(r, rel=0.2)
+
+    def test_compressors_comparable_at_same_bound(self, smooth_3d):
+        eb = 1e-3
+        for comp in (
+            MGARDX(Config(error_bound=eb, error_mode=ErrorMode.REL)),
+            SZ(Config(error_bound=eb, error_mode=ErrorMode.REL)),
+        ):
+            pts = rate_distortion(smooth_3d, lambda _: comp, [eb])
+            assert pts[0].max_error <= eb * np.ptp(smooth_3d)
+
+    def test_empty_parameters_rejected(self, smooth_3d):
+        with pytest.raises(ValueError):
+            rate_distortion(smooth_3d, lambda _: None, [])

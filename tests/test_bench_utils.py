@@ -1,0 +1,83 @@
+"""Bench harness utilities (report tables, method registry, util)."""
+
+import pytest
+
+from repro.bench.methods import EVAL_METHODS, method_at_scale
+from repro.bench.report import Comparison, print_comparisons, print_table
+from repro.util import CorruptStreamError, stream_errors
+
+
+class TestReport:
+    def test_table_alignment(self, capsys):
+        text = print_table(["a", "bb"], [[1, 2.5], ["xxx", 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_empty_rows(self):
+        text = print_table(["col"], [])
+        assert "col" in text
+
+    def test_comparisons(self):
+        comps = [Comparison("Fig. 1", "mem share", "34-89%", "39-92%")]
+        text = print_comparisons(comps, title="x")
+        assert "Fig. 1" in text and "39-92%" in text
+
+
+class TestMethodsRegistry:
+    def test_all_paper_methods_present(self):
+        assert set(EVAL_METHODS) == {
+            "mgard-x", "zfp-x", "huffman-x",
+            "mgard-gpu", "zfp-cuda", "cusz", "nvcomp-lz4",
+        }
+
+    def test_hpdr_methods_use_cmm_and_pipeline(self):
+        for name in ("mgard-x", "zfp-x", "huffman-x"):
+            m = EVAL_METHODS[name]
+            assert m.context_cached and m.overlapped
+
+    def test_legacy_methods_do_not(self):
+        for name in ("mgard-gpu", "zfp-cuda", "cusz", "nvcomp-lz4"):
+            m = EVAL_METHODS[name]
+            assert not m.context_cached and not m.overlapped
+
+    def test_method_at_scale_overrides(self):
+        m = method_at_scale("mgard-x", ratio=42.0, error_bound=1e-5)
+        assert m.ratio == 42.0
+        assert m.error_bound == 1e-5
+        base = EVAL_METHODS["mgard-x"]
+        assert base.ratio != 42.0  # original untouched
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            method_at_scale("blosc")
+
+
+class TestStreamErrors:
+    def test_converts_low_level_errors(self):
+        @stream_errors
+        def bad(_blob):
+            raise IndexError("oops")
+
+        with pytest.raises(CorruptStreamError):
+            bad(b"")
+
+    def test_value_error_becomes_corrupt_stream(self):
+        @stream_errors
+        def bad(_blob):
+            raise ValueError("bad magic")
+
+        with pytest.raises(CorruptStreamError, match="bad magic"):
+            bad(b"")
+        # CorruptStreamError is a ValueError: existing callers keep working.
+        with pytest.raises(ValueError):
+            bad(b"")
+
+    def test_passthrough_on_success(self):
+        @stream_errors
+        def good(x):
+            return x + 1
+
+        assert good(1) == 2

@@ -1,0 +1,93 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _envelope, _open_envelope, main
+
+
+@pytest.fixture
+def field_file(tmp_path, rng):
+    data = rng.normal(size=(20, 24)).astype(np.float32)
+    path = tmp_path / "field.npy"
+    np.save(path, data)
+    return path, data
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        method, payload = _open_envelope(_envelope("mgard-x", b"\x01\x02"))
+        assert method == "mgard-x"
+        assert payload == b"\x01\x02"
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            _open_envelope(b"NOPE....")
+
+
+@pytest.mark.parametrize("method", ["mgard-x", "zfp-x", "sz", "huffman-x", "lz4"])
+def test_compress_decompress_cycle(method, field_file, tmp_path, capsys):
+    src, data = field_file
+    hpdr = tmp_path / "out.hpdr"
+    back = tmp_path / "back.npy"
+    assert main(["compress", str(src), str(hpdr), "--method", method,
+                 "--eb", "1e-3"]) == 0
+    assert main(["decompress", str(hpdr), str(back)]) == 0
+    restored = np.load(back)
+    assert restored.shape == data.shape
+    if method in ("huffman-x", "lz4"):
+        assert np.array_equal(restored, data)
+    else:
+        assert np.max(np.abs(restored - data)) <= 1e-2 * np.ptp(data)
+
+
+def test_info(field_file, tmp_path, capsys):
+    src, _ = field_file
+    hpdr = tmp_path / "out.hpdr"
+    main(["compress", str(src), str(hpdr), "--method", "lz4"])
+    assert main(["info", str(hpdr)]) == 0
+    out = capsys.readouterr().out
+    assert "method=lz4" in out
+
+
+def test_refactor_retrieve_cycle(field_file, tmp_path, capsys):
+    src, data = field_file
+    mgrf = tmp_path / "f.mgrf"
+    out = tmp_path / "coarse.npy"
+    assert main(["refactor", str(src), str(mgrf), "--precision", "1e-7"]) == 0
+    assert main(["retrieve", str(mgrf), str(out), "--levels", "2"]) == 0
+    coarse = np.load(out)
+    assert coarse.shape == data.shape
+    assert main(["retrieve", str(mgrf), str(out)]) == 0  # full retrieval
+    full = np.load(out)
+    assert np.max(np.abs(full - data)) < 1e-4 * np.ptp(data)
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "NYX" in out and "XGC" in out and "E3SM" in out
+
+
+def test_adapter_flag(field_file, tmp_path):
+    src, data = field_file
+    hpdr = tmp_path / "out.hpdr"
+    assert main(["compress", str(src), str(hpdr), "--method", "mgard-x",
+                 "--adapter", "cuda"]) == 0
+
+
+def test_unknown_method_rejected(field_file, tmp_path):
+    src, _ = field_file
+    with pytest.raises(SystemExit):
+        main(["compress", str(src), str(tmp_path / "x"), "--method", "brotli"])
+
+
+def test_zfp_accuracy_mode(field_file, tmp_path):
+    src, data = field_file
+    hpdr = tmp_path / "out.hpdr"
+    back = tmp_path / "back.npy"
+    assert main(["compress", str(src), str(hpdr), "--method", "zfp-accuracy",
+                 "--tolerance", "0.01"]) == 0
+    assert main(["decompress", str(hpdr), str(back)]) == 0
+    restored = np.load(back)
+    assert np.max(np.abs(restored - data)) <= 0.01

@@ -1,0 +1,46 @@
+"""Adapter conformance kit."""
+
+import numpy as np
+import pytest
+
+from repro.adapters import get_adapter
+from repro.adapters.serial import SerialAdapter
+from repro.testing import AdapterConformanceError, check_adapter
+
+
+@pytest.mark.parametrize("family", ["serial", "openmp", "cuda", "hip", "sycl"])
+def test_all_builtin_adapters_conform(family):
+    check_adapter(get_adapter(family))
+
+
+def test_broken_adapter_detected_reordering():
+    class Reorders(SerialAdapter):
+        def execute_group_batch(self, functor, batch):
+            out = super().execute_group_batch(functor, batch)
+            return out[::-1] if out.shape[0] > 1 else out
+
+    with pytest.raises(AdapterConformanceError):
+        check_adapter(Reorders())
+
+
+def test_broken_adapter_detected_numerics():
+    class Drifts(SerialAdapter):
+        def execute_group_batch(self, functor, batch):
+            return super().execute_group_batch(functor, batch) * (1 + 1e-9)
+
+    with pytest.raises(AdapterConformanceError):
+        check_adapter(Drifts())
+
+
+def test_broken_adapter_detected_dem_order():
+    class SkipsStages(SerialAdapter):
+        def execute_domain(self, functor, data):
+            stages = list(functor.stages())
+            return stages[-1](data)  # drops all but the last stage
+
+    with pytest.raises(AdapterConformanceError):
+        check_adapter(SkipsStages())
+
+
+def test_strict_serial_conforms():
+    check_adapter(get_adapter("serial", strict=True))

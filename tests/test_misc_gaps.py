@@ -1,0 +1,115 @@
+"""Coverage of miscellaneous paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.adapters import get_adapter
+from repro.adapters.base import _n_elements
+from repro.core.functor import FnDomain, FnLocality
+from repro.machine.engine import Simulator, TaskKind
+from repro.perf.models import _eb_factor
+
+
+class TestEngineMisc:
+    def test_add_dep_skips_none(self):
+        sim = Simulator()
+        r = sim.resource("r")
+        q = sim.queue("q")
+        a = sim.submit("a", TaskKind.COMPUTE, r, q, duration=1.0)
+        b = sim.submit("b", TaskKind.COMPUTE, r, q, duration=1.0)
+        b.add_dep(None, a, None)
+        assert b.deps == [a]
+        sim.run()
+
+    def test_register_external_resource_and_queue(self):
+        sim1 = Simulator()
+        r = sim1.resource("shared")
+        sim2 = Simulator()
+        sim2.register_resource(r)
+        q = sim2.queue("q")
+        sim2.submit("t", TaskKind.COMPUTE, r, q, duration=1.0)
+        trace = sim2.run()
+        assert trace.makespan == 1.0
+
+    def test_trace_of_kind_multiple(self):
+        sim = Simulator()
+        r = sim.resource("r")
+        q = sim.queue("q")
+        sim.submit("a", TaskKind.H2D, r, q, duration=1.0)
+        sim.submit("b", TaskKind.D2H, r, q, duration=1.0)
+        sim.submit("c", TaskKind.COMPUTE, r, q, duration=1.0)
+        trace = sim.run()
+        assert len(trace.of_kind(TaskKind.H2D, TaskKind.D2H)) == 2
+
+    def test_overlap_ratio_empty(self):
+        sim = Simulator()
+        trace = sim.run()
+        assert trace.overlap_ratio() == 0.0
+        assert trace.hidden_copy_ratio() == 1.0
+
+
+class TestAdapterElementCounting:
+    def test_counts_arrays_tuples_dicts(self):
+        assert _n_elements(np.zeros((3, 4))) == 12
+        assert _n_elements((np.zeros(2), np.zeros(3))) == 5
+        assert _n_elements({"a": np.zeros(2), "b": [np.zeros(1)]}) == 3
+        assert _n_elements("scalar-ish") == 1
+
+    def test_dem_trace_counts_structure(self):
+        a = get_adapter("cuda")
+        data = [np.zeros(10), np.zeros(20)]
+        a.execute_domain(FnDomain(lambda d: d, name="noop"), data)
+        assert a.trace[-1].n_elements == 30
+
+
+class TestPerfEdges:
+    def test_eb_factor_clamped(self):
+        assert _eb_factor(1e-30) == pytest.approx(0.6)
+        assert _eb_factor(1e30) == pytest.approx(1.4)
+        assert _eb_factor(None) == 1.0
+        assert _eb_factor(-1.0) == 1.0
+
+    def test_kernel_model_accepts_spec_object(self):
+        from repro.machine.specs import V100
+        from repro.perf.models import kernel_model
+
+        m = kernel_model("mgard-x", V100)
+        assert m.processor is V100
+
+
+class TestHuffmanEdges:
+    def test_decode_table_default_width(self):
+        from repro.compressors.huffman.codebook import build_codebook
+
+        book = build_codebook(np.array([4, 2, 1, 1], dtype=np.int64))
+        sym, ln, width = book.decode_table()
+        assert width == book.max_length
+        assert sym.size == 1 << width
+
+    def test_empty_codebook_table(self):
+        from repro.compressors.huffman.codebook import build_codebook
+
+        book = build_codebook(np.zeros(4, dtype=np.int64))
+        sym, ln, width = book.decode_table()
+        assert np.all(ln == 0)
+
+
+class TestPipelineEdges:
+    def test_invalid_pipeline_params(self):
+        from repro.core.pipeline import ReductionPipeline
+        from repro.machine.device import SimDevice
+        from repro.perf.models import kernel_model
+
+        sim = Simulator()
+        dev = SimDevice(sim, "V100")
+        model = kernel_model("mgard-x", "V100")
+        with pytest.raises(ValueError):
+            ReductionPipeline(dev, model, num_queues=0)
+        with pytest.raises(ValueError):
+            ReductionPipeline(dev, model, num_buffers=1)
+        with pytest.raises(ValueError):
+            ReductionPipeline(dev, model, allocs_per_call=-1)
+
+    def test_locality_functor_wrappers_cost(self):
+        f = FnLocality(lambda b: b, "x", bytes_per_element=3.0)
+        assert f.cost_bytes(10) == 30.0

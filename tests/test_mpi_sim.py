@@ -1,0 +1,169 @@
+"""In-process MPI-style communicator."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.mpi_sim import run_ranks
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            if comm.rank == 1:
+                return comm.recv(source=0, tag=11)
+
+        results = run_ranks(2, prog)
+        assert results[1] == {"a": 7}
+
+    def test_numpy_arrays_pass(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(10), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = run_ranks(2, prog)
+        assert np.array_equal(results[1], np.arange(10))
+
+    def test_ring_exchange(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, dest=right)
+            return comm.recv(source=left)
+
+        assert run_ranks(4, prog) == [3, 0, 1, 2]
+
+    def test_tags_separate_channels(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            # Receive in the opposite order of sending: tags route.
+            b = comm.recv(source=0, tag=2)
+            a = comm.recv(source=0, tag=1)
+            return (a, b)
+
+        assert run_ranks(2, prog)[1] == ("a", "b")
+
+    def test_invalid_peer(self):
+        def prog(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(RuntimeError):
+            run_ranks(2, prog)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def prog(comm):
+            data = {"key": [1, 2, 3]} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        results = run_ranks(4, prog)
+        assert all(r == {"key": [1, 2, 3]} for r in results)
+
+    def test_scatter_gather(self):
+        def prog(comm):
+            data = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+            mine = comm.scatter(data, root=0)
+            assert mine == (comm.rank + 1) ** 2
+            return comm.gather(mine * 10, root=0)
+
+        results = run_ranks(3, prog)
+        assert results[0] == [10, 40, 90]
+        assert results[1] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(comm.rank)
+
+        results = run_ranks(4, prog)
+        assert all(r == [0, 1, 2, 3] for r in results)
+
+    def test_allreduce_sum_and_max(self):
+        def prog(comm):
+            total = comm.allreduce(comm.rank + 1)
+            biggest = comm.allreduce(comm.rank, op=max)
+            return total, biggest
+
+        for total, biggest in run_ranks(4, prog):
+            assert total == 10
+            assert biggest == 3
+
+    def test_reduce_to_root(self):
+        def prog(comm):
+            return comm.reduce(np.full(3, comm.rank + 1.0), op=operator.add)
+
+        results = run_ranks(3, prog)
+        assert np.allclose(results[0], 6.0)
+        assert results[1] is None
+
+    def test_consecutive_collectives_stay_in_sync(self):
+        def prog(comm):
+            a = comm.bcast(comm.rank, root=0)
+            b = comm.bcast(comm.rank, root=1)
+            c = comm.allgather(a + b)
+            return (a, b, tuple(c))
+
+        results = run_ranks(3, prog)
+        assert all(r == (0, 1, (1, 1, 1)) for r in results)
+
+    def test_barrier_all_arrive(self):
+        order = []
+
+        def prog(comm):
+            order.append(("pre", comm.rank))
+            comm.barrier()
+            order.append(("post", comm.rank))
+
+        run_ranks(3, prog)
+        pres = [i for i, (phase, _) in enumerate(order) if phase == "pre"]
+        posts = [i for i, (phase, _) in enumerate(order) if phase == "post"]
+        assert max(pres) < min(posts)
+
+
+class TestRankParallelReduction:
+    def test_domain_decomposed_compression(self, rng):
+        """The paper's rank pattern: each rank reduces its slab, root
+        gathers blobs and reconstructs the global field."""
+        from repro import Config, ErrorMode, MGARDX
+
+        global_field = rng.normal(size=(16, 20))
+        cfg = Config(error_bound=0.01, error_mode=ErrorMode.ABS)
+
+        def prog(comm):
+            slabs = (
+                np.array_split(global_field, comm.size, axis=0)
+                if comm.rank == 0 else None
+            )
+            mine = comm.scatter(slabs, root=0)
+            blob = MGARDX(cfg).compress(np.ascontiguousarray(mine))
+            blobs = comm.gather(blob, root=0)
+            if comm.rank == 0:
+                parts = [MGARDX(cfg).decompress(b) for b in blobs]
+                return np.concatenate(parts, axis=0)
+            return None
+
+        restored = run_ranks(4, prog)[0]
+        assert restored.shape == global_field.shape
+        assert np.max(np.abs(restored - global_field)) <= 0.01
+
+    def test_failure_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("rank exploded")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            run_ranks(2, prog)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            run_ranks(0, lambda comm: None)

@@ -1,0 +1,81 @@
+"""Stream-robustness: corrupt/truncated inputs fail cleanly.
+
+A data-reduction library sits in I/O paths; malformed bytes must raise
+``ValueError``-family errors, never crash the interpreter or return
+silently wrong data.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Config, ErrorMode, LZ4, MGARDX, SZ, ZFPX, HuffmanX
+from repro.io.bp import BPFile
+
+ACCEPTABLE = (ValueError, KeyError, IndexError, struct_err := __import__("struct").error)
+
+
+@pytest.fixture(scope="module")
+def streams(rng=np.random.default_rng(0)):
+    data = rng.normal(size=(12, 12)).astype(np.float32)
+    cfg = Config(error_bound=1e-3, error_mode=ErrorMode.REL)
+    out = {
+        "mgard": (MGARDX(cfg), MGARDX(cfg).compress(data)),
+        "zfp": (ZFPX(rate=12), ZFPX(rate=12).compress(data)),
+        "sz": (SZ(cfg), SZ(cfg).compress(data)),
+        "huffman": (HuffmanX(), HuffmanX().compress(data)),
+        "lz4": (LZ4(), LZ4().compress(data)),
+    }
+    return out
+
+
+@pytest.mark.parametrize("name", ["mgard", "zfp", "sz", "huffman", "lz4"])
+def test_truncated_stream_raises(streams, name):
+    comp, blob = streams[name]
+    for cut in (8, len(blob) // 3, len(blob) - 3):
+        with pytest.raises(ACCEPTABLE):
+            comp.decompress(blob[:cut])
+
+
+@pytest.mark.parametrize("name", ["mgard", "zfp", "sz", "huffman", "lz4"])
+def test_wrong_magic_raises(streams, name):
+    comp, blob = streams[name]
+    with pytest.raises(ACCEPTABLE):
+        comp.decompress(b"ZZZZ" + blob[4:])
+
+
+def test_cross_codec_streams_rejected(streams):
+    """Feeding one codec's stream to another must fail, not misdecode."""
+    mgard, mgard_blob = streams["mgard"]
+    zfp, zfp_blob = streams["zfp"]
+    with pytest.raises(ACCEPTABLE):
+        mgard.decompress(zfp_blob)
+    with pytest.raises(ACCEPTABLE):
+        zfp.decompress(mgard_blob)
+
+
+def test_bp_truncation(streams, rng=np.random.default_rng(1)):
+    bp = BPFile()
+    bp.put("x", rng.normal(size=(16,)))
+    blob = bp.tobytes()
+    with pytest.raises(ACCEPTABLE):
+        BPFile.frombytes(blob[: len(blob) // 2])
+
+
+def test_bitflip_in_payload_detected_by_bp_crc(rng=np.random.default_rng(2)):
+    bp = BPFile()
+    bp.put("x", rng.normal(size=(64,)))
+    blob = bytearray(bp.tobytes())
+    blob[-10] ^= 0x40
+    with pytest.raises(ValueError, match="CRC"):
+        BPFile.frombytes(bytes(blob))
+
+
+def test_mgard_stream_length_mismatch_detected(streams):
+    """Tampering with the MGARD header's shape must be caught by the
+    coefficient-count consistency check."""
+    comp, blob = streams["mgard"]
+    mutated = bytearray(blob)
+    # shape starts after magic(4)+BBBB(4)+dtype string('<f4' = 3 bytes)
+    mutated[11] = 99  # change first dim 12 -> 99
+    with pytest.raises(ACCEPTABLE):
+        comp.decompress(bytes(mutated))
