@@ -1,0 +1,100 @@
+"""Perf-regression gate: fail CI when wall-clock throughput regresses.
+
+Re-measures codec throughput and compares against the committed
+``BENCH_wallclock.json`` record.  A codec whose compress or decompress
+MB/s falls more than ``--tolerance`` (default 20%) below the committed
+``current`` numbers fails the gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_gate.py                # enforce
+    PYTHONPATH=src python scripts/perf_gate.py --report-only  # never fail
+    PYTHONPATH=src python scripts/perf_gate.py --fresh new.json --smoke
+
+``--fresh`` skips re-measurement and gates a pre-computed record (e.g.
+the one the CI smoke run just produced) against the committed one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+COMMITTED = REPO_ROOT / "BENCH_wallclock.json"
+
+_CODECS = ("huffman", "huffman_openmp", "mgard", "zfp")
+_METRICS = ("compress_MBps", "decompress_MBps")
+
+
+def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return one failure line per metric below ``(1 - tolerance) * ref``."""
+    failures = []
+    for codec in _CODECS:
+        ref = committed["current"].get(codec)
+        cur = fresh["current"].get(codec)
+        if not ref or not cur:
+            continue
+        for metric in _METRICS:
+            floor = (1.0 - tolerance) * ref[metric]
+            if cur[metric] < floor:
+                failures.append(
+                    f"{codec}.{metric}: {cur[metric]:.2f} MB/s < floor "
+                    f"{floor:.2f} (committed {ref[metric]:.2f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--committed", type=pathlib.Path, default=COMMITTED,
+                    help="committed reference record")
+    ap.add_argument("--fresh", type=pathlib.Path, default=None,
+                    help="pre-computed fresh record (skip re-measurement)")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional slowdown (default 0.20)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="1 timing rep when re-measuring")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the comparison but always exit 0")
+    args = ap.parse_args(argv)
+
+    if not args.committed.exists():
+        print(f"perf_gate: no committed record at {args.committed}; "
+              f"run benchmarks/bench_wallclock.py first", file=sys.stderr)
+        return 0 if args.report_only else 2
+
+    committed = json.loads(args.committed.read_text())
+    if args.fresh is not None:
+        fresh = json.loads(args.fresh.read_text())
+    else:
+        from repro.bench.wallclock import measure_all
+
+        fresh = measure_all(reps=1 if args.smoke else 3)
+
+    print(f"{'codec':<16} {'metric':<16} {'committed':>10} {'fresh':>10}")
+    for codec in _CODECS:
+        ref, cur = committed["current"].get(codec), fresh["current"].get(codec)
+        if not ref or not cur:
+            continue
+        for metric in _METRICS:
+            print(f"{codec:<16} {metric:<16} {ref[metric]:>10.2f} "
+                  f"{cur[metric]:>10.2f}")
+
+    failures = compare(committed, fresh, args.tolerance)
+    if failures:
+        print("\nperf_gate: REGRESSION" + (" (report-only)" if args.report_only else ""))
+        for line in failures:
+            print(f"  {line}")
+        return 0 if args.report_only else 1
+    print(f"\nperf_gate: OK (within {args.tolerance:.0%} of committed record)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,26 @@ class DeviceAdapter(abc.ABC):
     def synchronize(self) -> None:
         """Block until all backend work completes (no-op off-device)."""
 
+    # -- task-level parallelism -------------------------------------------
+    def parallel_width(self) -> int:
+        """Concurrent independent tasks this backend can run (1 = serial).
+
+        Compressors use this to decide whether splitting work into
+        independent segments (e.g. the Huffman ``HUFP`` container) can
+        pay off.
+        """
+        return 1
+
+    def map_tasks(self, fn, items) -> list:
+        """Run ``fn`` over ``items``, preserving order.
+
+        Unlike :meth:`execute_group_batch`, tasks are opaque Python
+        callables (whole codec pipelines), not array functors.  The base
+        implementation is sequential; thread-pool adapters overlap tasks
+        whose NumPy kernels release the GIL.
+        """
+        return [fn(item) for item in items]
+
     # -- tracing -----------------------------------------------------------
     def _record(self, functor: Functor, model: str, n_elements: int) -> None:
         if self.spec is None:

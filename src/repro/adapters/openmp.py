@@ -54,10 +54,26 @@ class OpenMPAdapter(DeviceAdapter):
         nchunks = min(self.num_threads, ngroups)
         bounds = np.linspace(0, ngroups, nchunks + 1, dtype=np.intp)
         chunks = [batch[bounds[i] : bounds[i + 1]] for i in range(nchunks)]
-        results = list(self._pool.map(functor.apply, chunks))
+        if getattr(functor, "reuses_output", False):
+            # A pool thread may run several chunks back to back; scratch-
+            # backed results must be copied before the next apply reuses
+            # the memory.
+            run = lambda chunk: functor.apply(chunk).copy()
+        else:
+            run = functor.apply
+        results = list(self._pool.map(run, chunks))
         out = np.concatenate(results, axis=0)
         self._record(functor, "GEM", int(batch.size))
         return out
+
+    def parallel_width(self) -> int:
+        return self.num_threads
+
+    def map_tasks(self, fn, items) -> list:
+        items = list(items)
+        if self._pool is None or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._pool.map(fn, items))
 
     def close(self) -> None:
         if self._pool is not None:

@@ -30,7 +30,11 @@ class SerialAdapter(DeviceAdapter):
         if batch.ndim < 1 or batch.shape[0] == 0:
             return batch
         if self.strict:
-            outs = [functor.apply(batch[i : i + 1]) for i in range(batch.shape[0])]
+            copy = getattr(functor, "reuses_output", False)
+            outs = []
+            for i in range(batch.shape[0]):
+                out = functor.apply(batch[i : i + 1])
+                outs.append(out.copy() if copy else out)
             result = np.concatenate(outs, axis=0)
         else:
             result = functor.apply(batch)

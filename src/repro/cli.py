@@ -41,7 +41,15 @@ def _build_compressor(method: str, args):
     from repro import Config, ErrorMode, LZ4, MGARDX, SZ, ZFPX, get_adapter
     from repro import rate_for_error_bound
 
-    adapter = get_adapter(args.adapter) if getattr(args, "adapter", None) else None
+    adapter = None
+    if getattr(args, "adapter", None):
+        kwargs = {}
+        threads = getattr(args, "threads", None)
+        if threads is not None:
+            if args.adapter != "openmp":
+                raise SystemExit("--threads only applies to --adapter openmp")
+            kwargs["num_threads"] = threads
+        adapter = get_adapter(args.adapter, **kwargs)
     mode = ErrorMode.ABS if getattr(args, "mode", "rel") == "abs" else ErrorMode.REL
     eb = getattr(args, "eb", 1e-3)
     cfg = Config(error_bound=eb, error_mode=mode)
@@ -166,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="absolute tolerance (zfp-accuracy)")
     c.add_argument("--adapter", default=None,
                    choices=["serial", "openmp", "cuda", "hip"])
+    c.add_argument("--threads", type=int, default=None,
+                   help="worker threads (openmp adapter)")
     c.set_defaults(func=cmd_compress)
 
     d = sub.add_parser("decompress", help="decompress an .hpdr container")
@@ -173,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("output")
     d.add_argument("--adapter", default=None,
                    choices=["serial", "openmp", "cuda", "hip"])
+    d.add_argument("--threads", type=int, default=None,
+                   help="worker threads (openmp adapter)")
     d.set_defaults(func=cmd_decompress, eb=1e-3, mode="rel", rate=None, tolerance=None)
 
     i = sub.add_parser("info", help="describe an .hpdr container")

@@ -1,10 +1,10 @@
 """Vectorized bit packing and window gathering.
 
-Encoding writes each symbol's variable-length code at its prefix-sum bit
-offset; the loop runs over *bit positions within a code* (≤ 16) rather
-than over symbols, so every pass is a vectorized NumPy operation — the
-CPU analog of the paper's "each key encodes independently" Locality
-parallelism.
+Encoding packs each symbol's variable-length code into 64-bit words in
+one word-parallel pass: every code is left-aligned into a 64-bit field,
+split into its (at most two) destination words with shifts, and
+scattered with a segmented bitwise-OR — no per-bit loop, the CPU analog
+of the paper's "each key encodes independently" Locality parallelism.
 
 Decoding gathers ``width``-bit windows at arbitrary bit offsets (used by
 the chunk-parallel Huffman decoder, which advances one symbol per
@@ -15,12 +15,31 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Slack bytes appended by :func:`pad_payload` so any in-range offset can
+#: safely load 4 bytes.
+PAYLOAD_SLACK = 4
+
+
+def _or_scatter(words: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+    """``words[idx] |= vals`` with duplicate indices OR-combined.
+
+    ``idx`` must be sorted non-decreasing (guaranteed by monotonic bit
+    offsets); duplicates are merged with a segmented reduction instead
+    of ``np.bitwise_or.at`` (which is an order of magnitude slower).
+    """
+    if idx.size == 0:
+        return
+    starts = np.flatnonzero(np.r_[True, idx[1:] != idx[:-1]])
+    merged = np.bitwise_or.reduceat(vals, starts)
+    words[idx[starts]] |= merged
+
 
 def pack_bits(
     codes: np.ndarray,
     lengths: np.ndarray,
     total_bits: int | None = None,
     offsets: np.ndarray | None = None,
+    ctx=None,
 ) -> np.ndarray:
     """Pack variable-length MSB-first codes into a byte stream.
 
@@ -29,12 +48,20 @@ def pack_bits(
     codes:
         Right-aligned code values (unsigned), one per symbol occurrence.
     lengths:
-        Bit length of each code (0 allowed: writes nothing).
+        Bit length of each code (0 allowed: writes nothing).  Codes must
+        fit in 56 bits so the two-word split below always covers them.
     offsets:
         Starting bit offset of each code; default = exclusive prefix sum
-        of ``lengths`` (contiguous stream).
+        of ``lengths`` (contiguous stream).  Non-overlapping codes are
+        assumed (prefix-sum offsets guarantee it).
     total_bits:
         Stream length in bits; default = offsets[-1] + lengths[-1].
+    ctx:
+        Optional :class:`~repro.core.context.ReductionContext`; when
+        given, the word buffer comes from persistent scratch so repeated
+        same-sized packs perform no allocation.  The returned array then
+        aliases context memory and is only valid until the next pack
+        through the same context.
 
     Returns
     -------
@@ -52,30 +79,77 @@ def pack_bits(
             raise ValueError("offsets shape mismatch")
     if total_bits is None:
         total_bits = int(offsets[-1] + lengths[-1]) if lengths.size else 0
+    nbytes = (total_bits + 7) >> 3
+    if total_bits == 0:
+        return np.zeros(0, dtype=np.uint8)
 
-    bits = np.zeros(total_bits, dtype=np.uint8)
-    max_len = int(lengths.max()) if lengths.size else 0
-    for b in range(max_len):
-        mask = lengths > b
-        if not mask.any():
-            continue
-        shift = (lengths[mask] - 1 - b).astype(np.uint64)
-        bitvals = ((codes[mask] >> shift) & np.uint64(1)).astype(np.uint8)
-        bits[offsets[mask] + b] = bitvals
-    return np.packbits(bits)
+    if offsets.size > 1 and np.any(offsets[1:] < offsets[:-1]):
+        order = np.argsort(offsets, kind="stable")
+        codes, lengths, offsets = codes[order], lengths[order], offsets[order]
+
+    live = lengths > 0
+    if not live.all():
+        codes, lengths, offsets = codes[live], lengths[live], offsets[live]
+
+    # One sentinel word past the end absorbs the (empty) high spill of a
+    # code ending exactly at the stream boundary.
+    nwords = ((total_bits + 63) >> 6) + 1
+    if ctx is not None:
+        words = ctx.scratch("pack_bits.words", nwords, np.uint64)
+    else:
+        words = np.empty(nwords, dtype=np.uint64)
+    words[:] = 0
+
+    # Left-align each code in a 64-bit field: code bit j (MSB first)
+    # sits at field bit 63-j, so shifting right by the in-word bit
+    # offset lands bit j at stream position offset+j.
+    ulen = lengths.astype(np.uint64)
+    field = codes << (np.uint64(64) - ulen)
+    word_idx = (offsets >> 6).astype(np.intp)
+    bit_in_word = (offsets & 63).astype(np.uint64)
+    low = field >> bit_in_word
+    # field << (64 - b) without an undefined 64-bit shift at b == 0
+    # (the two-step shift drops every bit, which is the correct spill).
+    high = (field << (np.uint64(63) - bit_in_word)) << np.uint64(1)
+    _or_scatter(words, word_idx, low)
+    _or_scatter(words, word_idx + 1, high)
+
+    # uint64 words → big-endian byte stream (bit 63 of word 0 is stream
+    # bit 0, matching np.packbits bit order).
+    words.byteswap(inplace=True)
+    return words.view(np.uint8)[:nbytes]
+
+
+def pad_payload(packed: np.ndarray, ctx=None) -> np.ndarray:
+    """Append :data:`PAYLOAD_SLACK` zero bytes for window gathering.
+
+    Decoders call this once and pass ``prepadded=True`` to
+    :func:`gather_windows`, hoisting the copy out of their symbol loop.
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    if ctx is not None:
+        padded = ctx.scratch("gather.padded", packed.size + PAYLOAD_SLACK, np.uint8)
+    else:
+        padded = np.empty(packed.size + PAYLOAD_SLACK, dtype=np.uint8)
+    padded[: packed.size] = packed
+    padded[packed.size :] = 0
+    return padded
 
 
 def gather_windows(
     packed: np.ndarray,
     bit_offsets: np.ndarray,
     width: int,
+    prepadded: bool = False,
 ) -> np.ndarray:
     """Extract ``width``-bit big-endian windows at arbitrary bit offsets.
 
     ``packed`` is the byte stream from :func:`pack_bits`.  Windows
     extending past the stream read as zero bits (the decoder's final
     symbols).  ``width`` must be ≤ 24 so a 4-byte load always covers the
-    window after sub-byte shifting.
+    window after sub-byte shifting.  With ``prepadded=True`` the input
+    is assumed to already carry :data:`PAYLOAD_SLACK` trailing zero
+    bytes (see :func:`pad_payload`) and no copy is made.
     """
     if not 1 <= width <= 24:
         raise ValueError(f"width must be in [1, 24], got {width}")
@@ -83,10 +157,14 @@ def gather_windows(
     offs = np.asarray(bit_offsets, dtype=np.int64)
     if offs.size and offs.min() < 0:
         raise ValueError("negative bit offset")
-    # Pad so any in-range offset can safely load 4 bytes.
-    padded = np.concatenate([packed, np.zeros(4, dtype=np.uint8)])
+    if prepadded:
+        padded = packed
+        payload_size = packed.size - PAYLOAD_SLACK
+    else:
+        padded = np.concatenate([packed, np.zeros(PAYLOAD_SLACK, dtype=np.uint8)])
+        payload_size = packed.size
     byte_idx = offs >> 3
-    byte_idx = np.minimum(byte_idx, packed.size)  # clamp fully-past-end reads
+    byte_idx = np.minimum(byte_idx, payload_size)  # clamp fully-past-end reads
     shift = (offs & 7).astype(np.uint32)
     w = (
         (padded[byte_idx].astype(np.uint32) << 24)

@@ -18,7 +18,10 @@ from dataclasses import dataclass
 import numpy as np
 
 #: Longest permitted code, in bits.  2^16-entry decode tables stay small
-#: (512 KB) while still accommodating 65 536-symbol alphabets.
+#: (512 KB) while still accommodating 65 536-symbol alphabets.  Kept
+#: safely below the 24-bit window limit of
+#: :func:`repro.compressors.huffman.bitstream.gather_windows`, so a
+#: valid codebook can always be decoded with one 4-byte load.
 MAX_CODE_LENGTH = 16
 
 
@@ -36,6 +39,16 @@ def huffman_code_lengths(freqs: np.ndarray) -> np.ndarray:
         raise ValueError("frequencies must be non-negative")
     nonzero = np.flatnonzero(freqs)
     lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if nonzero.size > (1 << MAX_CODE_LENGTH):
+        # Kraft: n distinct codes need max length >= ceil(log2 n); past
+        # 2^MAX_CODE_LENGTH used symbols no length-limited codebook
+        # exists and _limit_lengths could never converge.  Fail here,
+        # at build time, instead of deep inside the decoder.
+        raise ValueError(
+            f"alphabet has {nonzero.size} used symbols; a length-limited "
+            f"codebook (max {MAX_CODE_LENGTH} bits) supports at most "
+            f"{1 << MAX_CODE_LENGTH}"
+        )
     if nonzero.size == 0:
         return lengths
     if nonzero.size == 1:
@@ -129,14 +142,22 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
     if used.size == 0:
         return codes
     order = used[np.lexsort((used, lengths[used]))]
+    lo = lengths[order].astype(np.int64)  # sorted code lengths
+    max_len = int(lo[-1])
+    # First code of each length (the zlib construction): shift left on
+    # every length increase, advancing past the previous length's codes.
+    bl_count = np.bincount(lo, minlength=max_len + 1)
+    first_code = np.zeros(max_len + 1, dtype=np.uint64)
     code = 0
-    prev_len = int(lengths[order[0]])
-    for sym in order:
-        cur_len = int(lengths[sym])
-        code <<= cur_len - prev_len
-        codes[sym] = code
-        code += 1
-        prev_len = cur_len
+    for bits in range(1, max_len + 1):
+        code = (code + int(bl_count[bits - 1])) << 1
+        first_code[bits] = code
+    # Rank within each same-length run, fully vectorized.
+    starts = np.r_[0, np.flatnonzero(lo[1:] != lo[:-1]) + 1]
+    run_lengths = np.diff(np.r_[starts, lo.size])
+    group_start = np.repeat(starts, run_lengths)
+    rank = np.arange(lo.size) - group_start
+    codes[order] = (first_code[lo] + rank.astype(np.uint64)).astype(np.uint32)
     return codes
 
 
@@ -175,13 +196,31 @@ class Codebook:
         sym_table = np.zeros(size, dtype=np.int32)
         len_table = np.zeros(size, dtype=np.uint8)
         used = np.flatnonzero(self.lengths)
-        for sym in used:
-            l = int(self.lengths[sym])
-            c = int(self.codes[sym])
-            lo = c << (width - l)
-            hi = (c + 1) << (width - l)
-            sym_table[lo:hi] = sym
-            len_table[lo:hi] = l
+        if used.size == 0:
+            return sym_table, len_table, width
+        lens = self.lengths[used].astype(np.int64)
+        lo = self.codes[used].astype(np.int64) << (width - lens)
+        runs = np.int64(1) << (width - lens)
+        order = np.argsort(lo, kind="stable")
+        lo, runs, lens, syms = lo[order], runs[order], lens[order], used[order]
+        covered = int(runs.sum())
+        # Canonical prefix codes tile [0, covered) contiguously, so one
+        # np.repeat fills the whole table; anything else (a corrupt
+        # length table with an oversubscribed Kraft sum) falls back to
+        # the per-symbol loop with the old clipping semantics.
+        if covered <= size and np.array_equal(
+            lo, np.r_[0, np.cumsum(runs)[:-1]]
+        ):
+            sym_table[:covered] = np.repeat(syms, runs)
+            len_table[:covered] = np.repeat(lens, runs)
+        else:  # pragma: no cover - corrupt/non-canonical codebooks only
+            for sym in used:
+                l = int(self.lengths[sym])
+                c = int(self.codes[sym])
+                a = c << (width - l)
+                b = (c + 1) << (width - l)
+                sym_table[a:b] = sym
+                len_table[a:b] = l
         return sym_table, len_table, width
 
 

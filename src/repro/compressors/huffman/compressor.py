@@ -13,24 +13,48 @@ serialize             Global pipeline (DEM) — prefix sums
 The bitstream is chunked: per-chunk bit offsets are embedded so
 decompression parallelizes across chunks (the vectorized decoder steps
 one symbol at a time across *all* chunks simultaneously).
+
+Steady-state compression performs zero runtime memory management: every
+working buffer — the padded key batch, code/length planes, prefix-sum
+offsets, and the bitstream word buffer — lives in a
+:class:`~repro.core.context.ReductionContext` keyed by the input
+characteristics, so repeated reductions of same-shaped data reuse the
+same memory (CMM, paper Section III-B).
+
+The byte-level API additionally supports a chunk-parallel container
+(``HUFP``): on a multi-threaded adapter the input is split into
+independently coded segments compressed concurrently (NumPy releases
+the GIL), each with its own reduction context so the CMM wiring stays
+race-free.  The container is adapter-agnostic — bytes produced by the
+parallel path decode bit-exactly on the serial adapter and vice versa.
 """
 
 from __future__ import annotations
 
 import struct
+import threading
 
 import numpy as np
 
 from repro.core.abstractions import global_pipeline, locality
 from repro.core.context import ContextCache
 from repro.core.functor import FnDomain, LocalityFunctor
-from repro.compressors.huffman.bitstream import gather_windows, pack_bits
-from repro.compressors.huffman.codebook import Codebook, build_codebook
+from repro.compressors.huffman.bitstream import pack_bits, pad_payload
+from repro.compressors.huffman.codebook import (
+    MAX_CODE_LENGTH,
+    Codebook,
+    build_codebook,
+)
 from repro.compressors.huffman.histogram import histogram
 from repro.util import stream_errors
 
 _MAGIC = b"HUFX"
+_PAR_MAGIC = b"HUFP"
 _VERSION = 1
+
+#: Minimum bytes per parallel segment — below this the per-segment
+#: codebook/container overhead outweighs the thread-level speedup.
+_MIN_SEGMENT_BYTES = 1 << 16
 
 
 def _rle_encode(lengths: np.ndarray) -> bytes:
@@ -41,16 +65,19 @@ def _rle_encode(lengths: np.ndarray) -> bytes:
         return b"\x00" + raw
     change = np.flatnonzero(np.diff(lengths)) + 1
     starts = np.concatenate([[0], change])
-    ends = np.concatenate([change, [lengths.size]])
-    runs = []
-    for s, e in zip(starts, ends):
-        n = int(e - s)
-        v = int(lengths[s])
-        while n > 0:
-            take = min(n, 0xFFFF)
-            runs.append(struct.pack("<HB", take, v))
-            n -= take
-    rle = struct.pack("<I", len(runs)) + b"".join(runs)
+    counts = np.diff(np.concatenate([starts, [lengths.size]]))
+    values = lengths[starts].astype(np.uint8)
+    # Split runs longer than the 16-bit count field; every piece is the
+    # full 0xFFFF except the last piece of each run.
+    pieces = -(-counts // 0xFFFF)
+    run_values = np.repeat(values, pieces)
+    run_counts = np.full(run_values.size, 0xFFFF, dtype=np.uint16)
+    last = np.cumsum(pieces) - 1
+    run_counts[last] = (counts - (pieces - 1) * 0xFFFF).astype(np.uint16)
+    packed = np.empty(run_values.size, dtype=np.dtype("<u2, u1"))
+    packed["f0"] = run_counts
+    packed["f1"] = run_values
+    rle = struct.pack("<I", run_values.size) + packed.tobytes()
     if len(rle) < len(raw):
         return b"\x01" + rle
     return b"\x00" + raw
@@ -65,34 +92,70 @@ def _rle_decode(blob: bytes, offset: int, count: int) -> tuple[np.ndarray, int]:
         return out, 1 + count
     (nruns,) = struct.unpack_from("<I", blob, pos)
     pos += 4
-    out = np.empty(count, dtype=np.uint8)
-    at = 0
-    for _ in range(nruns):
-        n, v = struct.unpack_from("<HB", blob, pos)
-        pos += 3
-        out[at : at + n] = v
-        at += n
-    if at != count:
-        raise ValueError(f"corrupt RLE length table: {at} != {count}")
+    packed = np.frombuffer(blob, dtype=np.dtype("<u2, u1"), count=nruns, offset=pos)
+    pos += 3 * nruns
+    counts = packed["f0"].astype(np.int64)
+    if int(counts.sum()) != count:
+        raise ValueError(
+            f"corrupt RLE length table: {int(counts.sum())} != {count}"
+        )
+    out = np.repeat(packed["f1"], counts)
     return out, pos - offset
 
 
 class _EncodeFunctor(LocalityFunctor):
-    """Locality stage: map each key in a chunk to (code, length)."""
+    """Locality stage: map each key in a chunk to (code << 8) | length.
+
+    The codebook is fused into a single lookup table so each key costs
+    one gather; callers split the planes back out with shift/mask.  An
+    optional reduction context supplies persistent output scratch so the
+    steady state allocates nothing.  ``per_thread`` scopes that scratch
+    by pool-thread identity — required only when an adapter fans one
+    context's batch out across threads; a context used by one caller at
+    a time (serial path, HUFP segments) keeps a single deterministic
+    buffer so which pool thread runs it never triggers an allocation.
+    """
 
     name = "huffman.encode"
     bytes_per_element = 10.0
+    reuses_output = True
 
-    def __init__(self, codes: np.ndarray, lengths: np.ndarray) -> None:
-        self._codes = codes.astype(np.uint32)
-        self._lengths = lengths.astype(np.uint8)
+    def __init__(
+        self,
+        codes: np.ndarray,
+        lengths: np.ndarray,
+        ctx=None,
+        per_thread: bool = False,
+    ) -> None:
+        self._lut = (codes.astype(np.uint32) << np.uint32(8)) | lengths.astype(
+            np.uint32
+        )
+        self._ctx = ctx
+        self._per_thread = per_thread
 
     def apply(self, blocks: np.ndarray) -> np.ndarray:
-        keys = blocks.astype(np.intp)
-        out = np.empty(blocks.shape + (2,), dtype=np.uint32)
-        out[..., 0] = self._codes[keys]
-        out[..., 1] = self._lengths[keys]
-        return out
+        flat = blocks.reshape(-1)
+        if self._ctx is not None:
+            name = (
+                f"enc.out:{threading.get_ident()}"
+                if self._per_thread
+                else "enc.out"
+            )
+            out = self._ctx.scratch(name, flat.size, np.uint32)
+        else:
+            out = np.empty(flat.size, dtype=np.uint32)
+        # Key range was validated by the histogram stage; "clip" skips a
+        # second bounds-check pass.
+        np.take(self._lut, flat, out=out, mode="clip")
+        return out.reshape(blocks.shape)
+
+
+def _map_tasks(adapter, fn, items):
+    """Run ``fn`` over ``items`` via the adapter's task pool (serial
+    fallback when no adapter is bound)."""
+    if adapter is None:
+        return [fn(x) for x in items]
+    return adapter.map_tasks(fn, items)
 
 
 class HuffmanX:
@@ -101,14 +164,16 @@ class HuffmanX:
     Parameters
     ----------
     adapter:
-        Device adapter (defaults to serial).
+        Device adapter (defaults to serial).  Multi-threaded adapters
+        additionally parallelize the byte-level API across independent
+        segments (``HUFP`` container).
     chunk_size:
         Symbols per encoding chunk — the Locality block size and the
         decode-parallelism grain.
     context_cache:
-        Optional CMM cache; codebooks for repeated key distributions of
-        identical histograms are *not* cached (they depend on data), but
-        working buffers are.
+        Optional CMM cache; codebooks are *not* cached (they depend on
+        the data), but all working buffers are: after a warm-up call,
+        same-shaped compressions allocate nothing.
     """
 
     def __init__(
@@ -131,53 +196,121 @@ class HuffmanX:
         keys = np.ascontiguousarray(keys)
         if not np.issubdtype(keys.dtype, np.integer):
             raise TypeError(f"keys must be integers, got {keys.dtype}")
+        ctx = self._key_context(keys.shape, keys.dtype, num_symbols, tag=None)
+        return self._compress_keys(keys, num_symbols, ctx, self.adapter)
+
+    def _key_context(self, shape, dtype, num_symbols: int, tag):
+        """CMM context for one key-stream shape.
+
+        The key matches between encode and decode (buffer names are
+        disjoint), so decompressing what was just compressed reuses the
+        compression context instead of opening a second one.
+        """
+        n = int(np.prod(shape)) if shape else 1
+        return self.cache.get(
+            (
+                "huffman",
+                tag,
+                tuple(shape),
+                np.dtype(dtype).str,
+                int(num_symbols),
+                self._effective_chunk(n),
+            )
+        )
+
+    def _compress_keys(self, keys: np.ndarray, num_symbols: int, ctx, adapter) -> bytes:
         shape = keys.shape
         flat = keys.reshape(-1)
         n = flat.size
 
-        freqs = histogram(flat, num_symbols, adapter=self.adapter)
+        freqs = histogram(flat, num_symbols, adapter=adapter)
         book = build_codebook(freqs)
 
         if n == 0:
             payload = np.zeros(0, dtype=np.uint8)
             chunk_offsets = np.zeros(0, dtype=np.uint64)
+            chunk = self.chunk_size
         else:
+            chunk = self._effective_chunk(n)
+            nchunks = -(-n // chunk)
+            m = nchunks * chunk
+            if m != n:
+                # Edge-pad to a whole number of chunks in persistent
+                # scratch; the padding tail writes no bits (length 0).
+                padded = ctx.scratch("enc.keys_padded", m, flat.dtype)
+                padded[:n] = flat
+                padded[n:] = flat[-1]
+            else:
+                padded = flat
+
             # encode: Locality over chunks — each key independent.
             enc = locality(
-                flat,
-                _EncodeFunctor(book.codes, book.lengths),
-                block_shape=(self.chunk_size,),
-                adapter=self.adapter,
+                padded,
+                _EncodeFunctor(
+                    book.codes,
+                    book.lengths,
+                    ctx=ctx,
+                    per_thread=adapter is not None,
+                ),
+                block_shape=(chunk,),
+                adapter=adapter,
                 pad_mode="edge",
                 reassemble=False,
-            )  # (nchunks, chunk_size, 2)
-            nchunks = enc.shape[0]
-            codes = enc[..., 0].reshape(-1)
-            lens = enc[..., 1].reshape(-1).astype(np.int64)
-            # Zero out the padding tail so it writes no bits.
-            lens[n:] = 0
+                ctx=ctx,
+            )  # (nchunks, chunk) uint32, (code << 8) | length
+            flat_enc = enc.reshape(-1)
+            lens = ctx.scratch("enc.lens", m, np.int64)
+            np.copyto(lens, flat_enc)
+            lens &= 0xFF
+            lens[n:] = 0  # padding tail writes no bits
+            codes = ctx.scratch("enc.codes", m, np.uint64)
+            np.copyto(codes, flat_enc)
+            codes >>= np.uint64(8)
 
             # serialize: Global pipeline — prefix-sum bit offsets.
             def _offsets(lengths: np.ndarray) -> np.ndarray:
-                return np.cumsum(lengths) - lengths
+                off = ctx.scratch("enc.offsets", m, np.int64)
+                np.cumsum(lengths, out=off)
+                np.subtract(off, lengths, out=off)
+                return off
 
             offsets = global_pipeline(
                 lens,
                 FnDomain(_offsets, name="huffman.serialize", bytes_per_element=16.0),
-                adapter=self.adapter,
+                adapter=adapter,
             )
-            chunk_offsets = offsets[:: self.chunk_size].astype(np.uint64)
+            chunk_offsets = offsets[::chunk].astype(np.uint64)
             assert chunk_offsets.size == nchunks
             total_bits = int(offsets[-1] + lens[-1])
-            payload = pack_bits(codes, lens, total_bits=total_bits, offsets=offsets)
+            payload = pack_bits(
+                codes, lens, total_bits=total_bits, offsets=offsets, ctx=ctx
+            )
 
         return self._serialize(
-            shape, keys.dtype, num_symbols, n, book, chunk_offsets, payload
+            shape, keys.dtype, num_symbols, n, book, chunk_offsets, payload, chunk
         )
+
+    def _effective_chunk(self, n: int) -> int:
+        """Chunk size actually used for ``n`` symbols.
+
+        The vectorized decoder runs ``chunk`` sequential steps over
+        ``n/chunk``-element arrays, so per-step dispatch overhead is
+        minimized around ``chunk ≈ sqrt(n)``.  The floor of 256 keeps
+        the 8-byte-per-chunk offset table small relative to the payload
+        on low-entropy streams; ``self.chunk_size`` stays the upper
+        bound.  The stream records the choice, so decoders need no
+        knowledge of this heuristic.
+        """
+        target = max(1.0, (2.0 * n) ** 0.5)
+        chunk = 1 << max(0, round(float(np.log2(target))))
+        return max(1, min(self.chunk_size, max(256, chunk)))
 
     @stream_errors
     def decompress_keys(self, blob: bytes) -> np.ndarray:
         """Invert :meth:`compress_keys`; returns the original key array."""
+        return self._decompress_keys(blob, tag=None)
+
+    def _decompress_keys(self, blob: bytes, tag) -> np.ndarray:
         (
             shape,
             dtype,
@@ -186,6 +319,7 @@ class HuffmanX:
             book,
             chunk_offsets,
             payload,
+            chunk_size,
         ) = self._deserialize(blob)
         if n == 0:
             return np.zeros(shape, dtype=dtype)
@@ -193,27 +327,87 @@ class HuffmanX:
         width = max(1, book.max_length)
         sym_table, len_table, width = book.decode_table(width)
         nchunks = chunk_offsets.size
-        out = np.zeros((nchunks, self.chunk_size), dtype=np.int64)
-        pos = chunk_offsets.astype(np.int64).copy()
-        chunk_lens = np.full(nchunks, self.chunk_size, dtype=np.int64)
-        rem = n - (nchunks - 1) * self.chunk_size
-        chunk_lens[-1] = rem
+        rem = n - (nchunks - 1) * chunk_size
+        if not 1 <= rem <= chunk_size:
+            raise ValueError(
+                f"corrupt stream: {n} symbols cannot fill {nchunks} chunks "
+                f"of {chunk_size}"
+            )
 
-        len_table_i64 = len_table.astype(np.int64)
-        for step in range(int(chunk_lens.max())):
-            active = np.flatnonzero(chunk_lens > step)
-            if active.size == 0:
+        ctx = self._key_context(shape, dtype, num_symbols, tag)
+        out = ctx.buffer("dec.out", (nchunks, chunk_size), np.int64)
+        pos = ctx.buffer("dec.pos", (nchunks,), np.int64)
+        np.copyto(pos, chunk_offsets, casting="unsafe")
+
+        # Combined (length << 32) | symbol table: one gather per decoded
+        # symbol instead of two.
+        comb = ctx.scratch("dec.comb", 1 << width, np.int64)
+        np.copyto(comb, len_table)
+        comb <<= 32
+        comb |= sym_table
+
+        # Precompute the 32-bit big-endian window starting at every
+        # payload byte: the inner loop then needs one int64 gather where
+        # four byte-gathers plus widening shifts used to run per step.
+        padded = pad_payload(payload, ctx=ctx)
+        nwin = payload.size + 1
+        win = ctx.scratch("dec.win", nwin, np.int64)
+        np.copyto(win, padded[:nwin])
+        for byte in range(1, 4):
+            win <<= 8
+            win |= padded[byte : byte + nwin]
+
+        wshift = 32 - width
+        wmask = (1 << width) - 1
+        scr = [
+            ctx.buffer(f"dec.scr{i}", (nchunks,), np.int64) for i in range(3)
+        ]
+        full = (pos, out, *scr)
+        tail = (
+            tuple(a[:-1] for a in (pos, out, *scr)) if nchunks > 1 else full
+        )
+
+        # One symbol per step across all still-active chunks; only the
+        # last chunk can run short, so "active" is a cheap slice.  Every
+        # operand below lives in context scratch: the loop allocates
+        # nothing.
+        for step in range(chunk_size):
+            if step < rem:
+                p, o, b, s, w = full
+            elif nchunks == 1:
                 break
-            windows = gather_windows(payload, pos[active], width)
-            out[active, step] = sym_table[windows]
-            pos[active] += len_table_i64[windows]
+            else:
+                p, o, b, s, w = tail
+            np.right_shift(p, 3, out=b)
+            np.take(win, b, out=w, mode="clip")
+            np.bitwise_and(p, 7, out=s)
+            np.subtract(wshift, s, out=s)
+            np.right_shift(w, s, out=w)
+            np.bitwise_and(w, wmask, out=w)
+            np.take(comb, w, out=b)
+            np.right_shift(b, 32, out=s)
+            np.add(p, s, out=p)
+            np.bitwise_and(b, 0xFFFFFFFF, out=b)
+            o[:, step] = b
         return out.reshape(-1)[:n].astype(dtype).reshape(shape)
 
     # ------------------------------------------------------------------
     # Byte-level lossless API (arbitrary arrays/buffers)
     # ------------------------------------------------------------------
+    def _num_segments(self, nbytes: int) -> int:
+        width = 1 if self.adapter is None else self.adapter.parallel_width()
+        if width <= 1:
+            return 1
+        return max(1, min(width, nbytes // _MIN_SEGMENT_BYTES))
+
     def compress(self, data: np.ndarray | bytes) -> bytes:
-        """Losslessly compress arbitrary data as a uint8 symbol stream."""
+        """Losslessly compress arbitrary data as a uint8 symbol stream.
+
+        On a multi-threaded adapter, large inputs are split into
+        chunk-aligned segments compressed concurrently, each with its
+        own reduction context (``HUFP`` container); the result decodes
+        bit-exactly on every adapter.
+        """
         if isinstance(data, (bytes, bytearray, memoryview)):
             arr = np.frombuffer(bytes(data), dtype=np.uint8)
             meta = ("|u1", (arr.size,))
@@ -221,15 +415,59 @@ class HuffmanX:
             arr = np.ascontiguousarray(data)
             meta = (arr.dtype.str, arr.shape)
         keys = arr.reshape(-1).view(np.uint8)
-        inner = self.compress_keys(keys, 256)
         header = _pack_meta(meta[0], meta[1])
-        return header + inner
+
+        nseg = self._num_segments(keys.size)
+        if nseg <= 1:
+            return header + self.compress_keys(keys, 256)
+
+        seg = -(-keys.size // nseg)
+        seg = -(-seg // self.chunk_size) * self.chunk_size  # chunk-aligned
+        bounds = list(range(0, keys.size, seg)) + [keys.size]
+        nseg = len(bounds) - 1
+
+        def _one(i: int) -> bytes:
+            part = keys[bounds[i] : bounds[i + 1]]
+            ctx = self._key_context(part.shape, part.dtype, 256, tag=i)
+            return self._compress_keys(part, 256, ctx, None)
+
+        parts = _map_tasks(self.adapter, _one, range(nseg))
+        body = (
+            _PAR_MAGIC
+            + struct.pack("<BI", _VERSION, nseg)
+            + struct.pack(f"<{nseg}Q", *(len(p) for p in parts))
+            + b"".join(parts)
+        )
+        return header + body
 
     @stream_errors
     def decompress(self, blob: bytes) -> np.ndarray:
         dtype_str, shape, used = _unpack_meta(blob)
-        keys = self.decompress_keys(blob[used:])
+        body = blob[used:]
+        if body[:4] == _PAR_MAGIC:
+            keys = self._decompress_segments(body)
+        else:
+            keys = self.decompress_keys(body)
         return keys.astype(np.uint8).view(np.dtype(dtype_str)).reshape(shape)
+
+    def _decompress_segments(self, body: bytes) -> np.ndarray:
+        version, nseg = struct.unpack_from("<BI", body, 4)
+        if version != _VERSION:
+            raise ValueError(f"unsupported Huffman-X version {version}")
+        off = 4 + struct.calcsize("<BI")
+        seg_lens = struct.unpack_from(f"<{nseg}Q", body, off)
+        off += 8 * nseg
+        segments = []
+        for i, length in enumerate(seg_lens):
+            segments.append((i, body[off : off + length]))
+            off += length
+
+        parts = _map_tasks(
+            self.adapter, lambda t: self._decompress_keys(t[1], tag=t[0]), segments
+        )
+        if not parts:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate([p.reshape(-1) for p in parts])
 
     def compression_ratio(self, data: np.ndarray, blob: bytes) -> float:
         return data.nbytes / len(blob)
@@ -246,6 +484,7 @@ class HuffmanX:
         book: Codebook,
         chunk_offsets: np.ndarray,
         payload: np.ndarray,
+        chunk_size: int,
     ) -> bytes:
         dts = np.dtype(dtype).str.encode("ascii")
         # Trailing unused symbols need no stored lengths, and the rest is
@@ -262,7 +501,7 @@ class HuffmanX:
                 len(shape),
                 num_symbols,
                 n,
-                self.chunk_size,
+                chunk_size,
                 payload.size,
                 stored,
             ),
@@ -276,6 +515,13 @@ class HuffmanX:
         return b"".join(parts)
 
     def _deserialize(self, blob: bytes):
+        """Parse a ``HUFX`` stream.
+
+        Streams are self-describing: the returned ``chunk_size`` is the
+        *stream's* chunking, deliberately **not** written back to
+        ``self.chunk_size`` — decoding a foreign stream must not change
+        how this instance encodes (nor race the segment-parallel path).
+        """
         if blob[:4] != _MAGIC:
             raise ValueError("not a Huffman-X stream (bad magic)")
         off = 4
@@ -284,9 +530,6 @@ class HuffmanX:
         ) = struct.unpack_from("<BBHIQIQI", blob, off)
         if version != _VERSION:
             raise ValueError(f"unsupported Huffman-X version {version}")
-        if chunk_size != self.chunk_size:
-            # Streams are self-describing; adopt the stream's chunking.
-            self.chunk_size = chunk_size
         off += struct.calcsize("<BBHIQIQI")
         dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
         off += dts_len
@@ -296,17 +539,26 @@ class HuffmanX:
         head, consumed = _rle_decode(blob, off, stored)
         lengths[:stored] = head
         off += consumed
+        if lengths.size and int(lengths.max()) > MAX_CODE_LENGTH:
+            raise ValueError(
+                f"corrupt stream: code length {int(lengths.max())} exceeds "
+                f"the {MAX_CODE_LENGTH}-bit limit of length-limited "
+                f"codebooks (decode windows support at most 24 bits)"
+            )
         (nchunks,) = struct.unpack_from("<I", blob, off)
         off += 4
         chunk_offsets = np.frombuffer(
             blob, dtype=np.uint64, count=nchunks, offset=off
         ).copy()
         off += 8 * nchunks
-        payload = np.frombuffer(blob, dtype=np.uint8, count=payload_len, offset=off).copy()
+        payload = np.frombuffer(blob, dtype=np.uint8, count=payload_len, offset=off)
         from repro.compressors.huffman.codebook import canonical_codes
 
         book = Codebook(codes=canonical_codes(lengths), lengths=lengths)
-        return tuple(shape), dtype, num_symbols, n, book, chunk_offsets, payload
+        return (
+            tuple(shape), dtype, num_symbols, n, book, chunk_offsets, payload,
+            chunk_size,
+        )
 
 
 def _pack_meta(dtype_str: str, shape: tuple[int, ...]) -> bytes:

@@ -75,6 +75,9 @@ class MGARDX:
         # across levels (see quantize.level_bins).  The total budget is
         # invariant, so the error bound holds for every s.
         self.s = float(s)
+        # One lossless coder for the instance's lifetime, sharing the
+        # CMM cache: its working buffers persist across calls too.
+        self._huffman = HuffmanX(adapter=adapter, context_cache=self.cache)
 
     # ------------------------------------------------------------------
     def _context(
@@ -137,7 +140,8 @@ class MGARDX:
 
         ctx, hierarchy, factors = self._context(data.shape, data.dtype, coords)
         coeffs, coarsest = decompose(
-            data, hierarchy, adapter=self.adapter, factors_per_level=factors
+            data, hierarchy, adapter=self.adapter, factors_per_level=factors,
+            ctx=ctx,
         )
         groups = coeffs + [coarsest.reshape(-1)]
 
@@ -169,8 +173,9 @@ class MGARDX:
         symbols, outliers = to_symbols(qflat, self.dict_size)
 
         if self.config.lossless == "huffman":
-            huff = HuffmanX(adapter=self.adapter, context_cache=self.cache)
-            payload = huff.compress_keys(symbols.astype(np.int64), self.dict_size)
+            payload = self._huffman.compress_keys(
+                symbols.astype(np.int64), self.dict_size
+            )
         else:
             payload = symbols.astype(np.int32).tobytes()
 
@@ -220,8 +225,7 @@ class MGARDX:
         coords = self._check_coords(coords, tuple(shape))
         ctx, hierarchy, factors = self._context(tuple(shape), dtype, coords)
         if lossless:
-            huff = HuffmanX(adapter=self.adapter, context_cache=self.cache)
-            symbols = huff.decompress_keys(payload)
+            symbols = self._huffman.decompress_keys(payload)
         else:
             symbols = np.frombuffer(payload, dtype=np.int32).astype(np.int64)
         qflat = from_symbols(symbols, outliers)
@@ -240,9 +244,12 @@ class MGARDX:
         coeffs = groups[:-1]
         coarsest = groups[-1].reshape(hierarchy.shape_at(hierarchy.total_levels))
         out = recompose(
-            coeffs, coarsest, hierarchy, adapter=self.adapter, factors_per_level=factors
+            coeffs, coarsest, hierarchy, adapter=self.adapter,
+            factors_per_level=factors, ctx=ctx,
         )
-        return out.astype(dtype)
+        # recompose's result aliases context memory; astype(copy=True)
+        # hands the caller an independent array.
+        return out.astype(dtype, copy=True)
 
     # ------------------------------------------------------------------
     def compression_ratio(self, data: np.ndarray, blob: bytes) -> float:

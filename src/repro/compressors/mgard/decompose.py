@@ -58,6 +58,29 @@ def _coarse_mask(hierarchy: Hierarchy, level: int) -> np.ndarray:
     return mask
 
 
+def _level_geometry(hierarchy: Hierarchy, level: int, ctx=None):
+    """``(selector, fine_idx)`` for a level, CMM-cached when ``ctx`` given.
+
+    ``fine_idx`` are the flat C-order indices of the fine (non-coarse)
+    nodes — the positions whose multilevel coefficients the level emits.
+    Both are pure functions of the hierarchy, so repeated reductions
+    reuse them instead of rebuilding full-grid boolean masks.
+    """
+
+    def _build_selector():
+        return _coarse_selector(hierarchy, level)
+
+    def _build_fine_idx():
+        return np.flatnonzero(~_coarse_mask(hierarchy, level).ravel())
+
+    if ctx is None:
+        return _build_selector(), _build_fine_idx()
+    return (
+        ctx.object(f"geometry.selector.{level}", _build_selector),
+        ctx.object(f"geometry.fine_idx.{level}", _build_fine_idx),
+    )
+
+
 def level_factors(hierarchy: Hierarchy, level: int) -> dict[int, TridiagFactors]:
     """Tridiagonal factorizations of each active dim's coarse mass matrix."""
     out = {}
@@ -74,6 +97,7 @@ def _correction(
     level: int,
     factors: dict[int, TridiagFactors],
     adapter=None,
+    ctx=None,
 ) -> np.ndarray:
     corr = mc
     dims = hierarchy.active_dims(level)
@@ -81,7 +105,7 @@ def _correction(
         lvl = hierarchy.dim_level(d, level)
         corr = restrict(mass_apply(corr, lvl, d), lvl, d)
     for d in dims:
-        corr = factors[d].solve_along(corr, axis=d, adapter=adapter)
+        corr = factors[d].solve_along(corr, axis=d, adapter=adapter, ctx=ctx)
     return corr
 
 
@@ -90,13 +114,19 @@ def decompose(
     hierarchy: Hierarchy,
     adapter=None,
     factors_per_level: list[dict[int, TridiagFactors]] | None = None,
+    ctx=None,
 ) -> tuple[list[np.ndarray], np.ndarray]:
     """Full multilevel decomposition.
 
     Returns ``(coefficients, coarsest)``: per-level 1-D coefficient
     arrays (finest level first) and the coarsest-grid approximation.
     ``factors_per_level`` may come from a CMM context to skip
-    refactorization on repeated calls.
+    refactorization on repeated calls; with ``ctx`` the per-level
+    working grids, coefficient buffers, and node-geometry index tables
+    also persist, so repeated same-shaped decompositions allocate
+    nothing through the context.  Returned coefficient arrays then alias
+    context memory and are valid until the next decomposition through
+    the same context.
     """
     if tuple(data.shape) != hierarchy.shape:
         raise ValueError(f"data shape {data.shape} != hierarchy {hierarchy.shape}")
@@ -109,14 +139,31 @@ def decompose(
             if factors_per_level is not None
             else level_factors(hierarchy, level)
         )
-        approx = current.copy()
+        shape = hierarchy.shape_at(level)
+        if ctx is not None:
+            approx = ctx.buffer(f"decompose.approx.{level}", shape, np.float64)
+            np.copyto(approx, current)
+            mc = ctx.buffer(f"decompose.mc.{level}", shape, np.float64)
+        else:
+            approx = current.copy()
+            mc = None
         for d in dims:
             lerp_fill(approx, hierarchy.dim_level(d, level), d)
-        mc = current - approx
-        mask = _coarse_mask(hierarchy, level)
-        coeffs.append(mc[~mask])
-        corr = _correction(mc, hierarchy, level, factors, adapter)
-        current = current[_coarse_selector(hierarchy, level)] + corr
+        if mc is None:
+            mc = current - approx
+        else:
+            np.subtract(current, approx, out=mc)
+        selector, fine_idx = _level_geometry(hierarchy, level, ctx)
+        if ctx is not None:
+            level_coeffs = ctx.buffer(
+                f"decompose.coeffs.{level}", (fine_idx.size,), np.float64
+            )
+            np.take(mc.reshape(-1), fine_idx, out=level_coeffs)
+        else:
+            level_coeffs = mc.reshape(-1)[fine_idx]
+        coeffs.append(level_coeffs)
+        corr = _correction(mc, hierarchy, level, factors, adapter, ctx=ctx)
+        current = current[selector] + corr
     return coeffs, current
 
 
@@ -126,8 +173,14 @@ def recompose(
     hierarchy: Hierarchy,
     adapter=None,
     factors_per_level: list[dict[int, TridiagFactors]] | None = None,
+    ctx=None,
 ) -> np.ndarray:
-    """Exact inverse of :func:`decompose`."""
+    """Exact inverse of :func:`decompose`.
+
+    With ``ctx`` the per-level grids come from persistent context
+    buffers; the returned array then aliases context memory (callers
+    copy or cast before handing it out).
+    """
     if len(coeffs) != hierarchy.total_levels:
         raise ValueError(
             f"{len(coeffs)} coefficient levels != {hierarchy.total_levels}"
@@ -141,13 +194,19 @@ def recompose(
             else level_factors(hierarchy, level)
         )
         shape = hierarchy.shape_at(level)
-        mask = _coarse_mask(hierarchy, level)
-        mc = np.zeros(shape, dtype=np.float64)
-        mc[~mask] = coeffs[level]
-        corr = _correction(mc, hierarchy, level, factors, adapter)
+        selector, fine_idx = _level_geometry(hierarchy, level, ctx)
+        if ctx is not None:
+            mc = ctx.buffer(f"recompose.mc.{level}", shape, np.float64)
+            mc[...] = 0.0
+            new = ctx.buffer(f"recompose.new.{level}", shape, np.float64)
+            new[...] = 0.0
+        else:
+            mc = np.zeros(shape, dtype=np.float64)
+            new = np.zeros(shape, dtype=np.float64)
+        mc.reshape(-1)[fine_idx] = coeffs[level]
+        corr = _correction(mc, hierarchy, level, factors, adapter, ctx=ctx)
         coarse_vals = current - corr
-        new = np.zeros(shape, dtype=np.float64)
-        new[_coarse_selector(hierarchy, level)] = coarse_vals
+        new[selector] = coarse_vals
         for d in dims:
             lerp_fill(new, hierarchy.dim_level(d, level), d)
         new += mc

@@ -166,9 +166,14 @@ class TridiagFactors:
         return cls(dprime=dprime, c=c)
 
     def solve_along(
-        self, b: np.ndarray, axis: int, adapter=None, group_size: int = 64
+        self, b: np.ndarray, axis: int, adapter=None, group_size: int = 64,
+        ctx=None,
     ) -> np.ndarray:
-        """Solve ``M x = b`` along ``axis`` via the Iterative abstraction."""
+        """Solve ``M x = b`` along ``axis`` via the Iterative abstraction.
+
+        ``ctx`` forwards to :func:`~repro.core.abstractions.iterative`
+        so the vector-batch staging buffer persists across solves (CMM).
+        """
         if b.shape[axis] != self.dprime.size:
             raise ValueError(
                 f"axis length {b.shape[axis]} != system size {self.dprime.size}"
@@ -183,4 +188,5 @@ class TridiagFactors:
             axis=axis,
             group_size=group_size,
             adapter=adapter,
+            ctx=ctx,
         )

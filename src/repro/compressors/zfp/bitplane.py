@@ -61,6 +61,14 @@ def _plane_budget(maxbits: int, e_bits: int) -> int:
     return max(0, maxbits - 1 - e_bits)
 
 
+def _window_bits(nplanes: int, width: int) -> int:
+    """Smallest byte-aligned window ≥ ``nplanes`` (for packbits I/O)."""
+    for w in (16, 32, 64):
+        if nplanes <= w <= width:
+            return w
+    return width
+
+
 def encode_blocks(
     coeffs: np.ndarray,
     emax: np.ndarray,
@@ -95,8 +103,17 @@ def encode_blocks(
     plane_bits = _plane_budget(maxbits, e_bits)
     nplanes = min(width, -(-plane_bits // bs)) if plane_bits else 0
     if nplanes:
-        shifts = np.arange(width - 1, width - 1 - nplanes, -1, dtype=np.uint64)
-        planes = ((neg[:, None, :] >> shifts[None, :, None]) & np.uint64(1)).astype(np.uint8)
+        # Keep only the top w >= nplanes bits of each value and let
+        # np.unpackbits explode them: unpacked bit p of the window is
+        # negabinary bit width-1-p, i.e. exactly bitplane p.  This runs
+        # byte-at-a-time in C instead of materializing a
+        # (nblocks, nplanes, bs) uint64 broadcast.
+        w = _window_bits(nplanes, width)
+        win = (neg >> np.uint64(width - w)).astype(f">u{w // 8}", order="C")
+        unpacked = np.unpackbits(
+            win.view(np.uint8).reshape(nblocks, bs * (w // 8)), axis=1
+        )
+        planes = unpacked.reshape(nblocks, bs, w).transpose(0, 2, 1)[:, :nplanes, :]
         flat = planes.reshape(nblocks, nplanes * bs)[:, :plane_bits]
         bits[:, 1 + e_bits : 1 + e_bits + flat.shape[1]] = flat
     # Zero blocks carry no payload (their planes are zero anyway, but
@@ -136,9 +153,18 @@ def decode_blocks(
         payload = np.zeros((nblocks, nplanes * block_size), dtype=np.uint8)
         avail = min(plane_bits, nplanes * block_size)
         payload[:, :avail] = bits[:, 1 + e_bits : 1 + e_bits + avail]
-        planes = payload.reshape(nblocks, nplanes, block_size).astype(np.uint64)
-        shifts = np.arange(width - 1, width - 1 - nplanes, -1, dtype=np.uint64)
-        neg = (planes << shifts[None, :, None]).sum(axis=1, dtype=np.uint64)
+        planes = payload.reshape(nblocks, nplanes, block_size)
+        # Inverse of the encode-side window trick: lay bitplane p at
+        # window bit p, packbits back into byte-aligned values, then
+        # shift up to the negabinary position (see encode_blocks).
+        w = _window_bits(nplanes, width)
+        arranged = np.zeros((nblocks, block_size, w), dtype=np.uint8)
+        arranged[:, :, :nplanes] = planes.transpose(0, 2, 1)
+        packed = np.packbits(arranged.reshape(nblocks, block_size * w), axis=1)
+        vals = packed.reshape(nblocks, block_size, w // 8).view(f">u{w // 8}")
+        neg = vals.reshape(nblocks, block_size).astype(np.uint64) << np.uint64(
+            width - w
+        )
     coeffs = from_negabinary(neg, width)
     coeffs[~nonzero] = 0
     emax[~nonzero] = -bias

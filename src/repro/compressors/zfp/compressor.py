@@ -14,6 +14,7 @@ import struct
 import numpy as np
 
 from repro.core.abstractions import blockize, locality, unblockize
+from repro.core.context import ContextCache
 from repro.core.functor import LocalityFunctor
 from repro.compressors.zfp.bitplane import INTPREC, decode_blocks, encode_blocks
 from repro.compressors.zfp.fixedpoint import (
@@ -100,13 +101,23 @@ class ZFPX:
         ``round(rate * 4^d)`` bits (byte-padded per block).
     adapter:
         Device adapter (defaults to serial).
+    context_cache:
+        Optional CMM cache: the block-batch staging buffer persists per
+        (shape, dtype, rate), so repeated same-shaped compressions
+        allocate nothing through the context.
     """
 
-    def __init__(self, rate: float = 8.0, adapter=None) -> None:
+    def __init__(
+        self,
+        rate: float = 8.0,
+        adapter=None,
+        context_cache: ContextCache | None = None,
+    ) -> None:
         if rate <= 0 or rate > 64 + 2:
             raise ValueError(f"rate must be in (0, 66], got {rate}")
         self.rate = float(rate)
         self.adapter = adapter
+        self.cache = context_cache if context_cache is not None else ContextCache()
 
     def _maxbits(self, ndim: int, dtype: np.dtype) -> int:
         bs = 4**ndim
@@ -123,6 +134,7 @@ class ZFPX:
             raise ValueError(f"ZFP-X supports 1-4 dimensions, got {ndim}")
         maxbits = self._maxbits(ndim, dtype)
 
+        ctx = self.cache.get(("zfp", data.shape, dtype.str, maxbits))
         records = locality(
             data,
             _ZfpEncodeFunctor(ndim, maxbits, dtype),
@@ -130,6 +142,7 @@ class ZFPX:
             adapter=self.adapter,
             pad_mode="edge",
             reassemble=False,
+            ctx=ctx,
         )
         header = struct.pack(
             "<4sBBBdI",

@@ -52,11 +52,19 @@ def _default_adapter():
 # ----------------------------------------------------------------------
 # Block decomposition helpers
 # ----------------------------------------------------------------------
+def block_grid(
+    shape: tuple[int, ...], block_shape: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Blocks per dimension (ceil-division) for :func:`blockize`."""
+    return tuple(-(-n // b) for n, b in zip(shape, block_shape))
+
+
 def blockize(
     data: np.ndarray,
     block_shape: tuple[int, ...],
     halo: int = 0,
     pad_mode: str = "edge",
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, tuple[int, ...]]:
     """Decompose ``data`` into a batch of blocks.
 
@@ -65,6 +73,11 @@ def blockize(
     number of blocks per dimension.  The input is padded (``pad_mode``)
     up to a multiple of ``block_shape``, plus ``halo`` cells on every
     boundary so edge blocks also carry full halos.
+
+    ``out`` (shape ``(nblocks, *window)``, matching dtype) receives the
+    batch in place — typically a persistent CMM buffer — so the steady
+    state performs no batch allocation.  Without ``out``, the 1-D
+    no-halo case still returns a zero-copy view of the (padded) input.
     """
     if data.ndim != len(block_shape):
         raise ValueError(
@@ -75,9 +88,7 @@ def blockize(
     if halo < 0:
         raise ValueError(f"halo must be >= 0, got {halo}")
 
-    grid_shape = tuple(
-        -(-n // b) for n, b in zip(data.shape, block_shape)
-    )  # ceil-div
+    grid_shape = block_grid(data.shape, block_shape)
     pad = [
         (halo, g * b - n + halo)
         for n, b, g in zip(data.shape, block_shape, grid_shape)
@@ -85,8 +96,17 @@ def blockize(
     padded = np.pad(data, pad, mode=pad_mode) if any(p != (0, 0) for p in pad) else data
 
     window = tuple(b + 2 * halo for b in block_shape)
+    nblocks = int(np.prod(grid_shape))
+    if out is not None and (
+        out.shape != (nblocks,) + window or out.dtype != data.dtype
+    ):
+        raise ValueError(
+            f"out has shape {out.shape}/{out.dtype}, expected "
+            f"{(nblocks,) + window}/{data.dtype}"
+        )
     if halo == 0:
-        # Fast path: pure reshape/transpose, no copy of overlapping data.
+        # Fast path: pure reshape/transpose; the single copy (when one
+        # is needed at all) lands directly in ``out``.
         g = grid_shape
         b = block_shape
         interleaved = padded.reshape(
@@ -94,15 +114,20 @@ def blockize(
         )
         ndim = data.ndim
         axes = tuple(range(0, 2 * ndim, 2)) + tuple(range(1, 2 * ndim, 2))
-        batch = interleaved.transpose(axes).reshape(-1, *b)
-    else:
-        windows = sliding_window_view(padded, window)
-        # windows has shape (padded - window + 1 per dim, *window); take
-        # block-stride steps.
-        idx = tuple(slice(None, None, b) for b in block_shape)
-        strided = windows[idx]
-        batch = strided.reshape(-1, *window)
-    return np.ascontiguousarray(batch), grid_shape
+        arranged = interleaved.transpose(axes)
+        if out is None:
+            return np.ascontiguousarray(arranged).reshape(-1, *b), grid_shape
+        np.copyto(out.reshape(*g, *b), arranged)
+        return out, grid_shape
+    windows = sliding_window_view(padded, window)
+    # windows has shape (padded - window + 1 per dim, *window); take
+    # block-stride steps.
+    idx = tuple(slice(None, None, b) for b in block_shape)
+    strided = windows[idx]
+    if out is None:
+        return np.ascontiguousarray(strided).reshape(-1, *window), grid_shape
+    np.copyto(out.reshape(strided.shape), strided)
+    return out, grid_shape
 
 
 def unblockize(
@@ -110,10 +135,14 @@ def unblockize(
     grid_shape: tuple[int, ...],
     out_shape: tuple[int, ...],
     halo: int = 0,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Reassemble a block batch produced by :func:`blockize`.
 
     When ``halo > 0`` only each block's core region is written back.
+    ``out`` receives the result in place.  When every output dimension
+    is an exact multiple of its block size the stitch is a single copy
+    (no intermediate assembly buffer).
     """
     ndim = len(out_shape)
     if batch.ndim != ndim + 1:
@@ -129,15 +158,33 @@ def unblockize(
         batch = batch[core]
     g = grid_shape
     b = block_shape
+    if out is not None and (
+        out.shape != tuple(out_shape) or out.dtype != batch.dtype
+    ):
+        raise ValueError(
+            f"out has shape {out.shape}/{out.dtype}, expected "
+            f"{tuple(out_shape)}/{batch.dtype}"
+        )
     full = batch.reshape(*g, *b)
     axes: list[int] = []
     for i in range(ndim):
         axes.extend([i, ndim + i])
-    stitched = full.transpose(axes).reshape(
-        *(gi * bi for gi, bi in zip(g, b))
-    )
+    arranged = full.transpose(axes)  # (g0, b0, g1, b1, ...) view
+    if tuple(out_shape) == tuple(gi * bi for gi, bi in zip(g, b)):
+        # Exact tiling: one copy straight into the destination.
+        if out is None:
+            out = np.empty(out_shape, dtype=batch.dtype)
+        np.copyto(
+            out.reshape(*(dim for pair in zip(g, b) for dim in pair)),
+            arranged,
+        )
+        return out
+    stitched = arranged.reshape(*(gi * bi for gi, bi in zip(g, b)))
     crop = tuple(slice(0, n) for n in out_shape)
-    return np.ascontiguousarray(stitched[crop])
+    if out is None:
+        return np.ascontiguousarray(stitched[crop])
+    np.copyto(out, stitched[crop])
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +198,7 @@ def locality(
     adapter=None,
     pad_mode: str = "edge",
     reassemble: bool | None = None,
+    ctx=None,
 ) -> np.ndarray:
     """Locality abstraction (Fig. 3a).
 
@@ -160,13 +208,33 @@ def locality(
     reassembled to ``data.shape``; otherwise the raw output batch is
     returned (encoded outputs, e.g. ZFP bitplanes), or force the
     behaviour via ``reassemble``.
+
+    ``ctx`` is an optional :class:`~repro.core.context.ReductionContext`
+    supplying the persistent block-batch buffer (CMM, Section III-B):
+    with it, repeated same-shaped calls perform no batch allocation.
     """
     adapter = adapter if adapter is not None else _default_adapter()
     if block_shape is None:
         block_shape = data.shape
         if halo != 0:
             raise ValueError("halo requires an explicit block_shape")
-    batch, grid_shape = blockize(data, tuple(block_shape), halo, pad_mode)
+    block_shape = tuple(block_shape)
+    batch_out = None
+    if ctx is not None and (halo > 0 or data.ndim > 1):
+        # 1-D no-halo blockize is a zero-copy reshape; forcing it into a
+        # persistent buffer would *add* a copy, so only multi-dim /
+        # halo decompositions draw their batch from the context.
+        grid = block_grid(data.shape, block_shape)
+        window = tuple(b + 2 * halo for b in block_shape)
+        shape_tag = "x".join(map(str, data.shape))
+        batch_out = ctx.buffer(
+            f"locality.{functor.name}.{shape_tag}.batch",
+            (int(np.prod(grid)),) + window,
+            data.dtype,
+        )
+    batch, grid_shape = blockize(
+        data, block_shape, halo, pad_mode, out=batch_out
+    )
     out = adapter.execute_group_batch(functor, batch)
     if out.shape[0] != batch.shape[0]:
         raise ValueError(
@@ -206,6 +274,7 @@ def iterative(
     axis: int = -1,
     group_size: int = 16,
     adapter=None,
+    ctx=None,
 ) -> np.ndarray:
     """Iterative abstraction (Fig. 3b).
 
@@ -213,6 +282,10 @@ def iterative(
     vectors into a group (the paper's B:1 mapping for memory locality),
     and applies the functor, whose computation is sequential along the
     vector but parallel across vectors.
+
+    ``ctx`` supplies the persistent vector-batch buffer (CMM): the
+    axis-move gather and group padding then reuse cached memory and the
+    steady state allocates nothing for the batch.
     """
     if group_size < 1:
         raise ValueError(f"group_size must be >= 1, got {group_size}")
@@ -220,14 +293,28 @@ def iterative(
     moved = np.moveaxis(data, axis, -1)
     lead_shape = moved.shape[:-1]
     n = moved.shape[-1]
-    vectors = np.ascontiguousarray(moved.reshape(-1, n))
-    nvec = vectors.shape[0]
+    nvec = int(np.prod(lead_shape)) if lead_shape else 1
 
     ngroups = -(-nvec // group_size)
     padded_n = ngroups * group_size
-    if padded_n != nvec:
-        pad = np.repeat(vectors[-1:], padded_n - nvec, axis=0)
-        vectors = np.concatenate([vectors, pad], axis=0)
+    if ctx is not None:
+        # The shape tag keeps one buffer per distinct problem size, so
+        # pipelines that sweep several sizes per call (MGARD's level
+        # hierarchy) still reach a zero-alloc steady state.
+        shape_tag = "x".join(map(str, moved.shape))
+        vectors = ctx.buffer(
+            f"iterative.{functor.name}.{axis}.{shape_tag}.vectors",
+            (padded_n, n),
+            data.dtype,
+        )
+        np.copyto(vectors[:nvec].reshape(moved.shape), moved)
+        if padded_n != nvec:
+            vectors[nvec:] = vectors[nvec - 1]
+    else:
+        vectors = np.ascontiguousarray(moved.reshape(-1, n))
+        if padded_n != nvec:
+            pad = np.repeat(vectors[-1:], padded_n - nvec, axis=0)
+            vectors = np.concatenate([vectors, pad], axis=0)
     groups = vectors.reshape(ngroups, group_size, n)
     out = adapter.execute_group_batch(_GroupedIterative(functor), groups)
     out = out.reshape(padded_n, n)[:nvec]

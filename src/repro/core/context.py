@@ -13,14 +13,26 @@ Two layers are provided:
 
 * :class:`ReductionContext` — a named bag of persistent NumPy buffers
   plus arbitrary cached objects (grid hierarchies, Huffman codebooks).
+  Fixed-shape working sets use :meth:`ReductionContext.buffer`;
+  data-dependent sizes (bitstreams, outlier lists) use
+  :meth:`ReductionContext.scratch`, which keeps a geometrically grown
+  capacity buffer so the steady state stops allocating even when sizes
+  fluctuate slightly between calls.
 * :class:`ContextCache` — the hash map with hit/miss statistics and an
-  LRU eviction bound, plus an optional hook invoked on every real
-  allocation so the simulator can charge runtime-lock time for misses
-  only.
+  LRU eviction bound, plus optional hooks invoked on every real
+  allocation/free so the simulator can charge runtime-lock time for
+  misses only.  The cache also keeps byte-accurate running totals
+  (``alloc_events``, ``alloc_bytes_total``, ``free_bytes_total``) used
+  by the zero-alloc steady-state tests.
+
+Evicting a context never invalidates in-flight work: eviction only
+drops the cache's reference, so any buffers still held by a running
+reduction stay alive until that reduction releases them.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -30,12 +42,39 @@ import numpy as np
 class ReductionContext:
     """Persistent buffers and derived objects for one reduction setup."""
 
-    def __init__(self, key: Hashable) -> None:
+    def __init__(
+        self,
+        key: Hashable,
+        on_alloc: Callable[[int], None] | None = None,
+        on_free: Callable[[int], None] | None = None,
+    ) -> None:
         self.key = key
         self._buffers: dict[str, np.ndarray] = {}
         self._objects: dict[str, Any] = {}
         self.alloc_count = 0
         self.alloc_bytes = 0
+        self._on_alloc = on_alloc
+        self._on_free = on_free
+        # Functors executing on a thread-pool adapter may request
+        # per-thread scratch concurrently; the map itself must stay
+        # consistent (the returned arrays are the caller's to serialize).
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _account(
+        self,
+        new_nbytes: int,
+        freed_nbytes: int,
+        per_call_hook: Callable[[int], None] | None = None,
+    ) -> None:
+        self.alloc_count += 1
+        self.alloc_bytes += new_nbytes
+        if freed_nbytes and self._on_free is not None:
+            self._on_free(freed_nbytes)
+        if self._on_alloc is not None:
+            self._on_alloc(new_nbytes)
+        if per_call_hook is not None:
+            per_call_hook(new_nbytes)
 
     def buffer(
         self,
@@ -48,19 +87,47 @@ class ReductionContext:
 
         Subsequent calls with the same name return the same memory; a
         shape/dtype change (data characteristics changed under the same
-        key) reallocates, which counts as a new allocation.
+        key) reallocates, which counts as a new allocation (and frees
+        the old buffer for byte accounting).
         """
         dtype = np.dtype(dtype)
-        buf = self._buffers.get(name)
-        if buf is not None and buf.shape == tuple(shape) and buf.dtype == dtype:
+        with self._lock:
+            buf = self._buffers.get(name)
+            if buf is not None and buf.shape == tuple(shape) and buf.dtype == dtype:
+                return buf
+            freed = buf.nbytes if buf is not None else 0
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+            self._account(buf.nbytes, freed, on_alloc)
             return buf
-        buf = np.empty(shape, dtype=dtype)
-        self._buffers[name] = buf
-        self.alloc_count += 1
-        self.alloc_bytes += buf.nbytes
-        if on_alloc is not None:
-            on_alloc(buf.nbytes)
-        return buf
+
+    def scratch(
+        self,
+        name: str,
+        size: int,
+        dtype: np.dtype | type = np.uint8,
+    ) -> np.ndarray:
+        """Return a 1-D view of ``size`` elements over persistent capacity.
+
+        Unlike :meth:`buffer`, the underlying allocation only *grows*
+        (geometrically, to the next power of two), so repeated calls
+        with fluctuating data-dependent sizes stop allocating once the
+        high-water mark is reached.  The returned view is uninitialized;
+        callers must overwrite it fully.
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        dtype = np.dtype(dtype)
+        with self._lock:
+            buf = self._buffers.get(name)
+            if buf is not None and buf.dtype == dtype and buf.size >= size:
+                return buf[:size]
+            capacity = 1 << max(0, int(size - 1).bit_length()) if size else 1
+            freed = buf.nbytes if buf is not None else 0
+            buf = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buf
+            self._account(buf.nbytes, freed)
+            return buf[:size]
 
     def set_object(self, name: str, value: Any) -> Any:
         self._objects[name] = value
@@ -71,9 +138,10 @@ class ReductionContext:
 
     def object(self, name: str, builder: Callable[[], Any]) -> Any:
         """Return the cached object, building it on first use."""
-        if name not in self._objects:
-            self._objects[name] = builder()
-        return self._objects[name]
+        with self._lock:
+            if name not in self._objects:
+                self._objects[name] = builder()
+            return self._objects[name]
 
     @property
     def nbytes(self) -> int:
@@ -92,9 +160,17 @@ class ContextCache:
         Maximum number of live contexts; least-recently-used contexts
         are evicted beyond it (their device memory is "freed").
     on_alloc / on_free:
-        Optional hooks called with a byte count whenever a context is
-        created/evicted — the simulator charges runtime-lock time here,
-        so cache *hits* cost nothing, reproducing the CMM effect.
+        Optional hooks called with a byte count whenever context memory
+        is allocated/released — the simulator charges runtime-lock time
+        here, so cache *hits* cost nothing, reproducing the CMM effect.
+        ``on_alloc`` fires for every buffer/scratch allocation inside a
+        cached context; ``on_free`` fires when a buffer is replaced,
+        when a context is evicted, and on :meth:`clear`, so the byte
+        totals balance exactly over a context's lifetime.
+
+    :meth:`get` is thread-safe; per-thread reduction paths may share one
+    cache.  Evicting a context mid-run is safe: in-flight reductions
+    keep their own reference and their buffers stay valid.
     """
 
     def __init__(
@@ -112,37 +188,61 @@ class ContextCache:
         self.evictions = 0
         self.on_alloc = on_alloc
         self.on_free = on_free
+        self.alloc_events = 0
+        self.alloc_bytes_total = 0
+        self.free_bytes_total = 0
+        self._lock = threading.RLock()
+
+    # -- hook plumbing ---------------------------------------------------
+    def _context_alloc(self, nbytes: int) -> None:
+        self.alloc_events += 1
+        self.alloc_bytes_total += nbytes
+        if self.on_alloc is not None:
+            self.on_alloc(nbytes)
+
+    def _context_free(self, nbytes: int) -> None:
+        self.free_bytes_total += nbytes
+        if self.on_free is not None:
+            self.on_free(nbytes)
 
     def get(self, key: Hashable) -> ReductionContext:
         """Return the context for ``key``, creating it on a miss."""
-        ctx = self._map.get(key)
-        if ctx is not None:
-            self.hits += 1
-            self._map.move_to_end(key)
+        with self._lock:
+            ctx = self._map.get(key)
+            if ctx is not None:
+                self.hits += 1
+                self._map.move_to_end(key)
+                return ctx
+            self.misses += 1
+            ctx = ReductionContext(
+                key, on_alloc=self._context_alloc, on_free=self._context_free
+            )
+            self._map[key] = ctx
+            while len(self._map) > self.capacity:
+                _, evicted = self._map.popitem(last=False)
+                self.evictions += 1
+                self._context_free(evicted.nbytes)
             return ctx
-        self.misses += 1
-        ctx = ReductionContext(key)
-        self._map[key] = ctx
-        while len(self._map) > self.capacity:
-            _, evicted = self._map.popitem(last=False)
-            self.evictions += 1
-            if self.on_free is not None:
-                self.on_free(evicted.nbytes)
-        return ctx
 
     def buffer_hook(self) -> Callable[[int], None] | None:
         return self.on_alloc
 
     def clear(self) -> None:
-        if self.on_free is not None:
+        with self._lock:
             for ctx in self._map.values():
-                self.on_free(ctx.nbytes)
-        self._map.clear()
+                self._context_free(ctx.nbytes)
+            self._map.clear()
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently held by live (non-evicted) contexts."""
+        with self._lock:
+            return sum(ctx.nbytes for ctx in self._map.values())
 
     def __len__(self) -> int:
         return len(self._map)

@@ -37,6 +37,11 @@ class Functor(abc.ABC):
     name: str = "functor"
     #: average device-memory traffic per input element (read+write).
     bytes_per_element: float = 8.0
+    #: True when :meth:`apply` may return a view over reused scratch
+    #: (e.g. CMM-backed per-thread buffers): the result is only valid
+    #: until the same thread's next ``apply``, so adapters that collect
+    #: several results before combining them must copy each one first.
+    reuses_output: bool = False
 
     def cost_bytes(self, n_elements: int) -> float:
         """Simulated memory traffic for ``n_elements`` inputs."""

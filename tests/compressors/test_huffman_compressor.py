@@ -105,6 +105,31 @@ class TestRoundTrip:
         back = HuffmanX(chunk_size=4096).decompress_keys(blob)
         assert np.array_equal(back, keys)
 
+    def test_decompress_does_not_mutate_chunk_size(self, rng):
+        keys = rng.integers(0, 8, size=5000).astype(np.int64)
+        blob = HuffmanX(chunk_size=128).compress_keys(keys, 8)
+        h = HuffmanX(chunk_size=4096)
+        h.decompress_keys(blob)
+        # The stream's chunking must not leak into the decoder instance:
+        # how it *encodes* is configuration, not whatever it last read.
+        assert h.chunk_size == 4096
+        assert len(HuffmanX(chunk_size=4096).compress_keys(keys, 8)) == len(
+            h.compress_keys(keys, 8)
+        )
+
+    def test_overlong_code_length_rejected(self):
+        from repro.compressors.huffman.codebook import MAX_CODE_LENGTH, Codebook
+
+        h = HuffmanX()
+        lengths = np.array([MAX_CODE_LENGTH + 9, 2], dtype=np.uint8)
+        book = Codebook(codes=np.zeros(2, dtype=np.uint64), lengths=lengths)
+        blob = h._serialize(
+            (4,), np.dtype(np.int64), 2, 4, book,
+            np.zeros(1, dtype=np.uint64), np.zeros(1, dtype=np.uint8), 256,
+        )
+        with pytest.raises(ValueError, match="24"):
+            h.decompress_keys(blob)
+
 
 class TestByteLevel:
     def test_lossless_float_array(self, rng):
@@ -149,3 +174,24 @@ class TestAdapterPortability:
         blob = HuffmanX(adapter=get_adapter("cuda")).compress_keys(keys, 128)
         back = HuffmanX(adapter=get_adapter("openmp")).decompress_keys(blob)
         assert np.array_equal(back, keys)
+
+    def test_parallel_container_decodes_on_serial(self, rng):
+        from repro.adapters import get_adapter
+
+        # Large enough for several HUFP segments; num_threads is pinned
+        # so the parallel container triggers even on single-core hosts.
+        raw = rng.integers(0, 256, size=300_000).astype(np.uint8).tobytes()
+        par = HuffmanX(adapter=get_adapter("openmp", num_threads=4))
+        blob = par.compress(raw)
+        assert b"HUFP" in blob[:64]  # chunk-parallel container chosen
+        assert HuffmanX().decompress(blob).tobytes() == raw
+        assert par.decompress(blob).tobytes() == raw
+
+    def test_serial_container_decodes_on_openmp(self, rng):
+        from repro.adapters import get_adapter
+
+        raw = rng.integers(0, 256, size=300_000).astype(np.uint8).tobytes()
+        blob = HuffmanX().compress(raw)
+        assert b"HUFP" not in blob[:64]  # serial path stays single-segment
+        back = HuffmanX(adapter=get_adapter("openmp", num_threads=4)).decompress(blob)
+        assert back.tobytes() == raw

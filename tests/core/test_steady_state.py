@@ -1,0 +1,134 @@
+"""Zero-alloc steady state (CMM, paper III-B) and cache-eviction safety.
+
+The Context Memory Model's whole point is that the *steady state*
+performs no runtime memory management: after warm-up, repeated
+reductions of same-shaped data must not allocate through their cached
+contexts.  These tests pin that property for all three codecs, and pin
+the safety/accounting contracts of :class:`ContextCache` eviction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Config, ErrorMode, HuffmanX, MGARDX, ZFPX
+from repro.core.context import ContextCache
+
+
+def _steady_state_events(codec, data):
+    """New cache-wide allocation events on a 3rd same-shaped compress
+    and a 2nd same-stream decompress (calls 1-2 are warm-up)."""
+    blob = codec.compress(data)
+    codec.compress(data)
+    codec.decompress(blob)
+    before = codec.cache.alloc_events
+    codec.compress(data)
+    codec.decompress(blob)
+    return codec.cache.alloc_events - before
+
+
+class TestZeroAllocSteadyState:
+    def test_huffman(self, rng):
+        data = rng.normal(size=(32, 32, 32)).astype(np.float32)
+        assert _steady_state_events(HuffmanX(), data) == 0
+
+    def test_huffman_openmp_segments(self, rng):
+        from repro.adapters import get_adapter
+
+        # Large enough for the HUFP chunk-parallel container (threads
+        # pinned so it triggers on any host): the per-segment contexts
+        # must also reach steady state.
+        data = rng.integers(0, 256, size=400_000).astype(np.uint8)
+        codec = HuffmanX(adapter=get_adapter("openmp", num_threads=4))
+        assert _steady_state_events(codec, data) == 0
+
+    def test_mgard(self, rng):
+        data = rng.normal(size=(24, 24, 24)).astype(np.float32)
+        codec = MGARDX(Config(error_bound=1e-3, error_mode=ErrorMode.REL))
+        assert _steady_state_events(codec, data) == 0
+
+    def test_zfp(self, rng):
+        data = rng.normal(size=(24, 24, 24)).astype(np.float32)
+        assert _steady_state_events(ZFPX(rate=10), data) == 0
+
+    def test_alloc_count_stops_increasing(self, rng):
+        # The per-context counter (not just the cache aggregate) must
+        # flatline too: same context, zero new buffer/scratch entries.
+        keys = rng.integers(0, 64, size=10_000).astype(np.int64)
+        h = HuffmanX()
+        h.compress_keys(keys, 64)
+        h.compress_keys(keys, 64)
+        ctx = h._key_context(keys.shape, keys.dtype, 64, tag=None)
+        before = ctx.alloc_count
+        h.compress_keys(keys, 64)
+        assert ctx.alloc_count == before
+
+
+class TestEvictionSafety:
+    def test_evicted_buffers_stay_valid_for_inflight_work(self):
+        cache = ContextCache(capacity=1)
+        ctx = cache.get("a")
+        buf = ctx.buffer("x", (128,), np.float64)
+        buf[:] = 7.0
+        cache.get("b")  # evicts "a" mid-run
+        assert "a" not in cache
+        assert cache.evictions == 1
+        # The in-flight reference is untouched: readable and writable.
+        assert np.all(buf == 7.0)
+        buf[0] = -1.0
+        assert buf[0] == -1.0
+
+    def test_reacquired_key_gets_fresh_context(self):
+        cache = ContextCache(capacity=1)
+        first = cache.get("a")
+        first.buffer("x", (8,), np.uint8)
+        cache.get("b")
+        again = cache.get("a")
+        assert again is not first
+        assert "x" not in again
+
+    def test_codec_roundtrips_under_eviction_pressure(self, rng):
+        # capacity=1 forces an eviction on every shape change; streams
+        # must still round-trip exactly (evicted contexts are dropped,
+        # never recycled under in-flight work).
+        cache = ContextCache(capacity=1)
+        h = HuffmanX(context_cache=cache)
+        for n in (1_000, 2_000, 3_000, 1_000):
+            keys = rng.integers(0, 64, size=n).astype(np.int64)
+            blob = h.compress_keys(keys, 64)
+            assert np.array_equal(h.decompress_keys(blob), keys)
+        assert cache.evictions >= 3
+
+
+class TestByteAccounting:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(1, 2048)),
+            min_size=1,
+            max_size=40,
+        ),
+        capacity=st.integers(1, 4),
+    )
+    def test_alloc_and_free_totals_balance(self, ops, capacity):
+        """Every allocated byte is eventually freed exactly once:
+        replacement, eviction and clear() keep the totals balanced, and
+        the external hooks observe the same byte counts."""
+        hook = {"alloc": 0, "free": 0}
+        cache = ContextCache(
+            capacity=capacity,
+            on_alloc=lambda nb: hook.__setitem__("alloc", hook["alloc"] + nb),
+            on_free=lambda nb: hook.__setitem__("free", hook["free"] + nb),
+        )
+        for key, size in ops:
+            ctx = cache.get(key)
+            ctx.scratch("s", size, np.uint8)  # grow-only capacity
+            ctx.buffer("b", (size,), np.float32)  # realloc on size change
+        live = cache.live_bytes
+        assert cache.alloc_bytes_total - cache.free_bytes_total == live
+        cache.clear()
+        assert cache.live_bytes == 0
+        assert cache.free_bytes_total == cache.alloc_bytes_total
+        assert hook["alloc"] == cache.alloc_bytes_total
+        assert hook["free"] == cache.free_bytes_total
