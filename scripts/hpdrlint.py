@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""hpdrlint CLI — hot-path allocation / kernel-typing linter.
+
+Usage:
+    PYTHONPATH=src python scripts/hpdrlint.py            # lint src/repro
+    PYTHONPATH=src python scripts/hpdrlint.py path ...   # lint given paths
+    ... --list-rules                                     # show rule table
+
+Exit status: 0 when clean, 1 when any finding is reported (CI gates on
+this), 2 on usage errors.  Suppress a deliberate violation inline with
+``# hpdrlint: disable=HPL001 — reason`` on the offending line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.check.lint import RULES, format_findings, lint_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hpdrlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+
+    paths = [Path(p) for p in (args.paths or [REPO_ROOT / "src" / "repro"])]
+    for p in paths:
+        if not p.exists():
+            print(f"hpdrlint: no such path: {p}", file=sys.stderr)
+            return 2
+
+    findings = lint_paths(paths)
+    if findings:
+        print(format_findings(findings))
+        return 1
+    print("hpdrlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

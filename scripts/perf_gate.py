@@ -13,12 +13,18 @@ Usage::
 
 ``--fresh`` skips re-measurement and gates a pre-computed record (e.g.
 the one the CI smoke run just produced) against the committed one.
+
+Sanitized runs are exempt: ``HPDR_SAN`` deliberately re-executes every
+GEM batch in shadow, so throughput under it measures the sanitizer, not
+the codecs — the gate refuses to produce (or judge) such numbers and
+exits 0 immediately.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -63,6 +69,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--report-only", action="store_true",
                     help="print the comparison but always exit 0")
     args = ap.parse_args(argv)
+
+    if os.environ.get("HPDR_SAN", "") not in ("", "0"):
+        print("perf_gate: SKIP — HPDR_SAN is set; sanitized runs measure "
+              "the sanitizer, not the codecs (unset HPDR_SAN to gate perf)")
+        return 0
 
     if not args.committed.exists():
         print(f"perf_gate: no committed record at {args.committed}; "

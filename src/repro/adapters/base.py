@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -133,7 +134,15 @@ def get_adapter(family: str, spec: ProcessorSpec | None = None, **kwargs) -> Dev
     key = family.lower()
     if key not in _REGISTRY:
         raise KeyError(f"unknown adapter family {family!r}; available: {sorted(_REGISTRY)}")
-    return _REGISTRY[key](spec=spec, **kwargs)
+    adapter = _REGISTRY[key](spec=spec, **kwargs)
+    if os.environ.get("HPDR_SAN", "") not in ("", "0"):
+        # tsan mode: every serial/openmp adapter handed out is shadow-
+        # checked.  The env test guards the import so unsanitized runs
+        # never load repro.check.
+        from repro.check.sanitizer import wrap_if_enabled
+
+        adapter = wrap_if_enabled(adapter)
+    return adapter
 
 
 def list_adapters() -> list[str]:

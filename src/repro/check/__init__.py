@@ -1,0 +1,49 @@
+"""HPDR-San: correctness tooling for the HPDR reproduction.
+
+Two modes (DESIGN.md §3.2):
+
+* runtime sanitizer — :class:`SanitizingAdapter` ("tsan mode",
+  ``HPDR_SAN=1`` / ``--sanitize``), plus the CMM steady-state checks in
+  :mod:`repro.check.cmm`;
+* static lint — :func:`lint_paths` (``scripts/hpdrlint.py``).
+
+This package is imported lazily by the adapters layer: when
+``HPDR_SAN`` is unset nothing here loads, so the tooling costs zero on
+production paths.
+"""
+
+from repro.check.cmm import CMMWatch, assert_steady_state
+from repro.check.errors import (
+    ContextThrashError,
+    HaloRaceError,
+    SanitizerError,
+    ScratchAliasError,
+    SteadyStateLeakError,
+    UseAfterEvictError,
+)
+from repro.check.lint import Finding, format_findings, lint_paths, lint_source
+from repro.check.sanitizer import (
+    SANITIZABLE_FAMILIES,
+    SanitizingAdapter,
+    sanitize_enabled,
+    wrap_if_enabled,
+)
+
+__all__ = [
+    "CMMWatch",
+    "SANITIZABLE_FAMILIES",
+    "ContextThrashError",
+    "Finding",
+    "HaloRaceError",
+    "SanitizerError",
+    "SanitizingAdapter",
+    "ScratchAliasError",
+    "SteadyStateLeakError",
+    "UseAfterEvictError",
+    "assert_steady_state",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "sanitize_enabled",
+    "wrap_if_enabled",
+]

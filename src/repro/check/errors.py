@@ -1,0 +1,71 @@
+"""Sanitizer error taxonomy (HPDR-San runtime rules).
+
+Every runtime finding is an exception class carrying a stable ``rule``
+id, so tests and CI can match on the rule rather than message text:
+
+==========  ==========================================================
+SAN-RACE    overlapping writes between concurrently-executed blocks
+            (halo races), or block outputs that depend on execution
+            partitioning (cross-block reads)
+SAN-ALIAS   functor outputs aliasing adapter/context scratch without
+            declaring ``reuses_output``
+SAN-EVICT   context buffer/scratch/object used after cache eviction
+            (raised by :mod:`repro.core.context`; re-exported here)
+SAN-CTX     shape/dtype-mismatched context reuse — one buffer name
+            repeatedly rebound, i.e. the context key does not capture
+            the data characteristics
+SAN-LEAK    context byte accounting grows without bound across
+            same-shaped calls (steady-state allocation leak)
+==========  ==========================================================
+
+All subclass :class:`AssertionError` so a sanitized test run fails the
+same way a plain assert would, and each message leads with its rule id
+and ends with a fix hint.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import UseAfterEvictError  # noqa: F401  (re-export)
+
+
+class SanitizerError(AssertionError):
+    """Base class for HPDR-San runtime findings."""
+
+    rule = "SAN"
+    hint = ""
+
+    def __init__(self, message: str) -> None:
+        hint = f" (fix: {self.hint})" if self.hint else ""
+        super().__init__(f"[{self.rule}] {message}{hint}")
+
+
+class HaloRaceError(SanitizerError):
+    rule = "SAN-RACE"
+    hint = (
+        "make the functor pure per block — write only to the block's own "
+        "output, read only its own input (+halo the abstraction attached)"
+    )
+
+
+class ScratchAliasError(SanitizerError):
+    rule = "SAN-ALIAS"
+    hint = (
+        "declare `reuses_output = True` on the functor so adapters copy "
+        "results before the scratch is rewritten, or return fresh memory"
+    )
+
+
+class ContextThrashError(SanitizerError):
+    rule = "SAN-CTX"
+    hint = (
+        "include every varying data characteristic (shape, dtype, config) "
+        "in the ContextCache key instead of rebinding one buffer name"
+    )
+
+
+class SteadyStateLeakError(SanitizerError):
+    rule = "SAN-LEAK"
+    hint = (
+        "route the allocation through ctx.buffer()/ctx.scratch() with a "
+        "stable name so the steady state reuses it"
+    )

@@ -42,6 +42,7 @@ def _build_compressor(method: str, args):
     from repro import rate_for_error_bound
 
     adapter = None
+    sanitize = bool(getattr(args, "sanitize", False))
     if getattr(args, "adapter", None):
         kwargs = {}
         threads = getattr(args, "threads", None)
@@ -50,6 +51,18 @@ def _build_compressor(method: str, args):
                 raise SystemExit("--threads only applies to --adapter openmp")
             kwargs["num_threads"] = threads
         adapter = get_adapter(args.adapter, **kwargs)
+    elif sanitize:
+        adapter = get_adapter("serial")
+    if sanitize:
+        from repro.check import SANITIZABLE_FAMILIES, SanitizingAdapter
+
+        if adapter.family not in SANITIZABLE_FAMILIES:
+            raise SystemExit(
+                f"--sanitize supports {'/'.join(SANITIZABLE_FAMILIES)} "
+                f"adapters, not {adapter.family!r}"
+            )
+        if not isinstance(adapter, SanitizingAdapter):
+            adapter = SanitizingAdapter(adapter)
     mode = ErrorMode.ABS if getattr(args, "mode", "rel") == "abs" else ErrorMode.REL
     eb = getattr(args, "eb", 1e-3)
     cfg = Config(error_bound=eb, error_mode=mode)
@@ -176,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["serial", "openmp", "cuda", "hip"])
     c.add_argument("--threads", type=int, default=None,
                    help="worker threads (openmp adapter)")
+    c.add_argument("--sanitize", action="store_true",
+                   help="run under the HPDR-San shadow sanitizer "
+                        "(serial/openmp; slower, catches races and "
+                        "context misuse)")
     c.set_defaults(func=cmd_compress)
 
     d = sub.add_parser("decompress", help="decompress an .hpdr container")
@@ -185,6 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["serial", "openmp", "cuda", "hip"])
     d.add_argument("--threads", type=int, default=None,
                    help="worker threads (openmp adapter)")
+    d.add_argument("--sanitize", action="store_true",
+                   help="run under the HPDR-San shadow sanitizer")
     d.set_defaults(func=cmd_decompress, eb=1e-3, mode="rel", rate=None, tolerance=None)
 
     i = sub.add_parser("info", help="describe an .hpdr container")

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util import hot_path
+
 #: Slack bytes appended by :func:`pad_payload` so any in-range offset can
 #: safely load 4 bytes.
 PAYLOAD_SLACK = 4
 
 
+@hot_path(reason="inner OR-combine of every pack_bits call (BENCH_wallclock)")
 def _or_scatter(words: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
     """``words[idx] |= vals`` with duplicate indices OR-combined.
 
@@ -34,6 +37,7 @@ def _or_scatter(words: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
     words[idx[starts]] |= merged
 
 
+@hot_path(reason="Huffman serialize stage; zero-alloc when ctx is given")
 def pack_bits(
     codes: np.ndarray,
     lengths: np.ndarray,
@@ -72,6 +76,9 @@ def pack_bits(
     if codes.shape != lengths.shape:
         raise ValueError("codes and lengths must have equal shapes")
     if offsets is None:
+        # CMM callers precompute offsets into context scratch instead
+        # (the huffman serialize stage) — this is the convenience path.
+        # hpdrlint: disable=HPL003 — cold convenience fallback
         offsets = np.cumsum(lengths) - lengths
     else:
         offsets = np.asarray(offsets, dtype=np.int64).reshape(-1)
@@ -81,6 +88,7 @@ def pack_bits(
         total_bits = int(offsets[-1] + lengths[-1]) if lengths.size else 0
     nbytes = (total_bits + 7) >> 3
     if total_bits == 0:
+        # hpdrlint: disable=HPL001 — empty-stream edge, never steady state
         return np.zeros(0, dtype=np.uint8)
 
     if offsets.size > 1 and np.any(offsets[1:] < offsets[:-1]):
@@ -97,16 +105,17 @@ def pack_bits(
     if ctx is not None:
         words = ctx.scratch("pack_bits.words", nwords, np.uint64)
     else:
+        # hpdrlint: disable=HPL001 — documented ctx=None fallback path
         words = np.empty(nwords, dtype=np.uint64)
     words[:] = 0
 
     # Left-align each code in a 64-bit field: code bit j (MSB first)
     # sits at field bit 63-j, so shifting right by the in-word bit
     # offset lands bit j at stream position offset+j.
-    ulen = lengths.astype(np.uint64)
+    ulen = lengths.view(np.uint64)  # int64 ≥ 0: bit pattern is the value
     field = codes << (np.uint64(64) - ulen)
-    word_idx = (offsets >> 6).astype(np.intp)
-    bit_in_word = (offsets & 63).astype(np.uint64)
+    word_idx = (offsets >> 6).astype(np.intp, copy=False)
+    bit_in_word = (offsets & 63).view(np.uint64)
     low = field >> bit_in_word
     # field << (64 - b) without an undefined 64-bit shift at b == 0
     # (the two-step shift drops every bit, which is the correct spill).
@@ -120,6 +129,7 @@ def pack_bits(
     return words.view(np.uint8)[:nbytes]
 
 
+@hot_path(reason="per-decode payload staging; zero-alloc when ctx is given")
 def pad_payload(packed: np.ndarray, ctx=None) -> np.ndarray:
     """Append :data:`PAYLOAD_SLACK` zero bytes for window gathering.
 
@@ -130,12 +140,14 @@ def pad_payload(packed: np.ndarray, ctx=None) -> np.ndarray:
     if ctx is not None:
         padded = ctx.scratch("gather.padded", packed.size + PAYLOAD_SLACK, np.uint8)
     else:
+        # hpdrlint: disable=HPL001 — documented ctx=None fallback path
         padded = np.empty(packed.size + PAYLOAD_SLACK, dtype=np.uint8)
     padded[: packed.size] = packed
     padded[packed.size :] = 0
     return padded
 
 
+@hot_path(reason="per-symbol window loads of the chunk-parallel decoder")
 def gather_windows(
     packed: np.ndarray,
     bit_offsets: np.ndarray,
@@ -161,11 +173,16 @@ def gather_windows(
         padded = packed
         payload_size = packed.size - PAYLOAD_SLACK
     else:
+        # hpdrlint: disable=HPL001 — cold path; hot decoders pre-pad once
         padded = np.concatenate([packed, np.zeros(PAYLOAD_SLACK, dtype=np.uint8)])
         payload_size = packed.size
     byte_idx = offs >> 3
-    byte_idx = np.minimum(byte_idx, payload_size)  # clamp fully-past-end reads
+    np.minimum(byte_idx, payload_size, out=byte_idx)  # clamp past-end reads
+    # hpdrlint: disable=HPL001 — widening cast feeding the gather below
     shift = (offs & 7).astype(np.uint32)
+    # The widening gathers build the window batch, which is fresh output
+    # by contract (callers mask it in place).
+    # hpdrlint: disable=HPL001 — uint8→uint32 widening gathers
     w = (
         (padded[byte_idx].astype(np.uint32) << 24)
         | (padded[byte_idx + 1].astype(np.uint32) << 16)

@@ -46,7 +46,7 @@ from repro.compressors.huffman.codebook import (
     build_codebook,
 )
 from repro.compressors.huffman.histogram import histogram
-from repro.util import stream_errors
+from repro.util import hot_path, stream_errors
 
 _MAGIC = b"HUFX"
 _PAR_MAGIC = b"HUFP"
@@ -133,6 +133,7 @@ class _EncodeFunctor(LocalityFunctor):
         self._ctx = ctx
         self._per_thread = per_thread
 
+    @hot_path(reason="Locality encode stage; one gather per key")
     def apply(self, blocks: np.ndarray) -> np.ndarray:
         flat = blocks.reshape(-1)
         if self._ctx is not None:
@@ -143,6 +144,7 @@ class _EncodeFunctor(LocalityFunctor):
             )
             out = self._ctx.scratch(name, flat.size, np.uint32)
         else:
+            # hpdrlint: disable=HPL001 — documented ctx=None fallback path
             out = np.empty(flat.size, dtype=np.uint32)
         # Key range was validated by the histogram stage; "clip" skips a
         # second bounds-check pass.
@@ -196,15 +198,22 @@ class HuffmanX:
         keys = np.ascontiguousarray(keys)
         if not np.issubdtype(keys.dtype, np.integer):
             raise TypeError(f"keys must be integers, got {keys.dtype}")
-        ctx = self._key_context(keys.shape, keys.dtype, num_symbols, tag=None)
-        return self._compress_keys(keys, num_symbols, ctx, self.adapter)
+        ctx = self._key_context(keys.shape, keys.dtype, num_symbols, tag=None,
+                                pin=True)
+        try:
+            return self._compress_keys(keys, num_symbols, ctx, self.adapter)
+        finally:
+            self.cache.release(ctx)
 
-    def _key_context(self, shape, dtype, num_symbols: int, tag):
+    def _key_context(self, shape, dtype, num_symbols: int, tag, pin=False):
         """CMM context for one key-stream shape.
 
         The key matches between encode and decode (buffer names are
         disjoint), so decompressing what was just compressed reuses the
-        compression context instead of opening a second one.
+        compression context instead of opening a second one.  ``pin``
+        holds the context safe from LRU eviction while a call is in
+        flight (many concurrent HUFP segments can exceed the cache
+        capacity); callers release in a ``finally``.
         """
         n = int(np.prod(shape)) if shape else 1
         return self.cache.get(
@@ -215,7 +224,8 @@ class HuffmanX:
                 np.dtype(dtype).str,
                 int(num_symbols),
                 self._effective_chunk(n),
-            )
+            ),
+            pin=pin,
         )
 
     def _compress_keys(self, keys: np.ndarray, num_symbols: int, ctx, adapter) -> bytes:
@@ -324,8 +334,6 @@ class HuffmanX:
         if n == 0:
             return np.zeros(shape, dtype=dtype)
 
-        width = max(1, book.max_length)
-        sym_table, len_table, width = book.decode_table(width)
         nchunks = chunk_offsets.size
         rem = n - (nchunks - 1) * chunk_size
         if not 1 <= rem <= chunk_size:
@@ -334,7 +342,22 @@ class HuffmanX:
                 f"of {chunk_size}"
             )
 
-        ctx = self._key_context(shape, dtype, num_symbols, tag)
+        ctx = self._key_context(shape, dtype, num_symbols, tag, pin=True)
+        try:
+            return self._decode_chunks(
+                ctx, book, chunk_offsets, payload, chunk_size, nchunks, rem,
+                n, shape, dtype,
+            )
+        finally:
+            self.cache.release(ctx)
+
+    @hot_path(reason="vectorized symbol loop; zero-alloc via dec.* scratch")
+    def _decode_chunks(
+        self, ctx, book, chunk_offsets, payload, chunk_size, nchunks, rem,
+        n, shape, dtype,
+    ) -> np.ndarray:
+        width = max(1, book.max_length)
+        sym_table, len_table, width = book.decode_table(width)
         out = ctx.buffer("dec.out", (nchunks, chunk_size), np.int64)
         pos = ctx.buffer("dec.pos", (nchunks,), np.int64)
         np.copyto(pos, chunk_offsets, casting="unsafe")
@@ -389,6 +412,10 @@ class HuffmanX:
             np.add(p, s, out=p)
             np.bitwise_and(b, 0xFFFFFFFF, out=b)
             o[:, step] = b
+        # The result must leave context memory (the context may be
+        # evicted and poisoned after release) — this is the one
+        # allocation a decode call is allowed.
+        # hpdrlint: disable=HPL001 — result handed to the caller
         return out.reshape(-1)[:n].astype(dtype).reshape(shape)
 
     # ------------------------------------------------------------------
@@ -428,8 +455,11 @@ class HuffmanX:
 
         def _one(i: int) -> bytes:
             part = keys[bounds[i] : bounds[i + 1]]
-            ctx = self._key_context(part.shape, part.dtype, 256, tag=i)
-            return self._compress_keys(part, 256, ctx, None)
+            ctx = self._key_context(part.shape, part.dtype, 256, tag=i, pin=True)
+            try:
+                return self._compress_keys(part, 256, ctx, None)
+            finally:
+                self.cache.release(ctx)
 
         parts = _map_tasks(self.adapter, _one, range(nseg))
         body = (

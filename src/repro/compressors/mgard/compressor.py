@@ -85,6 +85,7 @@ class MGARDX:
         shape: tuple[int, ...],
         dtype: np.dtype,
         coords: tuple[np.ndarray, ...] | None = None,
+        pin: bool = False,
     ):
         coords_key = (
             None
@@ -92,7 +93,10 @@ class MGARDX:
             else tuple(hash(c.tobytes()) for c in coords)
         )
         key = ("mgard", coords_key) + self.config.cache_key(shape, dtype)
-        ctx = self.cache.get(key)
+        # ``pin`` protects the context while the nested Huffman coder
+        # opens its own contexts in the shared cache (a tight-capacity
+        # cache would otherwise evict — and poison — ours mid-call).
+        ctx = self.cache.get(key, pin=pin)
         hierarchy = ctx.object("hierarchy", lambda: Hierarchy(shape, coords))
         factors = ctx.object(
             "factors",
@@ -138,30 +142,35 @@ class MGARDX:
         abs_eb = self.config.absolute_bound(data)
         coords = self._check_coords(coords, data.shape)
 
-        ctx, hierarchy, factors = self._context(data.shape, data.dtype, coords)
-        coeffs, coarsest = decompose(
-            data, hierarchy, adapter=self.adapter, factors_per_level=factors,
-            ctx=ctx,
+        ctx, hierarchy, factors = self._context(
+            data.shape, data.dtype, coords, pin=True
         )
-        groups = coeffs + [coarsest.reshape(-1)]
+        try:
+            coeffs, coarsest = decompose(
+                data, hierarchy, adapter=self.adapter, factors_per_level=factors,
+                ctx=ctx,
+            )
+            groups = coeffs + [coarsest.reshape(-1)]
 
-        kappa = self.kappa
-        for attempt in range(6):
-            bins = level_bins(abs_eb, len(groups), kappa, s=self.s)
-            blob = self._encode(data, abs_eb, kappa, hierarchy, groups, bins)
-            if not self.verify:
-                return blob
-            back = self.decompress(blob)
-            err = float(np.max(np.abs(back.astype(np.float64) - data.astype(np.float64)))) if data.size else 0.0
-            if err <= abs_eb:
-                return blob
-            # Scale κ by the measured overshoot (with margin): the error
-            # is linear in the bin sizes, so this converges in one or
-            # two rounds even from a wildly loose starting κ.
-            kappa *= 2.0 * err / abs_eb
-        raise RuntimeError(
-            f"could not satisfy error bound {abs_eb} after tightening"
-        )
+            kappa = self.kappa
+            for attempt in range(6):
+                bins = level_bins(abs_eb, len(groups), kappa, s=self.s)
+                blob = self._encode(data, abs_eb, kappa, hierarchy, groups, bins)
+                if not self.verify:
+                    return blob
+                back = self.decompress(blob)
+                err = float(np.max(np.abs(back.astype(np.float64) - data.astype(np.float64)))) if data.size else 0.0
+                if err <= abs_eb:
+                    return blob
+                # Scale κ by the measured overshoot (with margin): the error
+                # is linear in the bin sizes, so this converges in one or
+                # two rounds even from a wildly loose starting κ.
+                kappa *= 2.0 * err / abs_eb
+            raise RuntimeError(
+                f"could not satisfy error bound {abs_eb} after tightening"
+            )
+        finally:
+            self.cache.release(ctx)
 
     def _encode(self, data, abs_eb, kappa, hierarchy, groups, bins) -> bytes:
         qgroups = quantize_levels(groups, bins, adapter=self.adapter)
@@ -223,33 +232,38 @@ class MGARDX:
         payload = blob[off : off + payload_len]
 
         coords = self._check_coords(coords, tuple(shape))
-        ctx, hierarchy, factors = self._context(tuple(shape), dtype, coords)
-        if lossless:
-            symbols = self._huffman.decompress_keys(payload)
-        else:
-            symbols = np.frombuffer(payload, dtype=np.int32).astype(np.int64)
-        qflat = from_symbols(symbols, outliers)
-
-        # Split the flat stream back into per-level groups.
-        sizes = [hierarchy.num_coefficients(l) for l in range(hierarchy.total_levels)]
-        sizes.append(int(np.prod(hierarchy.shape_at(hierarchy.total_levels))))
-        bounds = np.cumsum([0] + sizes)
-        if bounds[-1] != qflat.size:
-            raise ValueError(
-                f"stream length {qflat.size} != expected {bounds[-1]}"
-            )
-        qgroups = [qflat[bounds[i] : bounds[i + 1]] for i in range(len(sizes))]
-        groups = dequantize_levels(qgroups, bins, adapter=self.adapter)
-
-        coeffs = groups[:-1]
-        coarsest = groups[-1].reshape(hierarchy.shape_at(hierarchy.total_levels))
-        out = recompose(
-            coeffs, coarsest, hierarchy, adapter=self.adapter,
-            factors_per_level=factors, ctx=ctx,
+        ctx, hierarchy, factors = self._context(
+            tuple(shape), dtype, coords, pin=True
         )
-        # recompose's result aliases context memory; astype(copy=True)
-        # hands the caller an independent array.
-        return out.astype(dtype, copy=True)
+        try:
+            if lossless:
+                symbols = self._huffman.decompress_keys(payload)
+            else:
+                symbols = np.frombuffer(payload, dtype=np.int32).astype(np.int64)
+            qflat = from_symbols(symbols, outliers)
+
+            # Split the flat stream back into per-level groups.
+            sizes = [hierarchy.num_coefficients(l) for l in range(hierarchy.total_levels)]
+            sizes.append(int(np.prod(hierarchy.shape_at(hierarchy.total_levels))))
+            bounds = np.cumsum([0] + sizes)
+            if bounds[-1] != qflat.size:
+                raise ValueError(
+                    f"stream length {qflat.size} != expected {bounds[-1]}"
+                )
+            qgroups = [qflat[bounds[i] : bounds[i + 1]] for i in range(len(sizes))]
+            groups = dequantize_levels(qgroups, bins, adapter=self.adapter)
+
+            coeffs = groups[:-1]
+            coarsest = groups[-1].reshape(hierarchy.shape_at(hierarchy.total_levels))
+            out = recompose(
+                coeffs, coarsest, hierarchy, adapter=self.adapter,
+                factors_per_level=factors, ctx=ctx,
+            )
+            # recompose's result aliases context memory; astype(copy=True)
+            # hands the caller an independent array.
+            return out.astype(dtype, copy=True)
+        finally:
+            self.cache.release(ctx)
 
     # ------------------------------------------------------------------
     def compression_ratio(self, data: np.ndarray, blob: bytes) -> float:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.compressors.mgard.hierarchy import DimLevel
 from repro.core.abstractions import iterative
 from repro.core.functor import IterativeFunctor
+from repro.util import hot_path
 
 
 def interp_weights(level: DimLevel) -> tuple[np.ndarray, np.ndarray]:
@@ -41,6 +42,7 @@ def _bshape(w: np.ndarray, ndim: int) -> np.ndarray:
     return w.reshape((-1,) + (1,) * (ndim - 1))
 
 
+@hot_path(reason="per-level lerp kernel of Algorithm 1 (every axis pass)")
 def lerp_fill(u: np.ndarray, level: DimLevel, axis: int) -> None:
     """In place: fine-only nodes ← lerp of coarse neighbors, along axis."""
     v = _axis_first(u, axis)
@@ -123,12 +125,16 @@ class _ThomasFunctor(IterativeFunctor):
         if c.size:
             self._w[1:] = c / dprime[:-1]
 
+    @hot_path(reason="Thomas sweeps dominate the mgard correction solve")
     def apply(self, vectors: np.ndarray) -> np.ndarray:
         n = vectors.shape[1]
         if n != self._dprime.size:
             raise ValueError(
                 f"vector length {n} != factored system size {self._dprime.size}"
             )
+        # The sweep updates in place; the copy keeps apply() pure so the
+        # iterative staging buffer can be reused across vector groups.
+        # hpdrlint: disable=HPL001 — purity copy required by the contract
         x = np.array(vectors, dtype=np.float64, copy=True)
         w, c, dp = self._w, self._c, self._dprime
         for i in range(1, n):
@@ -151,15 +157,18 @@ class TridiagFactors:
         """Factor the P1 mass matrix of the grid ``coords``."""
         n = coords.size
         if n < 2:
-            return cls(dprime=np.ones(max(n, 1)), c=np.zeros(0))
+            return cls(
+                dprime=np.ones(max(n, 1), dtype=np.float64),
+                c=np.zeros(0, dtype=np.float64),
+            )
         h = np.diff(coords)
-        d = np.empty(n)
+        d = np.empty(n, dtype=np.float64)
         d[0] = h[0] / 3.0
         d[-1] = h[-1] / 3.0
         if n > 2:
             d[1:-1] = (h[:-1] + h[1:]) / 3.0
         c = h / 6.0
-        dprime = np.empty(n)
+        dprime = np.empty(n, dtype=np.float64)
         dprime[0] = d[0]
         for i in range(1, n):
             dprime[i] = d[i] - c[i - 1] ** 2 / dprime[i - 1]

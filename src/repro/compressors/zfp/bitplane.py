@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compressors.zfp.fixedpoint import E_BIAS, E_BITS
+from repro.util import hot_path
 
 #: bitplane count (zfp intprec) per source dtype.
 INTPREC = {np.dtype(np.float32): 32, np.dtype(np.float64): 64}
@@ -35,17 +36,19 @@ def _wmask(width: int) -> np.uint64:
     return np.uint64(0xFFFFFFFFFFFFFFFF) if width == 64 else np.uint64((1 << width) - 1)
 
 
+@hot_path(reason="runs over every coefficient on the zfp encode path")
 def to_negabinary(x: np.ndarray, width: int = 64) -> np.ndarray:
     """Two's complement → negabinary, modulo ``2^width`` (invertible)."""
     mask = _nbmask(width)
-    u = x.astype(np.int64).view(np.uint64) & _wmask(width)
+    u = x.astype(np.int64, copy=False).view(np.uint64) & _wmask(width)
     return ((u + mask) ^ mask) & _wmask(width)
 
 
+@hot_path(reason="runs over every coefficient on the zfp decode path")
 def from_negabinary(u: np.ndarray, width: int = 64) -> np.ndarray:
     """Inverse of :func:`to_negabinary`, sign-extended to int64."""
     mask = _nbmask(width)
-    w = ((u.astype(np.uint64) ^ mask) - mask) & _wmask(width)
+    w = ((u.astype(np.uint64, copy=False) ^ mask) - mask) & _wmask(width)
     x = w.view(np.int64)
     if width < 64:
         sign = np.uint64(1) << np.uint64(width - 1)
@@ -54,7 +57,7 @@ def from_negabinary(u: np.ndarray, width: int = 64) -> np.ndarray:
             (w | ~_wmask(width)).view(np.int64),
             x,
         )
-    return x.astype(np.int64)
+    return x.astype(np.int64, copy=False)
 
 
 def _plane_budget(maxbits: int, e_bits: int) -> int:

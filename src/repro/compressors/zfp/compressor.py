@@ -134,16 +134,19 @@ class ZFPX:
             raise ValueError(f"ZFP-X supports 1-4 dimensions, got {ndim}")
         maxbits = self._maxbits(ndim, dtype)
 
-        ctx = self.cache.get(("zfp", data.shape, dtype.str, maxbits))
-        records = locality(
-            data,
-            _ZfpEncodeFunctor(ndim, maxbits, dtype),
-            block_shape=(4,) * ndim,
-            adapter=self.adapter,
-            pad_mode="edge",
-            reassemble=False,
-            ctx=ctx,
-        )
+        ctx = self.cache.get(("zfp", data.shape, dtype.str, maxbits), pin=True)
+        try:
+            records = locality(
+                data,
+                _ZfpEncodeFunctor(ndim, maxbits, dtype),
+                block_shape=(4,) * ndim,
+                adapter=self.adapter,
+                pad_mode="edge",
+                reassemble=False,
+                ctx=ctx,
+            )
+        finally:
+            self.cache.release(ctx)
         header = struct.pack(
             "<4sBBBdI",
             _MAGIC,

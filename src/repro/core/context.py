@@ -25,9 +25,16 @@ Two layers are provided:
   (``alloc_events``, ``alloc_bytes_total``, ``free_bytes_total``) used
   by the zero-alloc steady-state tests.
 
-Evicting a context never invalidates in-flight work: eviction only
-drops the cache's reference, so any buffers still held by a running
-reduction stay alive until that reduction releases them.
+Eviction is *loud*: an evicted context is invalidated — its buffers are
+poisoned (floats become NaN, integer bytes become ``0xA5``) and any
+further :meth:`ReductionContext.buffer` / :meth:`~ReductionContext.scratch`
+call raises :class:`UseAfterEvictError`.  Stale views held by a caller
+across an eviction therefore read poison instead of silently aliasing
+recycled memory (the pre-sanitizer behaviour left them reachable and
+plausible-looking).  Reductions that must survive cache pressure pin
+their context for the duration of the call (``get(key, pin=True)`` +
+:meth:`ContextCache.release`); pinned contexts are skipped by the LRU
+eviction scan.
 """
 
 from __future__ import annotations
@@ -37,6 +44,38 @@ from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
 import numpy as np
+
+#: Byte pattern written over evicted integer buffers.  0xA5 is the
+#: classic heap-poison value: visually obvious in hex dumps and very
+#: unlikely to decode into plausible keys/offsets.
+POISON_BYTE = 0xA5
+
+
+class UseAfterEvictError(RuntimeError):
+    """A buffer/scratch/object request hit an evicted context.
+
+    Sanitizer rule ``SAN-EVICT``: the caller held a
+    :class:`ReductionContext` (or a view of its memory) across a cache
+    eviction.  Re-fetch the context from the cache — and pin it
+    (``cache.get(key, pin=True)``) if it must survive cache pressure
+    for the duration of a call.
+    """
+
+    rule = "SAN-EVICT"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(f"[{self.rule}] {message}")
+
+
+def _poison(buf: np.ndarray) -> None:
+    """Overwrite a buffer with an unmistakable poison pattern."""
+    if np.issubdtype(buf.dtype, np.floating):
+        buf.fill(np.nan)
+    elif np.issubdtype(buf.dtype, np.complexfloating):
+        buf.fill(complex(np.nan, np.nan))
+    else:
+        # Context buffers come from np.empty and are C-contiguous.
+        buf.view(np.uint8).fill(POISON_BYTE)
 
 
 class ReductionContext:
@@ -53,6 +92,12 @@ class ReductionContext:
         self._objects: dict[str, Any] = {}
         self.alloc_count = 0
         self.alloc_bytes = 0
+        #: per-buffer-name count of shape/dtype rebinds — a buffer that
+        #: keeps reallocating under one name means the context key does
+        #: not capture the data characteristics (sanitizer rule SAN-CTX).
+        self.rebinds: dict[str, int] = {}
+        self._evicted = False
+        self._pins = 0
         self._on_alloc = on_alloc
         self._on_free = on_free
         # Functors executing on a thread-pool adapter may request
@@ -92,10 +137,13 @@ class ReductionContext:
         """
         dtype = np.dtype(dtype)
         with self._lock:
+            self._check_live(f"buffer {name!r}")
             buf = self._buffers.get(name)
             if buf is not None and buf.shape == tuple(shape) and buf.dtype == dtype:
                 return buf
             freed = buf.nbytes if buf is not None else 0
+            if buf is not None:
+                self.rebinds[name] = self.rebinds.get(name, 0) + 1
             buf = np.empty(shape, dtype=dtype)
             self._buffers[name] = buf
             self._account(buf.nbytes, freed, on_alloc)
@@ -119,11 +167,16 @@ class ReductionContext:
             raise ValueError(f"size must be >= 0, got {size}")
         dtype = np.dtype(dtype)
         with self._lock:
+            self._check_live(f"scratch {name!r}")
             buf = self._buffers.get(name)
             if buf is not None and buf.dtype == dtype and buf.size >= size:
                 return buf[:size]
             capacity = 1 << max(0, int(size - 1).bit_length()) if size else 1
             freed = buf.nbytes if buf is not None else 0
+            if buf is not None and buf.dtype != dtype:
+                # Capacity growth is the designed steady-state ramp;
+                # a dtype flip under the same name is a rebind.
+                self.rebinds[name] = self.rebinds.get(name, 0) + 1
             buf = np.empty(capacity, dtype=dtype)
             self._buffers[name] = buf
             self._account(buf.nbytes, freed)
@@ -139,9 +192,43 @@ class ReductionContext:
     def object(self, name: str, builder: Callable[[], Any]) -> Any:
         """Return the cached object, building it on first use."""
         with self._lock:
+            self._check_live(f"object {name!r}")
             if name not in self._objects:
                 self._objects[name] = builder()
             return self._objects[name]
+
+    # ------------------------------------------------------------------
+    def _check_live(self, what: str) -> None:
+        if self._evicted:
+            raise UseAfterEvictError(
+                f"context {self.key!r} was evicted; {what} is gone — "
+                f"re-fetch the context from the cache (pin it with "
+                f"get(key, pin=True) if it must survive cache pressure)"
+            )
+
+    @property
+    def evicted(self) -> bool:
+        return self._evicted
+
+    @property
+    def pinned(self) -> bool:
+        return self._pins > 0
+
+    def invalidate(self) -> None:
+        """Poison every buffer and mark the context dead.
+
+        Called by :class:`ContextCache` on eviction/:meth:`~ContextCache.clear`
+        so stale caller-held views read NaN/``0xA5`` instead of silently
+        aliasing memory the cache considers freed.  Idempotent.
+        """
+        with self._lock:
+            if self._evicted:
+                return
+            self._evicted = True
+            for buf in self._buffers.values():
+                _poison(buf)
+            self._buffers.clear()
+            self._objects.clear()
 
     @property
     def nbytes(self) -> int:
@@ -169,8 +256,12 @@ class ContextCache:
         totals balance exactly over a context's lifetime.
 
     :meth:`get` is thread-safe; per-thread reduction paths may share one
-    cache.  Evicting a context mid-run is safe: in-flight reductions
-    keep their own reference and their buffers stay valid.
+    cache.  Eviction *invalidates*: the victim's buffers are poisoned
+    and later use raises :class:`UseAfterEvictError`, so stale views are
+    caught loudly instead of reading recycled memory.  In-flight
+    reductions protect themselves by pinning (``get(key, pin=True)`` /
+    :meth:`release`): pinned contexts are never chosen as victims (the
+    cache temporarily exceeds ``capacity`` if every context is pinned).
     """
 
     def __init__(
@@ -205,32 +296,71 @@ class ContextCache:
         if self.on_free is not None:
             self.on_free(nbytes)
 
-    def get(self, key: Hashable) -> ReductionContext:
-        """Return the context for ``key``, creating it on a miss."""
+    def get(self, key: Hashable, pin: bool = False) -> ReductionContext:
+        """Return the context for ``key``, creating it on a miss.
+
+        ``pin=True`` additionally increments the context's pin count so
+        LRU eviction skips it until a matching :meth:`release`; callers
+        that hold a context (or views of its buffers) across operations
+        that may touch the cache — nested codecs, parallel segments —
+        pin for the duration and release in a ``finally``.
+        """
         with self._lock:
             ctx = self._map.get(key)
-            if ctx is not None:
+            if ctx is None:
+                self.misses += 1
+                ctx = ReductionContext(
+                    key, on_alloc=self._context_alloc, on_free=self._context_free
+                )
+                self._map[key] = ctx
+                # Shield the newcomer during the eviction scan — it must
+                # never become its own victim (e.g. when every older
+                # context is pinned by in-flight work).
+                ctx._pins += 1
+                self._evict_over_capacity()
+                if not pin:
+                    ctx._pins -= 1
+            else:
                 self.hits += 1
                 self._map.move_to_end(key)
-                return ctx
-            self.misses += 1
-            ctx = ReductionContext(
-                key, on_alloc=self._context_alloc, on_free=self._context_free
-            )
-            self._map[key] = ctx
-            while len(self._map) > self.capacity:
-                _, evicted = self._map.popitem(last=False)
-                self.evictions += 1
-                self._context_free(evicted.nbytes)
+                if pin:
+                    ctx._pins += 1
             return ctx
+
+    def release(self, ctx: ReductionContext) -> None:
+        """Drop one pin taken by ``get(key, pin=True)``."""
+        with self._lock:
+            if ctx._pins > 0:
+                ctx._pins -= 1
+            self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._map) > self.capacity:
+            victim_key = next(
+                (k for k, c in self._map.items() if not c.pinned), None
+            )
+            if victim_key is None:
+                # Every context is pinned by in-flight work; run over
+                # capacity until a release frees a victim.
+                return
+            evicted = self._map.pop(victim_key)
+            self.evictions += 1
+            self._context_free(evicted.nbytes)
+            evicted.invalidate()
 
     def buffer_hook(self) -> Callable[[int], None] | None:
         return self.on_alloc
+
+    def contexts(self) -> list[ReductionContext]:
+        """Live (non-evicted) contexts, LRU-first."""
+        with self._lock:
+            return list(self._map.values())
 
     def clear(self) -> None:
         with self._lock:
             for ctx in self._map.values():
                 self._context_free(ctx.nbytes)
+                ctx.invalidate()
             self._map.clear()
 
     @property

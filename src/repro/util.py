@@ -10,6 +10,32 @@ class CorruptStreamError(ValueError):
     """A reduction stream failed to parse (truncated or tampered)."""
 
 
+def hot_path(fn=None, *, reason: str | None = None):
+    """Mark a function/method as a zero-alloc steady-state hot path.
+
+    Purely declarative (no runtime wrapping — the marked function is
+    returned unchanged, so decorated kernels cost nothing): the marker
+    is what ``scripts/hpdrlint.py`` keys on.  Inside a ``@hot_path``
+    body the linter flags per-call allocations (``np.empty`` /
+    ``np.zeros`` / ``.astype`` / ``.copy`` …, rule HPL001) and ufunc
+    calls missing ``out=`` (rule HPL003); the enclosing module is
+    treated as kernel code, where dtype-less array constructors
+    (implicit float64, rule HPL002) are also flagged.  Genuine
+    exceptions carry an inline ``# hpdrlint: disable=<rule> — why``.
+
+    ``reason`` optionally documents *why* the path is hot (which bench
+    pins it); it is surfaced by tooling, not used at runtime.
+    """
+
+    def mark(f):
+        f.__hpdr_hot_path__ = True
+        if reason is not None:
+            f.__hpdr_hot_path_reason__ = reason
+        return f
+
+    return mark if fn is None else mark(fn)
+
+
 def stream_errors(fn):
     """Decorator: low-level parse failures become :class:`CorruptStreamError`.
 

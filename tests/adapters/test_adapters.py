@@ -113,7 +113,9 @@ def test_empty_batch_passthrough():
 
 def test_adapter_name():
     assert get_adapter("cuda").name == "cuda(V100)"
-    assert get_adapter("serial").name == "serial"
+    # Under HPDR_SAN get_adapter auto-wraps CPU families in the
+    # sanitizer, which brackets the name without hiding it.
+    assert get_adapter("serial").name in ("serial", "san(serial)")
 
 
 def test_openmp_many_groups_chunked(rng):

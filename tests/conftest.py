@@ -47,3 +47,12 @@ def serial_adapter():
 def strict_serial_adapter():
     """Per-group oracle mode (functor purity checking)."""
     return get_adapter("serial", strict=True)
+
+
+@pytest.fixture(params=["serial", "openmp"])
+def sanitizing_adapter(request):
+    """HPDR-San shadow-checked adapter (tsan mode) over both CPU backends."""
+    from repro.check import SanitizingAdapter
+
+    kwargs = {"num_threads": 2} if request.param == "openmp" else {}
+    return SanitizingAdapter(get_adapter(request.param, **kwargs))

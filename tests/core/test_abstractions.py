@@ -72,7 +72,10 @@ class TestLocality:
         seen = []
         f = FnLocality(lambda b: (seen.append(b.shape), b * 2)[1], "dbl")
         out = locality(x, f, adapter=serial_adapter)
-        assert seen == [(1, 5, 5)]
+        # Under HPDR_SAN the shadow pass re-executes the functor, so it
+        # may run more than once — but every call must still see the
+        # whole array as a single block.
+        assert seen and set(seen) == {(1, 5, 5)}
         assert np.allclose(out, 2 * x)
 
     def test_shape_changing_output_returns_batch(self, rng, serial_adapter):

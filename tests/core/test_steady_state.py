@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Config, ErrorMode, HuffmanX, MGARDX, ZFPX
-from repro.core.context import ContextCache
+from repro.core.context import POISON_BYTE, ContextCache, UseAfterEvictError
 
 
 def _steady_state_events(codec, data):
@@ -66,18 +66,52 @@ class TestZeroAllocSteadyState:
 
 
 class TestEvictionSafety:
-    def test_evicted_buffers_stay_valid_for_inflight_work(self):
+    def test_eviction_poisons_buffers_and_invalidates_context(self):
+        # Satellite fix: eviction used to leave buffers reachable from
+        # caller-held views — silently stale.  Now it is loud: floats
+        # read NaN, ints read 0xA5, and further context use raises.
         cache = ContextCache(capacity=1)
         ctx = cache.get("a")
         buf = ctx.buffer("x", (128,), np.float64)
+        ints = ctx.buffer("y", (16,), np.int64)
         buf[:] = 7.0
         cache.get("b")  # evicts "a" mid-run
         assert "a" not in cache
         assert cache.evictions == 1
-        # The in-flight reference is untouched: readable and writable.
+        assert ctx.evicted
+        assert np.all(np.isnan(buf))
+        assert np.all(ints.view(np.uint8) == POISON_BYTE)
+        with pytest.raises(UseAfterEvictError):
+            ctx.buffer("x", (128,), np.float64)
+        with pytest.raises(UseAfterEvictError):
+            ctx.scratch("s", 8)
+        with pytest.raises(UseAfterEvictError):
+            ctx.object("o", lambda: 1)
+
+    def test_pinned_context_survives_eviction_pressure(self):
+        cache = ContextCache(capacity=1)
+        ctx = cache.get("a", pin=True)
+        buf = ctx.buffer("x", (64,), np.float64)
+        buf[:] = 7.0
+        other = cache.get("b")  # "a" is pinned: "b" is the only victim…
+        assert not ctx.evicted  # …but never evicts itself on creation
+        assert not other.evicted
+        assert len(cache) == 2  # temporarily over capacity
         assert np.all(buf == 7.0)
-        buf[0] = -1.0
-        assert buf[0] == -1.0
+        cache.release(ctx)
+        assert len(cache) == 1  # release() shrinks back to capacity
+        assert ctx.evicted
+
+    def test_pins_nest(self):
+        cache = ContextCache(capacity=1)
+        ctx = cache.get("a", pin=True)
+        assert cache.get("a", pin=True) is ctx
+        cache.release(ctx)
+        cache.get("b")
+        assert not ctx.evicted  # still one pin outstanding
+        cache.release(ctx)
+        cache.get("c")
+        assert ctx.evicted
 
     def test_reacquired_key_gets_fresh_context(self):
         cache = ContextCache(capacity=1)
