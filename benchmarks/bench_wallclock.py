@@ -35,6 +35,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="openmp adapter thread count")
     ap.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
                     help=f"output JSON path (default {DEFAULT_OUT})")
+    ap.add_argument("--trace", type=pathlib.Path, default=None,
+                    metavar="OUT.json",
+                    help="after timing, run each codec once traced and "
+                         "write Chrome trace-event JSON (the timed reps "
+                         "are never traced)")
     args = ap.parse_args(argv)
 
     reps = 1 if args.smoke else args.reps
@@ -59,6 +64,11 @@ def main(argv: list[str] | None = None) -> int:
     for stage, secs in st.items():
         print(f"  {stage:<14} {secs * 1e3:8.2f} ms  ({100 * secs / total:4.1f}%)")
     print(f"\nwrote {args.out}")
+    if args.trace is not None:
+        from repro.bench.wallclock import trace_run
+
+        path = trace_run(args.trace, threads=args.threads)
+        print(f"wrote {path} (chrome://tracing / Perfetto)")
     return 0
 
 

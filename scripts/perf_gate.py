@@ -38,7 +38,13 @@ _METRICS = ("compress_MBps", "decompress_MBps")
 
 
 def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
-    """Return one failure line per metric below ``(1 - tolerance) * ref``."""
+    """Return one failure line per metric below ``(1 - tolerance) * ref``.
+
+    Each line names the exact metric and quantifies the miss two ways:
+    the drop relative to the committed record, and the shortfall below
+    the tolerance floor — so a red CI run says precisely what regressed
+    and by how much, without re-deriving anything from the JSON.
+    """
     failures = []
     for codec in _CODECS:
         ref = committed["current"].get(codec)
@@ -48,12 +54,49 @@ def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
         for metric in _METRICS:
             floor = (1.0 - tolerance) * ref[metric]
             if cur[metric] < floor:
+                drop = 100.0 * (1.0 - cur[metric] / ref[metric])
+                below = 100.0 * (1.0 - cur[metric] / floor)
                 failures.append(
-                    f"{codec}.{metric}: {cur[metric]:.2f} MB/s < floor "
-                    f"{floor:.2f} (committed {ref[metric]:.2f}, "
-                    f"tolerance {tolerance:.0%})"
+                    f"{codec}.{metric}: {cur[metric]:.2f} MB/s is "
+                    f"{drop:.1f}% below the committed {ref[metric]:.2f} "
+                    f"({below:.1f}% under the {tolerance:.0%}-tolerance "
+                    f"floor of {floor:.2f})"
                 )
     return failures
+
+
+def write_step_summary(
+    committed: dict, fresh: dict, failures: list[str], tolerance: float
+) -> None:
+    """Append a Markdown verdict to the GitHub Actions job summary.
+
+    No-op outside Actions (``GITHUB_STEP_SUMMARY`` unset), so local runs
+    behave identically.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Perf gate", ""]
+    if failures:
+        lines.append(f"**REGRESSION** — {len(failures)} metric(s) below "
+                     f"the {tolerance:.0%}-tolerance floor:")
+        lines.append("")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        lines.append(f"**OK** — every codec within {tolerance:.0%} of the "
+                     f"committed record.")
+    lines += ["", "| codec | metric | committed MB/s | fresh MB/s | delta |",
+              "|---|---|---:|---:|---:|"]
+    for codec in _CODECS:
+        ref, cur = committed["current"].get(codec), fresh["current"].get(codec)
+        if not ref or not cur:
+            continue
+        for metric in _METRICS:
+            delta = 100.0 * (cur[metric] / ref[metric] - 1.0)
+            lines.append(f"| {codec} | {metric} | {ref[metric]:.2f} "
+                         f"| {cur[metric]:.2f} | {delta:+.1f}% |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -98,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{cur[metric]:>10.2f}")
 
     failures = compare(committed, fresh, args.tolerance)
+    write_step_summary(committed, fresh, failures, args.tolerance)
     if failures:
         print("\nperf_gate: REGRESSION" + (" (report-only)" if args.report_only else ""))
         for line in failures:

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.core.functor import DomainFunctor, Functor
 from repro.machine.specs import ProcessorSpec
+from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
 
 
 @dataclass
@@ -52,8 +53,9 @@ class DeviceAdapter(abc.ABC):
         correct for every backend (Table II: execution order maintained
         by sequential execution / grid sync); subclasses add tracing.
         """
-        for stage in functor.stages():
-            data = stage(data)
+        with self.dem_span(functor):
+            for stage in functor.stages():
+                data = stage(data)
         self._record(functor, "DEM", _n_elements(data))
         return data
 
@@ -80,7 +82,34 @@ class DeviceAdapter(abc.ABC):
         """
         return [fn(item) for item in items]
 
-    # -- tracing -----------------------------------------------------------
+    # -- runtime tracing (HPDR-Trace) --------------------------------------
+    def gem_span(self, functor, batch):
+        """Wall-clock span for one GEM batch (no-op while tracing is off).
+
+        The disabled path is one flag check returning the shared null
+        span, so steady-state throughput is unaffected; enabled, the
+        span lands in ``repro.trace`` tagged with the adapter family,
+        group count and batch bytes — the real-execution counterpart of
+        the simulated :class:`KernelRecord`.
+        """
+        if not _TRACER.enabled:
+            return NULL_SPAN
+        groups = int(batch.shape[0]) if getattr(batch, "ndim", 0) >= 1 else 0
+        nbytes = int(getattr(batch, "nbytes", 0))
+        return Span(
+            _TRACER,
+            f"gem.{functor.name}",
+            f"adapter.{self.family}",
+            {"groups": groups, "nbytes": nbytes},
+        )
+
+    def dem_span(self, functor):
+        """Wall-clock span for one DEM execution (no-op while disabled)."""
+        if not _TRACER.enabled:
+            return NULL_SPAN
+        return Span(_TRACER, f"dem.{functor.name}", f"adapter.{self.family}", {})
+
+    # -- simulated tracing -------------------------------------------------
     def _record(self, functor: Functor, model: str, n_elements: int) -> None:
         if self.spec is None:
             return

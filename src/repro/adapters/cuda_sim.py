@@ -37,7 +37,8 @@ class CudaSimAdapter(DeviceAdapter):
             )
 
     def execute_group_batch(self, functor, batch: np.ndarray) -> np.ndarray:
-        out = functor.apply(batch)
+        with self.gem_span(functor, batch):
+            out = functor.apply(batch)
         self._record(functor, "GEM", int(batch.size))
         return out
 

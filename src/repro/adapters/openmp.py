@@ -19,6 +19,20 @@ import numpy as np
 
 from repro.adapters.base import DeviceAdapter, register_adapter
 from repro.machine.specs import ProcessorSpec
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import TRACER as _TRACER
+
+#: pool queue-depth histogram buckets (tasks submitted per fan-out).
+_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def _observe_queue_depth(depth: int, kind: str) -> None:
+    """Record one fan-out's task count (tracing-enabled runs only)."""
+    _METRICS.histogram(
+        "hpdr_pool_queue_depth",
+        "tasks submitted to the thread pool per fan-out",
+        buckets=_DEPTH_BUCKETS,
+    ).observe(depth, kind=kind)
 
 
 class OpenMPAdapter(DeviceAdapter):
@@ -48,21 +62,25 @@ class OpenMPAdapter(DeviceAdapter):
         if ngroups == 0:
             return batch
         if self._pool is None or ngroups == 1:
-            out = functor.apply(batch)
+            with self.gem_span(functor, batch):
+                out = functor.apply(batch)
             self._record(functor, "GEM", int(batch.size))
             return out
         nchunks = min(self.num_threads, ngroups)
-        bounds = np.linspace(0, ngroups, nchunks + 1, dtype=np.intp)
-        chunks = [batch[bounds[i] : bounds[i + 1]] for i in range(nchunks)]
-        if getattr(functor, "reuses_output", False):
-            # A pool thread may run several chunks back to back; scratch-
-            # backed results must be copied before the next apply reuses
-            # the memory.
-            run = lambda chunk: functor.apply(chunk).copy()
-        else:
-            run = functor.apply
-        results = list(self._pool.map(run, chunks))
-        out = np.concatenate(results, axis=0)
+        with self.gem_span(functor, batch).set(chunks=nchunks):
+            if _TRACER.enabled:
+                _observe_queue_depth(nchunks, kind="gem")
+            bounds = np.linspace(0, ngroups, nchunks + 1, dtype=np.intp)
+            chunks = [batch[bounds[i] : bounds[i + 1]] for i in range(nchunks)]
+            if getattr(functor, "reuses_output", False):
+                # A pool thread may run several chunks back to back;
+                # scratch-backed results must be copied before the next
+                # apply reuses the memory.
+                run = lambda chunk: functor.apply(chunk).copy()
+            else:
+                run = functor.apply
+            results = list(self._pool.map(run, chunks))
+            out = np.concatenate(results, axis=0)
         self._record(functor, "GEM", int(batch.size))
         return out
 
@@ -73,6 +91,8 @@ class OpenMPAdapter(DeviceAdapter):
         items = list(items)
         if self._pool is None or len(items) <= 1:
             return [fn(item) for item in items]
+        if _TRACER.enabled:
+            _observe_queue_depth(len(items), kind="task")
         return list(self._pool.map(fn, items))
 
     def close(self) -> None:

@@ -27,7 +27,8 @@ class SyclSimAdapter(DeviceAdapter):
         super().__init__(spec if spec is not None else V100)
 
     def execute_group_batch(self, functor, batch: np.ndarray) -> np.ndarray:
-        out = functor.apply(batch)
+        with self.gem_span(functor, batch):
+            out = functor.apply(batch)
         self._record(functor, "GEM", int(batch.size))
         return out
 

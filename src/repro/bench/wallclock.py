@@ -156,6 +156,31 @@ def measure_all(reps: int = 3, threads: int | None = None) -> dict:
     }
 
 
+def trace_run(out_path, threads: int | None = None):
+    """One traced compress+decompress per codec, exported as Chrome JSON.
+
+    Runs *after* (and separately from) the timed reps so the published
+    throughput numbers never include tracing overhead; the artifact it
+    writes is what CI archives next to ``BENCH_fresh.json``.  Returns
+    the written path.
+    """
+    import repro.trace as trace
+    from repro.adapters import get_adapter
+
+    data = bench_data()
+    omp = get_adapter("openmp", num_threads=threads or 4)
+    was_enabled = trace.enabled()
+    trace.enable(clear=True)
+    try:
+        for name in ("huffman", "mgard", "zfp"):
+            codec = _make_codec(name, adapter=omp)
+            codec.decompress(codec.compress(data))
+        return trace.export_chrome(out_path)
+    finally:
+        if not was_enabled:
+            trace.disable()
+
+
 def speedups(record: dict) -> dict:
     """``current / baseline`` ratios for the codecs with baselines."""
     out = {}

@@ -38,6 +38,7 @@ import numpy as np
 from repro.adapters.base import DeviceAdapter
 from repro.check.errors import HaloRaceError, ScratchAliasError
 from repro.core.functor import DomainFunctor
+from repro.trace.tracer import Span, TRACER as _TRACER
 
 #: Families the shadow machinery understands (real CPU concurrency).
 SANITIZABLE_FAMILIES = ("serial", "openmp")
@@ -147,7 +148,15 @@ class SanitizingAdapter(DeviceAdapter):
             or batch.size == 0
         ):
             return self.inner.execute_group_batch(functor, batch)
-        shadow = self._shadow_execute(functor, batch)
+        # Shadow work gets its own span (cat "san") so traced sanitized
+        # runs attribute the ~3x batch-pass overhead to the sanitizer,
+        # not the codec; the inner adapter emits the real GEM span.
+        if _TRACER.enabled:
+            with Span(_TRACER, f"san.shadow.{functor.name}", "san",
+                      {"groups": int(batch.shape[0])}):
+                shadow = self._shadow_execute(functor, batch)
+        else:
+            shadow = self._shadow_execute(functor, batch)
         result = self.inner.execute_group_batch(functor, batch)
         res_arr = np.asarray(result)
         if (

@@ -88,9 +88,35 @@ def _build_compressor(method: str, args):
     raise SystemExit(f"unknown method {method!r}")
 
 
+def _trace_begin(args) -> bool:
+    """Enable tracing when ``--trace``/``--metrics`` was requested."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", False)):
+        return False
+    import repro.trace as trace
+
+    trace.enable(clear=True)
+    return True
+
+
+def _trace_end(args, tracing: bool) -> None:
+    """Export/print the requested observability artifacts."""
+    if not tracing:
+        return
+    import repro.trace as trace
+
+    out = getattr(args, "trace", None)
+    if out:
+        path = trace.export_chrome(out)
+        print(f"trace: {len(trace.events())} spans -> {path} "
+              f"(load in chrome://tracing or Perfetto)")
+    if getattr(args, "metrics", False):
+        print(trace.summary())
+
+
 def cmd_compress(args) -> int:
     data = np.load(args.input)
     comp = _build_compressor(args.method, args)
+    tracing = _trace_begin(args)
     payload = comp.compress(data)
     blob = _envelope(args.method, payload)
     with open(args.output, "wb") as f:
@@ -99,6 +125,7 @@ def cmd_compress(args) -> int:
         f"{args.input}: {data.nbytes/1e6:.2f} MB -> {len(blob)/1e6:.2f} MB "
         f"({data.nbytes/len(blob):.2f}x) via {args.method}"
     )
+    _trace_end(args, tracing)
     return 0
 
 
@@ -107,10 +134,12 @@ def cmd_decompress(args) -> int:
         blob = f.read()
     method, payload = _open_envelope(blob)
     comp = _build_compressor(method, args)
+    tracing = _trace_begin(args)
     data = comp.decompress(payload)
     np.save(args.output, np.asarray(data))
     print(f"{args.input} ({method}) -> {args.output} "
           f"{np.asarray(data).shape} {np.asarray(data).dtype}")
+    _trace_end(args, tracing)
     return 0
 
 
@@ -193,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run under the HPDR-San shadow sanitizer "
                         "(serial/openmp; slower, catches races and "
                         "context misuse)")
+    c.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record spans and write Chrome trace-event JSON "
+                        "(chrome://tracing / Perfetto)")
+    c.add_argument("--metrics", action="store_true",
+                   help="print the stage/metrics summary after the run")
     c.set_defaults(func=cmd_compress)
 
     d = sub.add_parser("decompress", help="decompress an .hpdr container")
@@ -204,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker threads (openmp adapter)")
     d.add_argument("--sanitize", action="store_true",
                    help="run under the HPDR-San shadow sanitizer")
+    d.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record spans and write Chrome trace-event JSON")
+    d.add_argument("--metrics", action="store_true",
+                   help="print the stage/metrics summary after the run")
     d.set_defaults(func=cmd_decompress, eb=1e-3, mode="rel", rate=None, tolerance=None)
 
     i = sub.add_parser("info", help="describe an .hpdr container")

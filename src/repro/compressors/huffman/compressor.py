@@ -46,11 +46,38 @@ from repro.compressors.huffman.codebook import (
     build_codebook,
 )
 from repro.compressors.huffman.histogram import histogram
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
 from repro.util import hot_path, stream_errors
 
 _MAGIC = b"HUFX"
 _PAR_MAGIC = b"HUFP"
 _VERSION = 1
+
+
+def _span(name: str, **args):
+    """Huffman stage span (shared NULL_SPAN when tracing is off).
+
+    Never used inside ``@hot_path`` functions — span construction
+    allocates, and the hot paths must stay allocation-free even under
+    tracing; hot stages are wrapped at their call sites instead.
+    """
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return Span(_TRACER, name, "huffman", args)
+
+
+def _count_bytes(nbytes_in: int, nbytes_out: int) -> None:
+    """Byte-level API volume counters (key-level calls are not counted
+    here so MGARD's nested Huffman usage is attributed to mgard only)."""
+    if not _TRACER.enabled:
+        return
+    _METRICS.counter("hpdr_bytes_in_total", "bytes fed to compress()").inc(
+        int(nbytes_in), codec="huffman"
+    )
+    _METRICS.counter("hpdr_bytes_out_total", "compressed bytes produced").inc(
+        int(nbytes_out), codec="huffman"
+    )
 
 #: Minimum bytes per parallel segment — below this the per-segment
 #: codebook/container overhead outweighs the thread-level speedup.
@@ -233,8 +260,10 @@ class HuffmanX:
         flat = keys.reshape(-1)
         n = flat.size
 
-        freqs = histogram(flat, num_symbols, adapter=adapter)
-        book = build_codebook(freqs)
+        with _span("huffman.histogram", symbols=num_symbols, keys=n):
+            freqs = histogram(flat, num_symbols, adapter=adapter)
+        with _span("huffman.codebook", symbols=num_symbols):
+            book = build_codebook(freqs)
 
         if n == 0:
             payload = np.zeros(0, dtype=np.uint8)
@@ -254,20 +283,21 @@ class HuffmanX:
                 padded = flat
 
             # encode: Locality over chunks — each key independent.
-            enc = locality(
-                padded,
-                _EncodeFunctor(
-                    book.codes,
-                    book.lengths,
+            with _span("huffman.encode", keys=n, chunk=chunk):
+                enc = locality(
+                    padded,
+                    _EncodeFunctor(
+                        book.codes,
+                        book.lengths,
+                        ctx=ctx,
+                        per_thread=adapter is not None,
+                    ),
+                    block_shape=(chunk,),
+                    adapter=adapter,
+                    pad_mode="edge",
+                    reassemble=False,
                     ctx=ctx,
-                    per_thread=adapter is not None,
-                ),
-                block_shape=(chunk,),
-                adapter=adapter,
-                pad_mode="edge",
-                reassemble=False,
-                ctx=ctx,
-            )  # (nchunks, chunk) uint32, (code << 8) | length
+                )  # (nchunks, chunk) uint32, (code << 8) | length
             flat_enc = enc.reshape(-1)
             lens = ctx.scratch("enc.lens", m, np.int64)
             np.copyto(lens, flat_enc)
@@ -284,17 +314,20 @@ class HuffmanX:
                 np.subtract(off, lengths, out=off)
                 return off
 
-            offsets = global_pipeline(
-                lens,
-                FnDomain(_offsets, name="huffman.serialize", bytes_per_element=16.0),
-                adapter=adapter,
-            )
-            chunk_offsets = offsets[::chunk].astype(np.uint64)
-            assert chunk_offsets.size == nchunks
-            total_bits = int(offsets[-1] + lens[-1])
-            payload = pack_bits(
-                codes, lens, total_bits=total_bits, offsets=offsets, ctx=ctx
-            )
+            with _span("huffman.serialize", keys=n):
+                offsets = global_pipeline(
+                    lens,
+                    FnDomain(
+                        _offsets, name="huffman.serialize", bytes_per_element=16.0
+                    ),
+                    adapter=adapter,
+                )
+                chunk_offsets = offsets[::chunk].astype(np.uint64)
+                assert chunk_offsets.size == nchunks
+                total_bits = int(offsets[-1] + lens[-1])
+                payload = pack_bits(
+                    codes, lens, total_bits=total_bits, offsets=offsets, ctx=ctx
+                )
 
         return self._serialize(
             shape, keys.dtype, num_symbols, n, book, chunk_offsets, payload, chunk
@@ -344,10 +377,13 @@ class HuffmanX:
 
         ctx = self._key_context(shape, dtype, num_symbols, tag, pin=True)
         try:
-            return self._decode_chunks(
-                ctx, book, chunk_offsets, payload, chunk_size, nchunks, rem,
-                n, shape, dtype,
-            )
+            # Span wraps the call site, not the @hot_path body, so the
+            # decode loop stays allocation-free under tracing too.
+            with _span("huffman.decode", keys=n, chunks=nchunks):
+                return self._decode_chunks(
+                    ctx, book, chunk_offsets, payload, chunk_size, nchunks,
+                    rem, n, shape, dtype,
+                )
         finally:
             self.cache.release(ctx)
 
@@ -446,7 +482,9 @@ class HuffmanX:
 
         nseg = self._num_segments(keys.size)
         if nseg <= 1:
-            return header + self.compress_keys(keys, 256)
+            blob = header + self.compress_keys(keys, 256)
+            _count_bytes(keys.size, len(blob))
+            return blob
 
         seg = -(-keys.size // nseg)
         seg = -(-seg // self.chunk_size) * self.chunk_size  # chunk-aligned
@@ -468,7 +506,9 @@ class HuffmanX:
             + struct.pack(f"<{nseg}Q", *(len(p) for p in parts))
             + b"".join(parts)
         )
-        return header + body
+        blob = header + body
+        _count_bytes(keys.size, len(blob))
+        return blob
 
     @stream_errors
     def decompress(self, blob: bytes) -> np.ndarray:

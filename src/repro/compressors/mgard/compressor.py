@@ -26,10 +26,19 @@ from repro.compressors.mgard.quantize import (
     quantize_levels,
     to_symbols,
 )
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
 from repro.util import stream_errors
 
 _MAGIC = b"MGRX"
 _VERSION = 1
+
+
+def _span(name: str, **args):
+    """MGARD stage span (shared NULL_SPAN when tracing is off)."""
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return Span(_TRACER, name, "mgard", args)
 
 
 class MGARDX:
@@ -146,10 +155,12 @@ class MGARDX:
             data.shape, data.dtype, coords, pin=True
         )
         try:
-            coeffs, coarsest = decompose(
-                data, hierarchy, adapter=self.adapter, factors_per_level=factors,
-                ctx=ctx,
-            )
+            with _span("mgard.decompose", nbytes=int(data.nbytes),
+                       levels=hierarchy.total_levels):
+                coeffs, coarsest = decompose(
+                    data, hierarchy, adapter=self.adapter,
+                    factors_per_level=factors, ctx=ctx,
+                )
             groups = coeffs + [coarsest.reshape(-1)]
 
             kappa = self.kappa
@@ -157,10 +168,12 @@ class MGARDX:
                 bins = level_bins(abs_eb, len(groups), kappa, s=self.s)
                 blob = self._encode(data, abs_eb, kappa, hierarchy, groups, bins)
                 if not self.verify:
+                    self._count_bytes(data.nbytes, len(blob))
                     return blob
                 back = self.decompress(blob)
                 err = float(np.max(np.abs(back.astype(np.float64) - data.astype(np.float64)))) if data.size else 0.0
                 if err <= abs_eb:
+                    self._count_bytes(data.nbytes, len(blob))
                     return blob
                 # Scale κ by the measured overshoot (with margin): the error
                 # is linear in the bin sizes, so this converges in one or
@@ -172,40 +185,54 @@ class MGARDX:
         finally:
             self.cache.release(ctx)
 
+    @staticmethod
+    def _count_bytes(nbytes_in: int, nbytes_out: int) -> None:
+        if not _TRACER.enabled:
+            return
+        _METRICS.counter("hpdr_bytes_in_total", "bytes fed to compress()").inc(
+            int(nbytes_in), codec="mgard"
+        )
+        _METRICS.counter(
+            "hpdr_bytes_out_total", "compressed bytes produced"
+        ).inc(int(nbytes_out), codec="mgard")
+
     def _encode(self, data, abs_eb, kappa, hierarchy, groups, bins) -> bytes:
-        qgroups = quantize_levels(groups, bins, adapter=self.adapter)
-        qflat = (
-            np.concatenate([q.reshape(-1) for q in qgroups])
-            if qgroups
-            else np.zeros(0, dtype=np.int64)
-        )
-        symbols, outliers = to_symbols(qflat, self.dict_size)
-
-        if self.config.lossless == "huffman":
-            payload = self._huffman.compress_keys(
-                symbols.astype(np.int64), self.dict_size
+        with _span("mgard.quantize", levels=len(groups)):
+            qgroups = quantize_levels(groups, bins, adapter=self.adapter)
+            qflat = (
+                np.concatenate([q.reshape(-1) for q in qgroups])
+                if qgroups
+                else np.zeros(0, dtype=np.int64)
             )
-        else:
-            payload = symbols.astype(np.int32).tobytes()
+            symbols, outliers = to_symbols(qflat, self.dict_size)
 
-        dts = np.dtype(data.dtype).str.encode("ascii")
-        header = (
-            _MAGIC
-            + struct.pack(
-                "<BBBB",
-                _VERSION,
-                1 if self.config.lossless == "huffman" else 0,
-                len(dts),
-                data.ndim,
+        with _span("mgard.encode", symbols=int(symbols.size)):
+            if self.config.lossless == "huffman":
+                payload = self._huffman.compress_keys(
+                    symbols.astype(np.int64), self.dict_size
+                )
+            else:
+                payload = symbols.astype(np.int32).tobytes()
+
+        with _span("mgard.serialize", payload=len(payload)):
+            dts = np.dtype(data.dtype).str.encode("ascii")
+            header = (
+                _MAGIC
+                + struct.pack(
+                    "<BBBB",
+                    _VERSION,
+                    1 if self.config.lossless == "huffman" else 0,
+                    len(dts),
+                    data.ndim,
+                )
+                + dts
+                + struct.pack(f"<{data.ndim}q", *data.shape)
+                + struct.pack("<ddIIQQ", abs_eb, kappa, self.dict_size,
+                              bins.size, outliers.size, len(payload))
+                + bins.astype(np.float64).tobytes()
+                + outliers.astype(np.int64).tobytes()
             )
-            + dts
-            + struct.pack(f"<{data.ndim}q", *data.shape)
-            + struct.pack("<ddIIQQ", abs_eb, kappa, self.dict_size,
-                          bins.size, outliers.size, len(payload))
-            + bins.astype(np.float64).tobytes()
-            + outliers.astype(np.int64).tobytes()
-        )
-        return header + payload
+            return header + payload
 
     # ------------------------------------------------------------------
     @stream_errors
@@ -236,32 +263,35 @@ class MGARDX:
             tuple(shape), dtype, coords, pin=True
         )
         try:
-            if lossless:
-                symbols = self._huffman.decompress_keys(payload)
-            else:
-                symbols = np.frombuffer(payload, dtype=np.int32).astype(np.int64)
-            qflat = from_symbols(symbols, outliers)
+            with _span("mgard.decode", payload=len(payload)):
+                if lossless:
+                    symbols = self._huffman.decompress_keys(payload)
+                else:
+                    symbols = np.frombuffer(payload, dtype=np.int32).astype(np.int64)
+                qflat = from_symbols(symbols, outliers)
 
-            # Split the flat stream back into per-level groups.
-            sizes = [hierarchy.num_coefficients(l) for l in range(hierarchy.total_levels)]
-            sizes.append(int(np.prod(hierarchy.shape_at(hierarchy.total_levels))))
-            bounds = np.cumsum([0] + sizes)
-            if bounds[-1] != qflat.size:
-                raise ValueError(
-                    f"stream length {qflat.size} != expected {bounds[-1]}"
+            with _span("mgard.dequantize", symbols=int(qflat.size)):
+                # Split the flat stream back into per-level groups.
+                sizes = [hierarchy.num_coefficients(l) for l in range(hierarchy.total_levels)]
+                sizes.append(int(np.prod(hierarchy.shape_at(hierarchy.total_levels))))
+                bounds = np.cumsum([0] + sizes)
+                if bounds[-1] != qflat.size:
+                    raise ValueError(
+                        f"stream length {qflat.size} != expected {bounds[-1]}"
+                    )
+                qgroups = [qflat[bounds[i] : bounds[i + 1]] for i in range(len(sizes))]
+                groups = dequantize_levels(qgroups, bins, adapter=self.adapter)
+
+            with _span("mgard.recompose", levels=hierarchy.total_levels):
+                coeffs = groups[:-1]
+                coarsest = groups[-1].reshape(hierarchy.shape_at(hierarchy.total_levels))
+                out = recompose(
+                    coeffs, coarsest, hierarchy, adapter=self.adapter,
+                    factors_per_level=factors, ctx=ctx,
                 )
-            qgroups = [qflat[bounds[i] : bounds[i + 1]] for i in range(len(sizes))]
-            groups = dequantize_levels(qgroups, bins, adapter=self.adapter)
-
-            coeffs = groups[:-1]
-            coarsest = groups[-1].reshape(hierarchy.shape_at(hierarchy.total_levels))
-            out = recompose(
-                coeffs, coarsest, hierarchy, adapter=self.adapter,
-                factors_per_level=factors, ctx=ctx,
-            )
-            # recompose's result aliases context memory; astype(copy=True)
-            # hands the caller an independent array.
-            return out.astype(dtype, copy=True)
+                # recompose's result aliases context memory;
+                # astype(copy=True) hands the caller an independent array.
+                return out.astype(dtype, copy=True)
         finally:
             self.cache.release(ctx)
 

@@ -24,10 +24,30 @@ from repro.compressors.zfp.fixedpoint import (
     to_fixed_point,
 )
 from repro.compressors.zfp.transform import fwd_transform, inv_transform
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
 from repro.util import stream_errors
 
 _MAGIC = b"ZFPX"
 _VERSION = 1
+
+
+def _span(name: str, **args):
+    """ZFP stage span (shared NULL_SPAN when tracing is off)."""
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return Span(_TRACER, name, "zfp", args)
+
+
+def _count_bytes(nbytes_in: int, nbytes_out: int) -> None:
+    if not _TRACER.enabled:
+        return
+    _METRICS.counter("hpdr_bytes_in_total", "bytes fed to compress()").inc(
+        int(nbytes_in), codec="zfp"
+    )
+    _METRICS.counter("hpdr_bytes_out_total", "compressed bytes produced").inc(
+        int(nbytes_out), codec="zfp"
+    )
 
 
 def rate_for_error_bound(error_bound: float, dtype=np.float32, ndim: int = 3) -> float:
@@ -64,11 +84,14 @@ class _ZfpEncodeFunctor(LocalityFunctor):
 
     def apply(self, blocks: np.ndarray) -> np.ndarray:
         n = blocks.shape[0]
-        flat = blocks.reshape(n, -1).astype(self._dtype)
-        emax = block_exponents(flat)
-        iblocks = to_fixed_point(flat, emax)
-        coeffs = fwd_transform(iblocks, self._ndim)
-        return encode_blocks(coeffs, emax, self._maxbits, self._dtype)
+        with _span("zfp.align", blocks=n):
+            flat = blocks.reshape(n, -1).astype(self._dtype)
+            emax = block_exponents(flat)
+            iblocks = to_fixed_point(flat, emax)
+        with _span("zfp.transform", blocks=n):
+            coeffs = fwd_transform(iblocks, self._ndim)
+        with _span("zfp.bitplane", blocks=n):
+            return encode_blocks(coeffs, emax, self._maxbits, self._dtype)
 
 
 class _ZfpDecodeFunctor(LocalityFunctor):
@@ -84,11 +107,15 @@ class _ZfpDecodeFunctor(LocalityFunctor):
 
     def apply(self, records: np.ndarray) -> np.ndarray:
         bs = 4**self._ndim
-        coeffs, emax = decode_blocks(records.reshape(records.shape[0], -1),
-                                     self._maxbits, bs, self._dtype)
-        iblocks = inv_transform(coeffs, self._ndim)
-        flat = from_fixed_point(iblocks, emax, self._dtype)
-        return flat.reshape((records.shape[0],) + (4,) * self._ndim)
+        n = records.shape[0]
+        with _span("zfp.bitplane", blocks=n):
+            coeffs, emax = decode_blocks(records.reshape(n, -1),
+                                         self._maxbits, bs, self._dtype)
+        with _span("zfp.transform", blocks=n):
+            iblocks = inv_transform(coeffs, self._ndim)
+        with _span("zfp.align", blocks=n):
+            flat = from_fixed_point(iblocks, emax, self._dtype)
+            return flat.reshape((n,) + (4,) * self._ndim)
 
 
 class ZFPX:
@@ -147,16 +174,19 @@ class ZFPX:
             )
         finally:
             self.cache.release(ctx)
-        header = struct.pack(
-            "<4sBBBdI",
-            _MAGIC,
-            _VERSION,
-            1 if dtype == np.float64 else 0,
-            ndim,
-            self.rate,
-            maxbits,
-        ) + struct.pack(f"<{ndim}q", *data.shape)
-        return header + records.tobytes()
+        with _span("zfp.serialize", nblocks=int(records.shape[0])):
+            header = struct.pack(
+                "<4sBBBdI",
+                _MAGIC,
+                _VERSION,
+                1 if dtype == np.float64 else 0,
+                ndim,
+                self.rate,
+                maxbits,
+            ) + struct.pack(f"<{ndim}q", *data.shape)
+            blob = header + records.tobytes()
+        _count_bytes(data.nbytes, len(blob))
+        return blob
 
     @stream_errors
     def decompress(self, blob: bytes) -> np.ndarray:

@@ -45,6 +45,9 @@ from typing import Any, Callable, Hashable
 
 import numpy as np
 
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import TRACER as _TRACER
+
 #: Byte pattern written over evicted integer buffers.  0xA5 is the
 #: classic heap-poison value: visually obvious in hex dumps and very
 #: unlikely to decode into plausible keys/offsets.
@@ -290,11 +293,30 @@ class ContextCache:
         self.alloc_bytes_total += nbytes
         if self.on_alloc is not None:
             self.on_alloc(nbytes)
+        if _TRACER.enabled:
+            _METRICS.counter(
+                "hpdr_cmm_alloc_bytes_total", "bytes allocated through contexts"
+            ).inc(nbytes)
 
     def _context_free(self, nbytes: int) -> None:
         self.free_bytes_total += nbytes
         if self.on_free is not None:
             self.on_free(nbytes)
+        if _TRACER.enabled:
+            _METRICS.counter(
+                "hpdr_cmm_free_bytes_total", "context bytes released"
+            ).inc(nbytes)
+
+    def _observe_pinned(self) -> None:
+        """Refresh the bytes-pinned gauge (tracing-enabled runs only).
+
+        Called with ``self._lock`` held wherever a pin count changes;
+        the gauge aggregates across every live cache in the process.
+        """
+        pinned = sum(c.nbytes for c in self._map.values() if c.pinned)
+        _METRICS.gauge(
+            "hpdr_cmm_bytes_pinned", "bytes held by pinned contexts"
+        ).set(pinned, cache=hex(id(self)))
 
     def get(self, key: Hashable, pin: bool = False) -> ReductionContext:
         """Return the context for ``key``, creating it on a miss.
@@ -307,6 +329,7 @@ class ContextCache:
         """
         with self._lock:
             ctx = self._map.get(key)
+            found = ctx is not None
             if ctx is None:
                 self.misses += 1
                 ctx = ReductionContext(
@@ -325,6 +348,11 @@ class ContextCache:
                 self._map.move_to_end(key)
                 if pin:
                     ctx._pins += 1
+            if _TRACER.enabled:
+                _METRICS.counter(
+                    "hpdr_cmm_lookups_total", "context cache lookups"
+                ).inc(outcome="hit" if found else "miss")
+                self._observe_pinned()
             return ctx
 
     def release(self, ctx: ReductionContext) -> None:
@@ -333,6 +361,8 @@ class ContextCache:
             if ctx._pins > 0:
                 ctx._pins -= 1
             self._evict_over_capacity()
+            if _TRACER.enabled:
+                self._observe_pinned()
 
     def _evict_over_capacity(self) -> None:
         while len(self._map) > self.capacity:
@@ -345,6 +375,10 @@ class ContextCache:
                 return
             evicted = self._map.pop(victim_key)
             self.evictions += 1
+            if _TRACER.enabled:
+                _METRICS.counter(
+                    "hpdr_cmm_evictions_total", "contexts evicted (LRU)"
+                ).inc()
             self._context_free(evicted.nbytes)
             evicted.invalidate()
 

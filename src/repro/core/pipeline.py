@@ -31,9 +31,52 @@ import numpy as np
 from repro.machine.device import SimDevice
 from repro.machine.engine import Task, TaskKind, Trace
 from repro.perf.models import KernelModel
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
 
 #: metadata embedded/extracted per chunk (bytes) — rides the DMA engines.
 META_BYTES = 4096
+
+
+def _pipeline_span(name: str, **args):
+    """Span for a pipeline build/run step (shared NULL_SPAN when off)."""
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return Span(_TRACER, name, "pipeline", args)
+
+
+def _record_pipeline_metrics(trace: Trace, direction: str) -> None:
+    """Derive Fig. 9 health metrics from a completed simulated schedule.
+
+    Queue wait is the idle time between consecutive tasks on each
+    in-order stream: the per-queue sum of start-gaps, i.e. how long the
+    stream head sat blocked on dependencies or a busy engine.
+    """
+    if not _TRACER.enabled:
+        return
+    per_queue: dict[str, list[Task]] = {}
+    for t in trace.tasks:
+        if t.queue is not None and t.scheduled:
+            per_queue.setdefault(t.queue.name, []).append(t)
+    wait = _METRICS.counter(
+        "hpdr_pipeline_queue_wait_seconds_total",
+        "idle gaps between consecutive tasks on each pipeline queue",
+    )
+    for qname, tasks in per_queue.items():
+        tasks.sort(key=lambda t: (t.start, t.seq))
+        gaps = 0.0
+        prev_end = 0.0
+        for t in tasks:
+            if t.start > prev_end:
+                gaps += t.start - prev_end
+            prev_end = max(prev_end, t.end)
+        wait.inc(gaps, queue=qname, direction=direction)
+    _METRICS.gauge(
+        "hpdr_pipeline_makespan_seconds", "simulated schedule makespan"
+    ).set(trace.makespan, direction=direction)
+    _METRICS.gauge(
+        "hpdr_pipeline_overlap_ratio", "copy/compute overlap achieved"
+    ).set(trace.overlap_ratio(), direction=direction)
 
 
 @dataclass
@@ -194,31 +237,36 @@ class ReductionPipeline:
         if ratio <= 0:
             raise ValueError(f"ratio must be positive, got {ratio}")
         dev = self.device
-        queues = dev.create_queues(self.num_queues)
-        h2d_tasks: list[Task] = []
-        serialize_tasks: list[Task] = []
+        with _pipeline_span(
+            "pipeline.build_compression",
+            chunks=len(chunk_sizes),
+            queues=self.num_queues,
+        ):
+            queues = dev.create_queues(self.num_queues)
+            h2d_tasks: list[Task] = []
+            serialize_tasks: list[Task] = []
 
-        for i, chunk in enumerate(chunk_sizes):
-            q = queues[i % self.num_queues]
-            out_bytes = max(1, int(chunk / ratio))
-            deps: list[Task] = []
-            # Buffer anti-dependency (dotted edges): with B buffer sets,
-            # chunk i reuses chunk i-B's input buffer, which frees at
-            # that chunk's serialization.
-            j = i - self.num_buffers
-            if self.overlapped and j >= 0:
-                deps.append(serialize_tasks[j])
-            self._alloc_tasks(q, chunk, ratio)
-            if self.staging_copies:
-                dev.host_copy(chunk, q, label=f"stage_in[{i}]")
-            t_h2d = dev.h2d(chunk, q, deps=deps, label=f"h2d[{i}]")
-            t_k = self._submit_kernel(q, chunk, f"reduce[{i}]")
-            t_d2h = dev.d2h(out_bytes, q, label=f"out[{i}]")
-            t_ser = dev.serialize(META_BYTES, q, label=f"ser[{i}]")
-            if self.staging_copies:
-                dev.host_copy(out_bytes, q, label=f"stage_out[{i}]")
-            h2d_tasks.append(t_h2d)
-            serialize_tasks.append(t_ser)
+            for i, chunk in enumerate(chunk_sizes):
+                q = queues[i % self.num_queues]
+                out_bytes = max(1, int(chunk / ratio))
+                deps: list[Task] = []
+                # Buffer anti-dependency (dotted edges): with B buffer
+                # sets, chunk i reuses chunk i-B's input buffer, which
+                # frees at that chunk's serialization.
+                j = i - self.num_buffers
+                if self.overlapped and j >= 0:
+                    deps.append(serialize_tasks[j])
+                self._alloc_tasks(q, chunk, ratio)
+                if self.staging_copies:
+                    dev.host_copy(chunk, q, label=f"stage_in[{i}]")
+                t_h2d = dev.h2d(chunk, q, deps=deps, label=f"h2d[{i}]")
+                t_k = self._submit_kernel(q, chunk, f"reduce[{i}]")
+                t_d2h = dev.d2h(out_bytes, q, label=f"out[{i}]")
+                t_ser = dev.serialize(META_BYTES, q, label=f"ser[{i}]")
+                if self.staging_copies:
+                    dev.host_copy(out_bytes, q, label=f"stage_out[{i}]")
+                h2d_tasks.append(t_h2d)
+                serialize_tasks.append(t_ser)
 
     def run_compression(
         self,
@@ -227,7 +275,9 @@ class ReductionPipeline:
     ) -> PipelineResult:
         """Simulate compressing chunks of the given sizes (bytes)."""
         self.build_compression(chunk_sizes, ratio)
-        trace = self.device.sim.run()
+        with _pipeline_span("pipeline.run_compression", chunks=len(chunk_sizes)):
+            trace = self.device.sim.run()
+        _record_pipeline_metrics(trace, direction="compress")
         return PipelineResult(
             trace=trace,
             chunk_sizes=list(chunk_sizes),
@@ -245,41 +295,47 @@ class ReductionPipeline:
         if not chunk_sizes:
             raise ValueError("need at least one chunk")
         dev = self.device
-        queues = dev.create_queues(self.num_queues)
-        out_tasks: list[Task] = []
-        deser_tasks: list[Task] = []
-        pending: list[tuple] = []
+        with _pipeline_span(
+            "pipeline.build_reconstruction",
+            chunks=len(chunk_sizes),
+            queues=self.num_queues,
+        ):
+            queues = dev.create_queues(self.num_queues)
+            out_tasks: list[Task] = []
+            deser_tasks: list[Task] = []
+            pending: list[tuple] = []
 
-        # First pass: create per-chunk task descriptors in *launch order*.
-        # With reversed_order, chunk i+1's deserialize is issued before
-        # chunk i's output copy (they share the D2H DMA engine).
-        for i, chunk in enumerate(chunk_sizes):
-            q = queues[i % self.num_queues]
-            in_bytes = max(1, int(chunk / ratio))
-            deps: list[Task] = []
-            j = i - self.num_buffers
-            if self.overlapped and j >= 0 and j < len(out_tasks):
-                deps.append(out_tasks[j])
-            self._alloc_tasks(q, chunk, ratio)
-            if self.staging_copies:
-                dev.host_copy(in_bytes, q, label=f"stage_in[{i}]")
-            t_h2d = dev.h2d(in_bytes, q, deps=deps, label=f"h2d[{i}]")
-            t_deser = dev.deserialize(META_BYTES, q, label=f"deser[{i}]")
-            deser_tasks.append(t_deser)
-            t_k = self._submit_kernel(q, chunk, f"recon[{i}]")
-            # Output copy launch: reversed order lets the *next* chunk's
-            # deserialization win scheduler ties on the shared DMA; the
-            # non-reversed ablation instead makes the next deserialize
-            # explicitly wait for this output copy.
-            t_out = dev.d2h(chunk, q, label=f"out[{i}]")
-            if self.staging_copies:
-                dev.host_copy(chunk, q, label=f"stage_out[{i}]")
-            out_tasks.append(t_out)
-            if not self.reversed_order and i + 1 < len(chunk_sizes):
-                pending.append((i + 1, t_out))
+            # First pass: create per-chunk task descriptors in *launch
+            # order*.  With reversed_order, chunk i+1's deserialize is
+            # issued before chunk i's output copy (they share the D2H
+            # DMA engine).
+            for i, chunk in enumerate(chunk_sizes):
+                q = queues[i % self.num_queues]
+                in_bytes = max(1, int(chunk / ratio))
+                deps: list[Task] = []
+                j = i - self.num_buffers
+                if self.overlapped and j >= 0 and j < len(out_tasks):
+                    deps.append(out_tasks[j])
+                self._alloc_tasks(q, chunk, ratio)
+                if self.staging_copies:
+                    dev.host_copy(in_bytes, q, label=f"stage_in[{i}]")
+                t_h2d = dev.h2d(in_bytes, q, deps=deps, label=f"h2d[{i}]")
+                t_deser = dev.deserialize(META_BYTES, q, label=f"deser[{i}]")
+                deser_tasks.append(t_deser)
+                t_k = self._submit_kernel(q, chunk, f"recon[{i}]")
+                # Output copy launch: reversed order lets the *next*
+                # chunk's deserialization win scheduler ties on the
+                # shared DMA; the non-reversed ablation instead makes
+                # the next deserialize explicitly wait for this copy.
+                t_out = dev.d2h(chunk, q, label=f"out[{i}]")
+                if self.staging_copies:
+                    dev.host_copy(chunk, q, label=f"stage_out[{i}]")
+                out_tasks.append(t_out)
+                if not self.reversed_order and i + 1 < len(chunk_sizes):
+                    pending.append((i + 1, t_out))
 
-        for idx, t_out in pending:
-            deser_tasks[idx].add_dep(t_out)
+            for idx, t_out in pending:
+                deser_tasks[idx].add_dep(t_out)
 
     def run_reconstruction(
         self,
@@ -288,7 +344,9 @@ class ReductionPipeline:
     ) -> PipelineResult:
         """Simulate reconstructing chunks (sizes are *decompressed* bytes)."""
         self.build_reconstruction(chunk_sizes, ratio)
-        trace = self.device.sim.run()
+        with _pipeline_span("pipeline.run_reconstruction", chunks=len(chunk_sizes)):
+            trace = self.device.sim.run()
+        _record_pipeline_metrics(trace, direction="reconstruct")
         return PipelineResult(
             trace=trace,
             chunk_sizes=list(chunk_sizes),

@@ -16,6 +16,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.io.bp import BPFile
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
+
+
+def _span(name: str, **args):
+    """I/O step span (shared NULL_SPAN when tracing is off)."""
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return Span(_TRACER, name, "io", args)
 
 
 class BPWriter:
@@ -54,7 +63,11 @@ class BPWriter:
             raise RuntimeError("writer already closed")
         key = f"{name}@{rank}"
         agg = self._agg_of(rank)
-        self._files[agg].put(key, data, operator=operator, compressor=compressor)
+        with _span("io.put", var=name, rank=rank, nbytes=int(data.nbytes),
+                   operator=operator):
+            self._files[agg].put(
+                key, data, operator=operator, compressor=compressor
+            )
         self._index[key] = {"subfile": agg, "rank": rank, "name": name}
 
     def put_reduced(
@@ -64,7 +77,9 @@ class BPWriter:
             raise RuntimeError("writer already closed")
         key = f"{name}@{rank}"
         agg = self._agg_of(rank)
-        self._files[agg].put_reduced(key, payload, shape, dtype, operator)
+        with _span("io.put_reduced", var=name, rank=rank,
+                   nbytes=len(payload), operator=operator):
+            self._files[agg].put_reduced(key, payload, shape, dtype, operator)
         self._index[key] = {"subfile": agg, "rank": rank, "name": name}
 
     def close(self) -> dict:
@@ -73,14 +88,23 @@ class BPWriter:
             raise RuntimeError("writer already closed")
         self.path.mkdir(parents=True, exist_ok=True)
         stored = 0
-        for i, bp in enumerate(self._files):
-            stored += bp.save(self.path / f"data.{i}")
-        with open(self.path / "index.json", "w") as f:
-            json.dump(
-                {"aggregators": self.num_aggregators, "variables": self._index}, f
-            )
+        with _span("io.flush", subfiles=self.num_aggregators):
+            for i, bp in enumerate(self._files):
+                stored += bp.save(self.path / f"data.{i}")
+            with open(self.path / "index.json", "w") as f:
+                json.dump(
+                    {"aggregators": self.num_aggregators, "variables": self._index},
+                    f,
+                )
         self._closed = True
         original = sum(bp.original_bytes for bp in self._files)
+        if _TRACER.enabled:
+            _METRICS.counter(
+                "hpdr_io_stored_bytes_total", "bytes flushed to BP subfiles"
+            ).inc(stored)
+            _METRICS.counter(
+                "hpdr_io_original_bytes_total", "pre-reduction bytes written"
+            ).inc(original)
         return {
             "stored_bytes": stored,
             "original_bytes": original,
@@ -125,7 +149,9 @@ class BPReader:
         entry = self._index["variables"].get(key)
         if entry is None:
             raise KeyError(f"no variable {key!r} in {self.path}")
-        data = self._subfile(entry["subfile"]).get(key, compressor=compressor)
+        with _span("io.get", var=name, rank=rank) as sp:
+            data = self._subfile(entry["subfile"]).get(key, compressor=compressor)
+            sp.set(nbytes=int(data.nbytes))
         if selection is None:
             return data
         if len(selection) > data.ndim:

@@ -16,6 +16,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.io.engine import BPReader, BPWriter
+from repro.trace.tracer import Span, TRACER as _TRACER
 
 
 class StepWriter:
@@ -60,6 +61,7 @@ class _Step:
     def __init__(self, owner: StepWriter, index: int) -> None:
         self._owner = owner
         self.index = index
+        self._span = None
 
     def put(self, name: str, data: np.ndarray, rank: int = 0,
             operator: str = "none", compressor=None) -> None:
@@ -69,9 +71,18 @@ class _Step:
         )
 
     def __enter__(self) -> "_Step":
+        # One span per open step, so traced runs show step boundaries
+        # around the io.put spans they contain.
+        if _TRACER.enabled:
+            self._span = Span(
+                _TRACER, "io.step", "io", {"step": self.index}
+            ).__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+            self._span = None
         if exc_type is None:
             self._owner._end_step()
         else:

@@ -1,0 +1,153 @@
+"""Chrome ``trace_event`` export/import for HPDR-Trace spans.
+
+Produces the JSON Array Format understood by ``chrome://tracing``,
+Perfetto and speedscope: one *complete* event (``"ph": "X"``) per span
+with microsecond ``ts``/``dur``, ``pid``/``tid`` lanes and the span's
+args attached.  Thread-name metadata events (``"ph": "M"``) label each
+lane so pool threads are identifiable in the viewer.
+
+The format is also this repo's trace *interchange* schema: the CI perf
+job archives these files as workflow artifacts, and
+:func:`validate_events` is the round-trip contract the tests (and any
+downstream consumer) hold the exporter to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.trace.tracer import TRACER, SpanEvent, Tracer
+
+#: fields every complete ("X") event must carry, per the trace-event
+#: format spec — the round-trip tests validate against this.
+REQUIRED_FIELDS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def chrome_events(
+    events: Sequence[SpanEvent] | None = None,
+    tracer: Tracer | None = None,
+) -> list[dict]:
+    """Render spans as trace-event dicts (microsecond timestamps).
+
+    ``events=None`` snapshots the given (default: process-wide) tracer.
+    Span starts are rebased to the earliest span so traces start at
+    ``ts=0`` regardless of process uptime.
+    """
+    tracer = tracer if tracer is not None else TRACER
+    if events is None:
+        events = tracer.snapshot()
+    if not events:
+        return []
+    t0 = min(e.start_ns for e in events)
+    out: list[dict] = []
+    tids: dict[tuple[int, int], None] = {}
+    for e in events:
+        tids.setdefault((e.pid, e.tid))
+        out.append(
+            {
+                "name": e.name,
+                "cat": e.cat,
+                "ph": "X",
+                "ts": (e.start_ns - t0) / 1e3,
+                "dur": e.dur_ns / 1e3,
+                "pid": e.pid,
+                "tid": e.tid,
+                "args": dict(e.args),
+            }
+        )
+    # Lane labels: main thread first by lane id, workers after.
+    for i, (pid, tid) in enumerate(sorted(tids)):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"hpdr-thread-{i}"},
+            }
+        )
+    return out
+
+
+def export_chrome(
+    path: str | Path,
+    events: Sequence[SpanEvent] | None = None,
+    tracer: Tracer | None = None,
+) -> Path:
+    """Write the trace-event JSON array to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = chrome_events(events, tracer=tracer)
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def load_chrome(path: str | Path) -> list[dict]:
+    """Load a trace-event JSON file and validate its schema."""
+    raw = json.loads(Path(path).read_text())
+    validate_events(raw)
+    return raw
+
+
+def validate_events(raw: object) -> list[dict]:
+    """Assert ``raw`` is a well-formed trace-event array; return it.
+
+    Checks the JSON Array Format invariants consumers rely on: a list of
+    objects; every ``"X"`` event carries ``name``/``ph``/``ts``/``dur``/
+    ``pid``/``tid`` with numeric timestamps and non-negative durations;
+    metadata events carry at least ``ph``/``pid``.  Raises
+    :class:`ValueError` on the first violation.
+    """
+    if not isinstance(raw, list):
+        raise ValueError(f"trace must be a JSON array, got {type(raw).__name__}")
+    for i, ev in enumerate(raw):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object: {ev!r}")
+        ph = ev.get("ph")
+        if ph is None:
+            raise ValueError(f"event {i} has no 'ph' field")
+        if ph == "X":
+            for f in REQUIRED_FIELDS:
+                if f not in ev:
+                    raise ValueError(f"event {i} ({ev.get('name')!r}) missing {f!r}")
+            if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+                raise ValueError(f"event {i} has bad ts {ev['ts']!r}")
+            if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                raise ValueError(f"event {i} has bad dur {ev['dur']!r}")
+            if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
+                raise ValueError(f"event {i} has non-integer pid/tid")
+        elif ph == "M":
+            if "pid" not in ev:
+                raise ValueError(f"metadata event {i} missing pid")
+        else:
+            raise ValueError(f"event {i} has unsupported phase {ph!r}")
+    return raw
+
+
+def spans_from_chrome(raw: Iterable[dict]) -> list[SpanEvent]:
+    """Rebuild :class:`SpanEvent` records from trace-event dicts.
+
+    The inverse of :func:`chrome_events` (modulo the rebased origin):
+    lets tooling re-render an archived CI trace through the text Gantt
+    or re-aggregate its metrics.
+    """
+    out: list[SpanEvent] = []
+    for ev in raw:
+        if ev.get("ph") != "X":
+            continue
+        out.append(
+            SpanEvent(
+                name=ev["name"],
+                cat=ev.get("cat", "host"),
+                start_ns=int(round(ev["ts"] * 1e3)),
+                dur_ns=int(round(ev["dur"] * 1e3)),
+                pid=ev["pid"],
+                tid=ev["tid"],
+                depth=int(ev.get("args", {}).get("depth", 0)),
+                args=dict(ev.get("args", {})),
+            )
+        )
+    return out

@@ -1,0 +1,104 @@
+"""Bridge real span traces onto the simulator's timeline renderer.
+
+``machine.timeline.render_timeline`` draws a per-resource Gantt chart
+from a :class:`~repro.machine.engine.Trace`; this adapter converts a
+recorded wall-clock span trace into exactly that structure, so *real*
+executions render identically to simulated ones:
+
+    thread-0 |████▓▓██████    |
+    thread-1 |    ████████    |
+
+Each (pid, tid) lane becomes one resource; span categories map onto
+:class:`~repro.machine.engine.TaskKind` glyphs (compute for GEM/codec
+stages, IO for the io layer, …).  Only root-depth spans of each lane
+are emitted by default — nested stage spans would overdraw their parent
+in a one-row-per-resource chart; pass ``max_depth`` to include them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.machine.engine import Resource, SimQueue, Task, TaskKind, Trace
+from repro.trace.tracer import TRACER, SpanEvent, Tracer
+
+#: span-category → simulated task kind (drives timeline glyphs).
+_KIND_BY_CAT = {
+    "io": TaskKind.IO,
+    "serialize": TaskKind.SERIALIZE,
+    "deserialize": TaskKind.DESERIALIZE,
+    "alloc": TaskKind.ALLOC,
+    "free": TaskKind.FREE,
+    "host": TaskKind.HOST,
+    "pipeline": TaskKind.HOST,
+}
+#: categories that render as compute (kernel/codec work).
+_COMPUTE_CATS = {
+    "adapter", "gem", "dem", "mgard", "zfp", "huffman", "san",
+    "serial", "openmp", "cuda", "hip", "sycl",
+}
+
+
+def kind_for_category(cat: str) -> TaskKind:
+    head = cat.split(".")[0]
+    if head in _COMPUTE_CATS:
+        return TaskKind.COMPUTE
+    return _KIND_BY_CAT.get(head, TaskKind.HOST)
+
+
+def to_sim_trace(
+    events: Sequence[SpanEvent] | None = None,
+    tracer: Tracer | None = None,
+    max_depth: int = 0,
+) -> Trace:
+    """Convert spans into a scheduled :class:`Trace` (seconds, t=0 origin).
+
+    The result satisfies the renderer's contract (every task scheduled,
+    one resource per thread lane) but deliberately skips
+    ``Trace.validate()``: real nested spans legitimately overlap on one
+    thread, unlike exclusive simulated resources — hence the
+    ``max_depth`` filter (default: root spans only).
+    """
+    tracer = tracer if tracer is not None else TRACER
+    if events is None:
+        events = tracer.snapshot()
+    events = [e for e in events if e.depth <= max_depth]
+    trace = Trace()
+    if not events:
+        return trace
+    t0 = min(e.start_ns for e in events)
+    lanes: dict[tuple[int, int], tuple[Resource, SimQueue]] = {}
+    for i, key in enumerate(sorted({(e.pid, e.tid) for e in events})):
+        name = f"thread-{i}"
+        lanes[key] = (Resource(name), SimQueue(name))
+    for e in sorted(events, key=lambda e: e.start_ns):
+        resource, queue = lanes[(e.pid, e.tid)]
+        task = Task(
+            name=e.name,
+            kind=kind_for_category(e.cat),
+            resource=resource,
+            duration=e.dur_ns / 1e9,
+            queue=queue,
+            nbytes=int(e.args.get("nbytes", 0) or 0),
+            tag=e.cat,
+        )
+        task.start = (e.start_ns - t0) / 1e9
+        task.end = task.start + task.duration
+        resource.busy_time += task.duration
+        resource.busy_until = max(resource.busy_until, task.end)
+        trace.tasks.append(task)
+    return trace
+
+
+def render_spans(
+    events: Sequence[SpanEvent] | None = None,
+    tracer: Tracer | None = None,
+    width: int = 72,
+    max_depth: int = 0,
+) -> str:
+    """Text Gantt of a real execution via the shared timeline renderer."""
+    from repro.machine.timeline import render_timeline
+
+    return render_timeline(
+        to_sim_trace(events, tracer=tracer, max_depth=max_depth), width=width
+    )

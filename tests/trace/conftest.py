@@ -1,0 +1,17 @@
+"""Trace-test fixtures: isolate the global tracer/metrics state."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.trace as trace
+
+
+@pytest.fixture(autouse=True)
+def clean_trace_state():
+    """Every trace test starts and ends with tracing off and empty."""
+    trace.reset()
+    trace.disable()
+    yield
+    trace.reset()
+    trace.disable()

@@ -1,0 +1,85 @@
+"""Chrome trace-event export: schema, round-trip, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.trace as trace
+from repro.trace.chrome import (
+    chrome_events,
+    export_chrome,
+    load_chrome,
+    spans_from_chrome,
+    validate_events,
+)
+
+
+def _record_some_spans():
+    trace.enable()
+    with trace.span("mgard.decompose", cat="mgard", nbytes=4096):
+        with trace.span("gem.tridiag", cat="adapter.serial"):
+            pass
+    with trace.span("io.put", cat="io"):
+        pass
+
+
+def test_chrome_events_schema():
+    _record_some_spans()
+    evs = chrome_events()
+    xs = [e for e in evs if e["ph"] == "X"]
+    assert len(xs) == 3
+    for e in xs:
+        for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            assert field in e, field
+        assert isinstance(e["pid"], int)
+        assert isinstance(e["tid"], int)
+        assert e["ts"] >= 0 and e["dur"] >= 0
+    # one thread_name metadata record per lane
+    ms = [e for e in evs if e["ph"] == "M"]
+    assert ms and all(m["name"] == "thread_name" for m in ms)
+
+
+def test_timestamps_rebased_to_zero():
+    _record_some_spans()
+    xs = [e for e in chrome_events() if e["ph"] == "X"]
+    assert min(e["ts"] for e in xs) == 0
+
+
+def test_export_load_round_trip(tmp_path):
+    _record_some_spans()
+    path = export_chrome(tmp_path / "trace.json")
+    loaded = load_chrome(path)  # load_chrome validates
+    raw = json.loads(path.read_text())
+    assert loaded == raw
+    xs = [e for e in loaded if e["ph"] == "X"]
+    assert {e["name"] for e in xs} == {"mgard.decompose", "gem.tridiag", "io.put"}
+
+
+def test_spans_round_trip_preserve_fields(tmp_path):
+    _record_some_spans()
+    original = trace.events()
+    path = export_chrome(tmp_path / "trace.json")
+    back = spans_from_chrome(load_chrome(path))
+    assert len(back) == len(original)
+    by_name = {e.name: e for e in back}
+    src = by_name["mgard.decompose"]
+    assert src.cat == "mgard"
+    assert src.args["nbytes"] == 4096
+
+
+def test_validate_rejects_missing_fields():
+    with pytest.raises(ValueError):
+        validate_events([{"ph": "X", "name": "x"}])
+    with pytest.raises(ValueError):
+        validate_events([{"ph": "X", "name": "x", "ts": -1.0, "dur": 0,
+                          "pid": 1, "tid": 1}])
+    with pytest.raises(ValueError):
+        validate_events("not a list")
+
+
+def test_validate_accepts_exported_stream(tmp_path):
+    _record_some_spans()
+    path = export_chrome(tmp_path / "t.json")
+    validate_events(json.loads(path.read_text()))  # must not raise

@@ -1,0 +1,109 @@
+"""Metrics registry: counters, gauges, histograms, thread safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.trace as trace
+from repro.trace.metrics import REGISTRY, Counter, Gauge, Histogram
+
+
+def test_counter_labels_and_total():
+    c = REGISTRY.counter("test_total", "help")
+    c.inc(3, codec="mgard")
+    c.inc(2, codec="zfp")
+    c.inc()  # unlabeled
+    assert c.value(codec="mgard") == 3
+    assert c.value(codec="zfp") == 2
+    assert c.total() == 6
+
+
+def test_counter_rejects_negative_and_gauge_allows():
+    c = REGISTRY.counter("test_c_total", "help")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    g = REGISTRY.gauge("test_g", "help")
+    g.inc(-5)
+    g.set(7, direction="compress")
+    assert g.value() == -5
+    assert g.value(direction="compress") == 7
+
+
+def test_histogram_buckets_cumulative():
+    h = REGISTRY.histogram("test_h", "help", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 500.0):
+        h.observe(v)
+    assert h.count() == 4
+    assert h.sum() == pytest.approx(555.5)
+    assert h.max() == 500.0
+
+
+def test_registry_kind_collision_raises():
+    REGISTRY.counter("test_kind", "help")
+    with pytest.raises(TypeError):
+        REGISTRY.gauge("test_kind", "help")
+
+
+def test_render_prometheus_exposition():
+    REGISTRY.counter("hpdr_demo_total", "demo counter").inc(5, codec="x")
+    REGISTRY.histogram("hpdr_demo_seconds", "demo hist",
+                       buckets=(0.1, 1.0)).observe(0.5)
+    text = trace.render_prometheus()
+    assert "# HELP hpdr_demo_total demo counter" in text
+    assert "# TYPE hpdr_demo_total counter" in text
+    assert 'hpdr_demo_total{codec="x"} 5' in text
+    assert 'le="+Inf"' in text
+    assert "hpdr_demo_seconds_count 1" in text
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_codec_byte_counters_exact_under_openmp(threads):
+    """Counter totals must be exact whatever the pool fan-out is."""
+    from repro import HuffmanX
+    from repro.adapters import get_adapter
+
+    trace.enable(clear=True)
+    adapter = get_adapter("openmp", num_threads=threads)
+    codec = HuffmanX(adapter=adapter)
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 64, size=200_000).astype(np.uint8)
+    reps = 3
+    for _ in range(reps):
+        blob = codec.compress(data)
+        out = codec.decompress(blob)
+    assert np.array_equal(out, data)
+    c = REGISTRY.get("hpdr_bytes_in_total")
+    assert c.value(codec="huffman") == reps * data.nbytes
+    assert REGISTRY.get("hpdr_bytes_out_total").value(codec="huffman") == (
+        reps * len(blob)
+    )
+
+
+@pytest.mark.parametrize("threads", [2, 4])
+def test_concurrent_counter_increments_are_atomic(threads):
+    """Parallel inc() from pool threads must never lose updates."""
+    from repro.adapters import get_adapter
+
+    trace.enable(clear=True)
+    c = REGISTRY.counter("test_atomic_total", "help")
+    adapter = get_adapter("openmp", num_threads=threads)
+    n = 2000
+
+    def bump(_):
+        c.inc(1, kind="w")
+        return None
+
+    adapter.map_tasks(bump, range(n))
+    assert c.value(kind="w") == n
+
+
+def test_metrics_idle_without_tracing():
+    """Instrumented code paths must not record metrics when disabled."""
+    from repro import HuffmanX
+
+    assert not trace.enabled()
+    codec = HuffmanX()
+    data = np.arange(50_000, dtype=np.uint8) % 17
+    codec.decompress(codec.compress(data))
+    assert REGISTRY.get("hpdr_bytes_in_total") is None

@@ -1,0 +1,131 @@
+"""Tracer core: disabled fast path, span recording, nesting, threads."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.trace as trace
+from repro.trace.tracer import NULL_SPAN, TRACER
+
+
+# -- disabled fast path ---------------------------------------------------
+def test_disabled_span_is_shared_null_singleton():
+    assert not trace.enabled()
+    s1 = trace.span("mgard.decompose", chunk=1)
+    s2 = trace.span("zfp.transform")
+    assert s1 is NULL_SPAN
+    assert s2 is NULL_SPAN
+
+
+def test_disabled_span_records_nothing():
+    with trace.span("stage", nbytes=10):
+        pass
+    assert trace.events() == []
+    assert TRACER.snapshot() == []
+
+
+def test_null_span_api_is_inert():
+    with trace.span("anything") as s:
+        assert s.set(extra=1) is s  # chainable no-op
+
+
+# -- enabled recording ----------------------------------------------------
+def test_span_records_event_with_timing():
+    trace.enable()
+    with trace.span("mgard.decompose", cat="mgard", chunk=3):
+        x = sum(range(100))
+    (ev,) = trace.events()
+    assert ev.name == "mgard.decompose"
+    assert ev.cat == "mgard"
+    assert ev.args["chunk"] == 3
+    assert ev.dur_ns >= 0
+    assert ev.end_ns == ev.start_ns + ev.dur_ns
+    assert ev.tid == threading.get_ident()
+
+
+def test_nested_spans_record_depth():
+    trace.enable()
+    with trace.span("outer"):
+        with trace.span("inner"):
+            pass
+    by_name = {e.name: e for e in trace.events()}
+    assert by_name["outer"].depth == 0
+    assert by_name["inner"].depth == 1
+
+
+def test_span_set_merges_args():
+    trace.enable()
+    with trace.span("s", a=1) as sp:
+        sp.set(b=2)
+    (ev,) = trace.events()
+    assert ev.args == {"a": 1, "b": 2}
+
+
+def test_span_records_error_flag_on_exception():
+    trace.enable()
+    with pytest.raises(ValueError):
+        with trace.span("failing"):
+            raise ValueError("boom")
+    (ev,) = trace.events()
+    assert ev.args["error"] == "ValueError"
+
+
+def test_traced_decorator():
+    trace.enable()
+
+    @trace.traced(cat="host")
+    def work(n):
+        return n * 2
+
+    assert work(21) == 42
+    (ev,) = trace.events()
+    assert ev.name.endswith("work")  # __qualname__ of the wrapped fn
+
+
+def test_enable_clear_and_disable():
+    trace.enable()
+    with trace.span("a"):
+        pass
+    assert len(trace.events()) == 1
+    trace.enable(clear=True)
+    assert trace.events() == []
+    trace.disable()
+    assert not trace.enabled()
+    with trace.span("b"):
+        pass
+    assert trace.events() == []
+
+
+def test_spans_commit_from_worker_threads():
+    trace.enable()
+
+    def work(i):
+        with trace.span("worker", cat="host", i=i):
+            pass
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    evs = trace.events()
+    assert len(evs) == 8
+    assert len({e.tid for e in evs}) >= 1
+    assert sorted(e.args["i"] for e in evs) == list(range(8))
+
+
+def test_stage_table_and_summary_nonempty():
+    trace.enable()
+    with trace.span("stage.one"):
+        pass
+    table = trace.stage_table()
+    assert "stage.one" in table
+    assert "stage.one" in trace.summary()
+
+
+def test_disabled_overhead_is_flag_check(benchmark=None):
+    """The disabled path must not allocate a new object per call."""
+    ids = {id(trace.span("x")) for _ in range(100)}
+    assert len(ids) == 1
