@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Docs freshness and link checker (CI: the ``docs`` job).
+
+Two enforcement passes, exit 1 on any finding:
+
+1. **API coverage** — every public module directly under ``src/repro/``
+   (subpackage or top-level ``.py``, underscore-prefixed names excluded)
+   must be mentioned as ``repro.<name>`` somewhere in ``docs/api.md``.
+   Adding a subpackage without documenting it fails CI.
+2. **Markdown links** — every relative link/image target in the repo's
+   markdown files must exist on disk (anchors are stripped; external
+   ``http(s)``/``mailto`` targets are skipped).
+
+Run locally:  python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+API_DOC = REPO / "docs" / "api.md"
+
+# Markdown files that carry user-facing links worth checking.
+MARKDOWN_GLOBS = ["*.md", "docs/*.md"]
+
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def public_modules() -> list[str]:
+    """Public modules directly under src/repro (packages and .py files)."""
+    names = []
+    for entry in sorted(SRC.iterdir()):
+        if entry.name.startswith("_"):
+            continue
+        if entry.is_dir() and (entry / "__init__.py").exists():
+            names.append(entry.name)
+        elif entry.suffix == ".py":
+            names.append(entry.stem)
+    return names
+
+
+def check_api_coverage() -> list[str]:
+    text = API_DOC.read_text(encoding="utf-8")
+    problems = []
+    for name in public_modules():
+        if f"repro.{name}" not in text:
+            problems.append(
+                f"docs/api.md: public module 'repro.{name}' is undocumented "
+                f"(add a section or mention before merging)"
+            )
+    return problems
+
+
+def iter_markdown() -> list[Path]:
+    files: set[Path] = set()
+    for pattern in MARKDOWN_GLOBS:
+        files.update(REPO.glob(pattern))
+    return sorted(files)
+
+
+def check_links() -> list[str]:
+    problems = []
+    for md in iter_markdown():
+        text = md.read_text(encoding="utf-8")
+        # Drop fenced code blocks: shell/python snippets aren't links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(REPO)
+                problems.append(f"{rel}: broken relative link '{target}'")
+    return problems
+
+
+def main() -> int:
+    problems = check_api_coverage() + check_links()
+    for p in problems:
+        print(f"DOCS: {p}")
+    if problems:
+        print(f"\n{len(problems)} documentation finding(s).")
+        return 1
+    mods = public_modules()
+    print(f"docs OK: {len(mods)} public modules covered in docs/api.md, "
+          f"{len(iter_markdown())} markdown files link-checked.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

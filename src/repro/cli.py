@@ -10,6 +10,9 @@ from the shell:
     python -m repro info field.hpdr
     python -m repro refactor field.npy field.mgrf --precision 1e-6
     python -m repro retrieve field.mgrf coarse.npy --levels 2
+    python -m repro faultplan plan.json --system frontier --nodes 1024
+    python -m repro campaign field.npy out/ --ranks 8 --faults plan.json
+    python -m repro campaign field.npy out/ --ranks 8 --resume
     python -m repro datasets
 """
 
@@ -37,13 +40,20 @@ def _open_envelope(blob: bytes) -> tuple[str, bytes]:
     return method, blob[5 + mlen :]
 
 
-def _build_compressor(method: str, args):
+def _build_compressor(method: str, args, adapter=None):
+    """Build the compressor ``args`` describe.
+
+    ``adapter`` overrides the CLI-selected device adapter — the campaign
+    runner uses this to hand each rank its own resilient adapter chain
+    while reusing all method/bound plumbing.
+    """
     from repro import Config, ErrorMode, LZ4, MGARDX, SZ, ZFPX, get_adapter
     from repro import rate_for_error_bound
 
-    adapter = None
     sanitize = bool(getattr(args, "sanitize", False))
-    if getattr(args, "adapter", None):
+    if adapter is not None:
+        sanitize = False  # explicit override wins; no sanitizer re-wrap
+    elif getattr(args, "adapter", None):
         kwargs = {}
         threads = getattr(args, "threads", None)
         if threads is not None:
@@ -119,8 +129,9 @@ def cmd_compress(args) -> int:
     tracing = _trace_begin(args)
     payload = comp.compress(data)
     blob = _envelope(args.method, payload)
-    with open(args.output, "wb") as f:
-        f.write(blob)
+    from repro.util import atomic_write_bytes
+
+    atomic_write_bytes(args.output, blob)
     print(
         f"{args.input}: {data.nbytes/1e6:.2f} MB -> {len(blob)/1e6:.2f} MB "
         f"({data.nbytes/len(blob):.2f}x) via {args.method}"
@@ -158,8 +169,9 @@ def cmd_refactor(args) -> int:
     data = np.load(args.input)
     r = MGARDRefactor(precision=args.precision)
     refactored = r.refactor(data)
-    with open(args.output, "wb") as f:
-        f.write(refactored.tobytes())
+    from repro.util import atomic_write_bytes
+
+    atomic_write_bytes(args.output, refactored.tobytes())
     print(f"{args.input}: {data.nbytes/1e6:.2f} MB -> "
           f"{refactored.total_bytes/1e6:.2f} MB in "
           f"{refactored.num_levels} substreams")
@@ -180,6 +192,74 @@ def cmd_retrieve(args) -> int:
     touched = refactored.prefix_bytes(args.levels or refactored.num_levels)
     print(f"retrieved {data.shape} from {touched/1e6:.3f} MB "
           f"of {refactored.total_bytes/1e6:.3f} MB")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Fault-tolerant chunked campaign with checkpoint/restart."""
+    from repro.resilience import CampaignKilled, CampaignRunner, FaultPlan
+
+    data = np.load(args.input)
+    plan = FaultPlan.load(args.faults) if args.faults else None
+    tracing = _trace_begin(args)
+    runner = CampaignRunner(
+        data,
+        args.outdir,
+        make_compressor=lambda ad: _build_compressor(args.method, args, adapter=ad),
+        method=args.method,
+        ranks=args.ranks,
+        chunk_elems=args.chunk_elems,
+        adapter_family=args.adapter or "serial",
+        plan=plan,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        result = runner.run(resume=args.resume)
+    except CampaignKilled as exc:
+        print(f"campaign killed: {exc.completed_chunks} chunks checkpointed "
+              f"in {args.outdir}; rerun with --resume to continue")
+        _trace_end(args, tracing)
+        return 3
+    print(
+        f"{args.input}: {result.total_chunks} chunks on {args.ranks} ranks "
+        f"({result.resumed_chunks} resumed, "
+        f"{len(result.dropped_ranks)} ranks dropped, "
+        f"{result.faults_injected} faults, {result.retries} retries)"
+    )
+    print(f"output: {result.output_path}  sha256={result.output_digest[:16]}…")
+    _trace_end(args, tracing)
+    return 0
+
+
+def cmd_faultplan(args) -> int:
+    """Generate a fault-plan JSON, from rates or from a system's MTBF."""
+    from repro.resilience import FaultPlan, plan_for_system
+
+    if args.system:
+        from repro.machine.topology import get_system
+
+        plan = plan_for_system(
+            get_system(args.system), args.nodes, args.hours, seed=args.seed
+        )
+    else:
+        plan = FaultPlan(
+            seed=args.seed,
+            device_batch_rate=args.device_batch_rate,
+            timeout_rate=args.timeout_rate,
+            corrupt_rate=args.corrupt_rate,
+            transport_rate=args.transport_rate,
+            drop_ranks=tuple(args.drop_rank or ()),
+            drop_after_chunks=args.drop_after_chunks,
+            kill_after_chunks=args.kill_after_chunks,
+        )
+    plan.save(args.output)
+    rates = ", ".join(
+        f"{k}={plan.rate(k):g}"
+        for k in ("device_batch", "timeout", "corrupt", "transport")
+    )
+    print(f"{args.output}: seed={plan.seed}, {rates}, "
+          f"drop_ranks={list(plan.drop_ranks)}, "
+          f"kill_after={plan.kill_after_chunks}")
     return 0
 
 
@@ -259,6 +339,57 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("output")
     g.add_argument("--levels", type=int, default=None)
     g.set_defaults(func=cmd_retrieve)
+
+    cp = sub.add_parser(
+        "campaign",
+        help="fault-tolerant chunked campaign with checkpoint/restart",
+    )
+    cp.add_argument("input", help="input .npy array (chunked along axis 0)")
+    cp.add_argument("outdir", help="campaign directory (checkpoints + output)")
+    cp.add_argument("--method", default="mgard-x",
+                    choices=["mgard-x", "zfp-x", "sz", "huffman-x", "lz4"])
+    cp.add_argument("--eb", type=float, default=1e-3)
+    cp.add_argument("--mode", default="rel", choices=["rel", "abs"])
+    cp.add_argument("--rate", type=float, default=None,
+                    help="bits/value (zfp-x)")
+    cp.add_argument("--ranks", type=int, default=4,
+                    help="simulated MPI ranks (threads)")
+    cp.add_argument("--chunk-elems", type=int, default=64,
+                    help="elements along axis 0 per chunk")
+    cp.add_argument("--adapter", default=None,
+                    choices=["serial", "openmp", "cuda", "hip"])
+    cp.add_argument("--faults", default=None, metavar="PLAN.json",
+                    help="fault-plan JSON (see the faultplan command)")
+    cp.add_argument("--resume", action="store_true",
+                    help="resume from the directory's checkpoint")
+    cp.add_argument("--checkpoint-every", type=int, default=4,
+                    help="manifest save cadence in chunks")
+    cp.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="record spans and write Chrome trace-event JSON")
+    cp.add_argument("--metrics", action="store_true",
+                    help="print the stage/metrics summary after the run")
+    cp.set_defaults(func=cmd_campaign, tolerance=None)
+
+    fp = sub.add_parser("faultplan", help="write a fault-plan JSON")
+    fp.add_argument("output")
+    fp.add_argument("--seed", type=int, default=0)
+    fp.add_argument("--system", default=None,
+                    choices=["summit", "frontier", "jetstream2", "workstation"],
+                    help="derive rates/drop-outs from this system's MTBF")
+    fp.add_argument("--nodes", type=int, default=1024,
+                    help="campaign size for --system")
+    fp.add_argument("--hours", type=float, default=12.0,
+                    help="campaign wall time for --system")
+    fp.add_argument("--device-batch-rate", type=float, default=0.0)
+    fp.add_argument("--timeout-rate", type=float, default=0.0)
+    fp.add_argument("--corrupt-rate", type=float, default=0.0)
+    fp.add_argument("--transport-rate", type=float, default=0.0)
+    fp.add_argument("--drop-rank", type=int, action="append",
+                    help="rank to drop mid-run (repeatable)")
+    fp.add_argument("--drop-after-chunks", type=int, default=1)
+    fp.add_argument("--kill-after-chunks", type=int, default=None,
+                    help="hard-kill the campaign after N chunks (restart drill)")
+    fp.set_defaults(func=cmd_faultplan)
 
     ds = sub.add_parser("datasets", help="print the Table III inventory")
     ds.set_defaults(func=cmd_datasets)

@@ -130,6 +130,13 @@ class ReductionPipeline:
     reversed_order:
         Reconstruction launch-order reversal (red edges).  On by
         default; off for the ablation bench.
+    fault_plan:
+        Optional :class:`repro.resilience.faults.FaultPlan`.  Chunks
+        whose kernel draws a ``device_batch`` fault are *re-executed*:
+        the schedule gains a second kernel task (``…retry``) plus the
+        runtime launch arbitration, so the simulated makespan prices in
+        the recovery cost of the resilience layer.  Faults and modeled
+        retries surface on the standard counters.
     """
 
     def __init__(
@@ -145,6 +152,7 @@ class ReductionPipeline:
         allocs_per_call: int = 4,
         call_overhead_s: float = 0.0,
         stage_split: bool = False,
+        fault_plan=None,
     ) -> None:
         if num_queues < 1:
             raise ValueError(f"num_queues must be >= 1, got {num_queues}")
@@ -171,6 +179,25 @@ class ReductionPipeline:
         # quantize / encode …) using the perf model's stage split —
         # finer-grained Fig. 1-style traces at identical total time.
         self.stage_split = stage_split
+        self._injector = None
+        if fault_plan is not None:
+            # Lazy import: repro.resilience imports this module's users.
+            from repro.resilience.faults import FaultInjector
+
+            self._injector = FaultInjector(fault_plan)
+
+    def _maybe_retry_kernel(self, queue, chunk: int, label: str) -> None:
+        """Model kernel re-execution when the fault plan strikes."""
+        if self._injector is None:
+            return
+        if not self._injector.draw("device_batch", "pipeline.kernel"):
+            return
+        _METRICS.counter(
+            "hpdr_retries_total", "recovery re-attempts performed"
+        ).inc(site="pipeline.kernel")
+        # A failed batch pays launch arbitration again, then re-runs.
+        self.device.runtime.launch(self.device, queue)
+        self._submit_kernel(queue, chunk, f"{label}.retry")
 
     def _submit_kernel(self, queue, chunk: int, label: str) -> Task:
         """One fused kernel task, or a stage chain when splitting."""
@@ -261,6 +288,7 @@ class ReductionPipeline:
                     dev.host_copy(chunk, q, label=f"stage_in[{i}]")
                 t_h2d = dev.h2d(chunk, q, deps=deps, label=f"h2d[{i}]")
                 t_k = self._submit_kernel(q, chunk, f"reduce[{i}]")
+                self._maybe_retry_kernel(q, chunk, f"reduce[{i}]")
                 t_d2h = dev.d2h(out_bytes, q, label=f"out[{i}]")
                 t_ser = dev.serialize(META_BYTES, q, label=f"ser[{i}]")
                 if self.staging_copies:
@@ -323,6 +351,7 @@ class ReductionPipeline:
                 t_deser = dev.deserialize(META_BYTES, q, label=f"deser[{i}]")
                 deser_tasks.append(t_deser)
                 t_k = self._submit_kernel(q, chunk, f"recon[{i}]")
+                self._maybe_retry_kernel(q, chunk, f"recon[{i}]")
                 # Output copy launch: reversed order lets the *next*
                 # chunk's deserialization win scheduler ties on the
                 # shared DMA; the non-reversed ablation instead makes

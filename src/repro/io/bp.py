@@ -19,6 +19,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.util import atomic_write_bytes
+
 _MAGIC = b"BP5X"
 _VERSION = 1
 
@@ -184,10 +186,9 @@ class BPFile:
         return bp
 
     def save(self, path) -> int:
-        blob = self.tobytes()
-        with open(path, "wb") as f:
-            f.write(blob)
-        return len(blob)
+        # fsync-and-rename: an interrupted flush (crash, injected kill)
+        # must never leave a torn subfile next to a valid index.
+        return atomic_write_bytes(path, self.tobytes())
 
     @classmethod
     def load(cls, path) -> "BPFile":

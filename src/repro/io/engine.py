@@ -18,6 +18,7 @@ import numpy as np
 from repro.io.bp import BPFile
 from repro.trace.metrics import REGISTRY as _METRICS
 from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
+from repro.util import atomic_write_json
 
 
 def _span(name: str, **args):
@@ -82,6 +83,19 @@ class BPWriter:
             self._files[agg].put_reduced(key, payload, shape, dtype, operator)
         self._index[key] = {"subfile": agg, "rank": rank, "name": name}
 
+    def stored_crc(self, name: str, rank: int = 0) -> int:
+        """CRC32 of the payload currently held for ``name`` @ ``rank``.
+
+        Read-back verification hook for resilient write paths: compare
+        against the CRC of the payload you handed to :meth:`put_reduced`
+        to detect corruption introduced in transit.
+        """
+        key = f"{name}@{rank}"
+        entry = self._index.get(key)
+        if entry is None:
+            raise KeyError(f"no variable {key!r} buffered")
+        return self._files[entry["subfile"]].variables[key].crc
+
     def close(self) -> dict:
         """Flush subfiles + index; returns size statistics."""
         if self._closed:
@@ -89,13 +103,15 @@ class BPWriter:
         self.path.mkdir(parents=True, exist_ok=True)
         stored = 0
         with _span("io.flush", subfiles=self.num_aggregators):
+            # Subfiles first, index last, each via fsync-and-rename: the
+            # index only ever names subfiles that were durably written,
+            # and a kill mid-flush leaves no torn file behind.
             for i, bp in enumerate(self._files):
                 stored += bp.save(self.path / f"data.{i}")
-            with open(self.path / "index.json", "w") as f:
-                json.dump(
-                    {"aggregators": self.num_aggregators, "variables": self._index},
-                    f,
-                )
+            atomic_write_json(
+                self.path / "index.json",
+                {"aggregators": self.num_aggregators, "variables": self._index},
+            )
         self._closed = True
         original = sum(bp.original_bytes for bp in self._files)
         if _TRACER.enabled:

@@ -86,6 +86,28 @@ class SystemSpec:
     filesystem: FilesystemSpec
     #: "node" → one I/O aggregator per node; "gpu" → one per GPU.
     aggregation: str = "node"
+    #: mean time between failures of a single node, in hours.  Leadership
+    #: systems publish system-level MTBFs of hours-to-days; divided by the
+    #: node count that is O(1e5–1e6) node-hours per failure.  0 disables
+    #: the fault model (ideal hardware).
+    mtbf_node_hours: float = 0.0
+
+    def expected_faults(self, nodes: int, wall_hours: float) -> float:
+        """Expected node failures in a ``wall_hours`` run on ``nodes`` nodes.
+
+        A homogeneous-Poisson model: ``nodes × wall_hours / MTBF_node``.
+        Feeds :func:`repro.resilience.faults.plan_for_system`, which turns
+        the expectation into a deterministic rank drop-out schedule.
+        """
+        if nodes < 1 or nodes > self.num_nodes:
+            raise ValueError(
+                f"{self.name} has {self.num_nodes} nodes; requested {nodes}"
+            )
+        if wall_hours < 0:
+            raise ValueError("wall_hours must be non-negative")
+        if self.mtbf_node_hours <= 0:
+            return 0.0
+        return nodes * wall_hours / self.mtbf_node_hours
 
     def writers(self, nodes: int) -> int:
         if nodes < 1 or nodes > self.num_nodes:
@@ -106,6 +128,7 @@ SUMMIT = SystemSpec(
     num_nodes=4608,
     filesystem=FilesystemSpec("GPFS(Alpine)", 2.5 * TB, 12.5 * GB),
     aggregation="node",
+    mtbf_node_hours=2.2e5,
 )
 
 FRONTIER = SystemSpec(
@@ -114,6 +137,7 @@ FRONTIER = SystemSpec(
     num_nodes=9408,
     filesystem=FilesystemSpec("Lustre(Orion)", 9.4 * TB, 25 * GB),
     aggregation="gpu",
+    mtbf_node_hours=2.0e5,
 )
 
 JETSTREAM2 = SystemSpec(
@@ -122,6 +146,7 @@ JETSTREAM2 = SystemSpec(
     num_nodes=90,
     filesystem=FilesystemSpec("JS2-store", 0.2 * TB, 5 * GB),
     aggregation="node",
+    mtbf_node_hours=5.0e5,
 )
 
 WORKSTATION = SystemSpec(
@@ -130,6 +155,7 @@ WORKSTATION = SystemSpec(
     num_nodes=1,
     filesystem=FilesystemSpec("NVMe", 5 * GB, 5 * GB),
     aggregation="node",
+    mtbf_node_hours=4.4e4,
 )
 
 _SYSTEMS = {s.name.lower(): s for s in (SUMMIT, FRONTIER, JETSTREAM2, WORKSTATION)}

@@ -11,6 +11,13 @@ share memory), so semantics match mpi4py's lowercase generic-object API.
 This is a correctness substrate for writing rank-decomposed reduction
 programs (see ``examples/mpi_style_reduction.py``), not a performance
 model — at-scale timing lives in :mod:`repro.io.parallel`.
+
+Fault tolerance (HPDR-Resilience): a rank may *drop out* by raising
+:class:`RankDropout`.  Under ``run_ranks(..., tolerate_dropouts=True)``
+the survivors keep running — the shared barrier adapts to the shrunken
+rank set and collectives operate over the ranks still alive (ULFM-style
+shrink semantics).  Without that flag a drop-out fails the program like
+any other exception, so existing rank programs are unaffected.
 """
 
 from __future__ import annotations
@@ -20,6 +27,79 @@ import threading
 from typing import Any, Callable, Sequence
 
 
+class RankDropout(RuntimeError):
+    """A rank leaves the computation (device loss, injected fault).
+
+    Raised *by* rank programs (or the fault injector on their behalf).
+    Under ``tolerate_dropouts=True`` the remaining ranks continue; the
+    dropped rank's slot in the :func:`run_ranks` result holds the
+    exception instance.
+    """
+
+    def __init__(self, rank: int | None = None, reason: str = "") -> None:
+        self.rank = rank
+        self.reason = reason
+        detail = f"rank {rank}" if rank is not None else "rank"
+        super().__init__(
+            f"{detail} dropped out" + (f": {reason}" if reason else "")
+        )
+
+
+class _AdaptiveBarrier:
+    """Generation barrier over a *shrinkable* set of parties.
+
+    Mirrors ``threading.Barrier`` (``wait``/``abort`` raising
+    ``BrokenBarrierError``) but additionally supports :meth:`drop`:
+    removing a party releases any waiters its arrival was blocking, so a
+    rank dropping out mid-collective cannot deadlock the survivors.
+    """
+
+    def __init__(self, parties: int) -> None:
+        self._cond = threading.Condition()
+        self._active = parties
+        self._arrived = 0
+        self._generation = 0
+        self._aborted = False
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    def wait(self) -> None:
+        with self._cond:
+            if self._aborted:
+                raise threading.BrokenBarrierError
+            gen = self._generation
+            self._arrived += 1
+            if self._arrived >= self._active:
+                self._release()
+                return
+            while gen == self._generation and not self._aborted:
+                self._cond.wait()
+            if self._aborted:
+                raise threading.BrokenBarrierError
+
+    def _release(self) -> None:
+        self._arrived = 0
+        self._generation += 1
+        self._cond.notify_all()
+
+    def drop(self) -> None:
+        """Remove one party; release the round if it now completes."""
+        with self._cond:
+            self._active -= 1
+            if self._active > 0 and self._arrived >= self._active:
+                self._release()
+            elif self._active <= 0:
+                self._cond.notify_all()
+
+    def abort(self) -> None:
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+
 class Communicator:
     """Per-rank handle into a rank group."""
 
@@ -27,6 +107,15 @@ class Communicator:
         self._world = world
         self.rank = rank
         self.size = world.size
+
+    # -- membership --------------------------------------------------------
+    def active_ranks(self) -> list[int]:
+        """Ranks still participating (drop-outs excluded), ascending."""
+        return self._world.active_ranks()
+
+    def drop(self, reason: str = "") -> None:
+        """Leave the computation by raising :class:`RankDropout`."""
+        raise RankDropout(self.rank, reason)
 
     # -- point to point ----------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -55,6 +144,8 @@ class Communicator:
         if self.rank == root:
             slot["value"] = obj
         self._world.barrier.wait()
+        if "value" not in slot:
+            raise RuntimeError(f"bcast root {root} dropped before contributing")
         value = slot["value"]
         self._world.barrier.wait()  # all read before the slot recycles
         return value
@@ -66,7 +157,7 @@ class Communicator:
         out = None
         if self.rank == root:
             items = slot["items"]
-            out = [items[r] for r in range(self.size)]
+            out = [items[r] for r in sorted(items)]
         self._world.barrier.wait()
         return out
 
@@ -75,7 +166,7 @@ class Communicator:
         slot.setdefault("items", {})[self.rank] = obj
         self._world.barrier.wait()
         items = slot["items"]
-        out = [items[r] for r in range(self.size)]
+        out = [items[r] for r in sorted(items)]
         self._world.barrier.wait()
         return out
 
@@ -88,6 +179,8 @@ class Communicator:
                 )
             slot["items"] = list(objs)
         self._world.barrier.wait()
+        if "items" not in slot:
+            raise RuntimeError(f"scatter root {root} dropped before contributing")
         value = slot["items"][self.rank]
         self._world.barrier.wait()
         return value
@@ -121,11 +214,23 @@ class _World:
 
     def __init__(self, size: int) -> None:
         self.size = size
-        self.barrier = threading.Barrier(size)
+        self.barrier = _AdaptiveBarrier(size)
         self.mailbox: dict[tuple, queue.Queue] = _DefaultQueues()
         self._round_lock = threading.Lock()
         self._rounds: list[dict] = []
-        self._round_users: list[int] = []
+        self._dropped: set[int] = set()
+
+    def active_ranks(self) -> list[int]:
+        with self._round_lock:
+            return [r for r in range(self.size) if r not in self._dropped]
+
+    def drop_rank(self, rank: int) -> None:
+        """Mark ``rank`` gone and release any collective waiting on it."""
+        with self._round_lock:
+            if rank in self._dropped:
+                return
+            self._dropped.add(rank)
+        self.barrier.drop()
 
     def round_slot(self) -> dict:
         """Slot shared by all ranks of one collective round.
@@ -159,12 +264,16 @@ def run_ranks(
     fn: Callable[..., Any],
     *args: Any,
     timeout: float = 60.0,
+    tolerate_dropouts: bool = False,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``size`` rank threads; return results
     ordered by rank.
 
     Any rank's exception is re-raised in the caller (after the other
-    ranks are released), so failing programs fail loudly.
+    ranks are released), so failing programs fail loudly.  With
+    ``tolerate_dropouts=True`` a rank raising :class:`RankDropout` is
+    removed from the group instead — survivors keep running, and the
+    dropped rank's result slot holds the exception instance.
     """
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")
@@ -176,6 +285,15 @@ def run_ranks(
         comm = Communicator(world, rank)
         try:
             results[rank] = fn(comm, *args)
+        except RankDropout as exc:
+            if tolerate_dropouts:
+                if exc.rank is None:
+                    exc.rank = rank
+                results[rank] = exc
+                world.drop_rank(rank)
+            else:
+                errors.append((rank, exc))
+                world.barrier.abort()
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             errors.append((rank, exc))
             world.barrier.abort()

@@ -1,0 +1,234 @@
+"""Campaign checkpoint/restart: durable manifests + self-validating chunks.
+
+Layout of a campaign working directory::
+
+    workdir/
+      manifest.json            # atomic (fsync-and-rename), JSON
+      chunks/chunk_000042.bin  # one file per completed chunk, atomic
+
+Every chunk file is *self-validating* — ``HPCK`` magic, CRC32 and
+length header ahead of the payload — so restart trusts the filesystem,
+not the manifest: :meth:`CheckpointManager.recover` re-scans the chunk
+directory, keeps every file whose checksum verifies, and discards torn
+or corrupt ones.  The manifest adds what files cannot carry: the
+campaign *fingerprint* (so a resume against different data/config fails
+loudly), per-rank progress, and CMM context digests for observability.
+
+All writes go through :func:`repro.util.atomic_write_bytes`; an
+injected kill between any two syscalls leaves either the old or the new
+state, never a torn file — the property the torn-manifest test attacks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.trace.tracer import Span, TRACER as _TRACER
+from repro.util import atomic_write_bytes, atomic_write_json
+
+_CHUNK_MAGIC = b"HPCK"
+_CHUNK_HEADER = struct.Struct("<4sIQ")   # magic, crc32, payload length
+
+MANIFEST_VERSION = 1
+
+
+def payload_digest(payload: bytes) -> str:
+    """Stable content digest used in manifests and result comparison."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def cmm_digest(cache) -> str:
+    """Digest of a ContextCache's key set (which contexts are warm).
+
+    Matching digests across a checkpoint boundary mean the resumed run
+    rebuilt the same reduction contexts — a cheap invariant that has
+    caught key-schema drift between versions.
+    """
+    keys = sorted(repr(k) for k in getattr(cache, "_map", {}))
+    return hashlib.sha256("\n".join(keys).encode()).hexdigest()
+
+
+@dataclass
+class CampaignManifest:
+    """Persistent record of campaign identity and progress."""
+
+    fingerprint: str
+    total_chunks: int
+    completed: dict[int, dict] = field(default_factory=dict)
+    rank_progress: dict[int, int] = field(default_factory=dict)
+    context_digests: dict[int, str] = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "total_chunks": self.total_chunks,
+            # JSON keys are strings; normalize on load.
+            "completed": {str(k): v for k, v in self.completed.items()},
+            "rank_progress": {str(k): v for k, v in self.rank_progress.items()},
+            "context_digests": {
+                str(k): v for k, v in self.context_digests.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignManifest":
+        if d.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {d.get('version')!r}"
+            )
+        return cls(
+            fingerprint=d["fingerprint"],
+            total_chunks=int(d["total_chunks"]),
+            completed={int(k): v for k, v in d.get("completed", {}).items()},
+            rank_progress={
+                int(k): int(v) for k, v in d.get("rank_progress", {}).items()
+            },
+            context_digests={
+                int(k): v for k, v in d.get("context_digests", {}).items()
+            },
+        )
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) >= self.total_chunks
+
+
+class CheckpointManager:
+    """Atomic persistence of campaign progress under one directory.
+
+    ``every`` bounds manifest-write amplification: the manifest is saved
+    after every Nth recorded chunk (and always on :meth:`flush`).  Chunk
+    files themselves are written immediately and atomically — losing the
+    last manifest save costs nothing, because :meth:`recover` rebuilds
+    completion state from the self-validating chunk files.
+    """
+
+    def __init__(self, workdir, every: int = 4) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.workdir = Path(workdir)
+        self.chunk_dir = self.workdir / "chunks"
+        self.manifest_path = self.workdir / "manifest.json"
+        self.every = every
+        self._since_save = 0
+
+    # -- chunk files -------------------------------------------------------
+    def chunk_path(self, chunk_id: int) -> Path:
+        return self.chunk_dir / f"chunk_{chunk_id:06d}.bin"
+
+    def write_chunk(self, chunk_id: int, payload: bytes) -> None:
+        self.chunk_dir.mkdir(parents=True, exist_ok=True)
+        blob = _CHUNK_HEADER.pack(
+            _CHUNK_MAGIC, zlib.crc32(payload), len(payload)
+        ) + payload
+        atomic_write_bytes(self.chunk_path(chunk_id), blob)
+
+    def read_chunk(self, chunk_id: int) -> bytes:
+        """Payload of a completed chunk; raises ValueError when invalid."""
+        blob = self.chunk_path(chunk_id).read_bytes()
+        if len(blob) < _CHUNK_HEADER.size:
+            raise ValueError(f"chunk {chunk_id}: truncated header")
+        magic, crc, length = _CHUNK_HEADER.unpack_from(blob)
+        payload = blob[_CHUNK_HEADER.size:]
+        if magic != _CHUNK_MAGIC or len(payload) != length:
+            raise ValueError(f"chunk {chunk_id}: bad magic/length")
+        if zlib.crc32(payload) != crc:
+            raise ValueError(f"chunk {chunk_id}: CRC mismatch")
+        return payload
+
+    # -- manifest ----------------------------------------------------------
+    def save(self, manifest: CampaignManifest) -> None:
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        if _TRACER.enabled:
+            with Span(_TRACER, "campaign.checkpoint", "resilience",
+                      {"completed": len(manifest.completed)}):
+                atomic_write_json(self.manifest_path, manifest.to_dict())
+        else:
+            atomic_write_json(self.manifest_path, manifest.to_dict())
+        self._since_save = 0
+
+    def load(self) -> CampaignManifest | None:
+        if not self.manifest_path.exists():
+            return None
+        with open(self.manifest_path) as f:
+            return CampaignManifest.from_dict(json.load(f))
+
+    def record(
+        self,
+        manifest: CampaignManifest,
+        chunk_id: int,
+        payload: bytes,
+        rank: int,
+        write: bool = True,
+    ) -> None:
+        """Fold one completed chunk into the manifest (and persist it).
+
+        Pass ``write=False`` when the chunk file was already written —
+        e.g. by a verified write-retry loop that must not redo I/O.
+        """
+        if write:
+            self.write_chunk(chunk_id, payload)
+        manifest.completed[chunk_id] = {
+            "digest": payload_digest(payload),
+            "nbytes": len(payload),
+            "rank": rank,
+        }
+        manifest.rank_progress[rank] = manifest.rank_progress.get(rank, 0) + 1
+        self._since_save += 1
+        if self._since_save >= self.every:
+            self.save(manifest)
+
+    # -- restart -----------------------------------------------------------
+    def recover(self, fingerprint: str,
+                total_chunks: int) -> CampaignManifest:
+        """Reconstruct progress from disk for a resume.
+
+        The manifest (if readable) supplies identity and rank progress;
+        completion state is rebuilt by verifying every chunk file, so a
+        stale manifest under-reports nothing and a torn chunk file is
+        silently redone rather than trusted.
+        """
+        manifest = None
+        try:
+            manifest = self.load()
+        except (ValueError, json.JSONDecodeError):
+            manifest = None  # torn/old manifest: fall back to the scan
+        if manifest is not None and manifest.fingerprint != fingerprint:
+            raise ValueError(
+                "resume fingerprint mismatch: the campaign directory holds "
+                f"{manifest.fingerprint[:12]}…, this run is {fingerprint[:12]}… "
+                "(different data, method or chunking)"
+            )
+        fresh = CampaignManifest(
+            fingerprint=fingerprint, total_chunks=total_chunks
+        )
+        if manifest is not None:
+            fresh.rank_progress = dict(manifest.rank_progress)
+            fresh.context_digests = dict(manifest.context_digests)
+        prior = manifest.completed if manifest is not None else {}
+        if self.chunk_dir.exists():
+            for path in sorted(self.chunk_dir.glob("chunk_*.bin")):
+                try:
+                    chunk_id = int(path.stem.split("_")[1])
+                except (IndexError, ValueError):
+                    continue
+                if chunk_id >= total_chunks:
+                    continue
+                try:
+                    payload = self.read_chunk(chunk_id)
+                except (OSError, ValueError):
+                    continue  # torn or corrupt: will be recompressed
+                entry = prior.get(chunk_id, {})
+                fresh.completed[chunk_id] = {
+                    "digest": payload_digest(payload),
+                    "nbytes": len(payload),
+                    "rank": int(entry.get("rank", -1)),
+                }
+        return fresh

@@ -1,0 +1,89 @@
+"""Typed error taxonomy for HPDR-Resilience.
+
+Two families:
+
+* :class:`InjectedFault` subclasses — *simulated* failures raised by the
+  fault-injection harness (:mod:`repro.resilience.faults`).  Each
+  carries the injection ``kind`` (stable id, also the metrics label) and
+  the ``site`` where it fired, so recovery code and tests can match on
+  structure rather than message text.
+* :class:`ResilienceExhausted` — the *real* terminal error: a retry
+  budget ran dry.  It records the site, how many attempts were made and
+  the last underlying failure, which is what an operator needs from a
+  campaign log.
+
+``RankDropout`` lives in :mod:`repro.mpi_sim` (the communicator must
+understand it without importing this package) and is re-exported here.
+"""
+
+from __future__ import annotations
+
+from repro.mpi_sim import RankDropout  # noqa: F401  (re-export)
+
+
+class InjectedFault(RuntimeError):
+    """Base class for deterministically injected failures."""
+
+    kind = "fault"
+    transient = True
+
+    def __init__(self, site: str = "", detail: str = "") -> None:
+        self.site = site
+        self.detail = detail
+        msg = f"[{self.kind}] injected fault at {site or '<unknown site>'}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class DeviceBatchFault(InjectedFault):
+    """A GEM/DEM batch failed on the device (ECC error, kernel abort)."""
+
+    kind = "device_batch"
+
+
+class AdapterTimeoutFault(InjectedFault):
+    """The backend stopped responding transiently (driver hiccup)."""
+
+    kind = "timeout"
+
+
+class CorruptPayloadFault(InjectedFault):
+    """A reduced-chunk payload arrived with a checksum mismatch."""
+
+    kind = "corrupt"
+
+
+class TransportFault(InjectedFault):
+    """A write to the I/O transport failed transiently."""
+
+    kind = "transport"
+
+
+class CampaignKilled(RuntimeError):
+    """The campaign process was killed mid-run (injected hard stop).
+
+    Deliberately *not* an :class:`InjectedFault`: retry engines must
+    never catch it — it models SIGKILL, and the only recovery is
+    checkpoint/restart via ``CampaignRunner.run(resume=True)``.
+    """
+
+    def __init__(self, completed_chunks: int) -> None:
+        self.completed_chunks = completed_chunks
+        super().__init__(
+            f"campaign killed after {completed_chunks} completed chunks"
+        )
+
+
+class ResilienceExhausted(RuntimeError):
+    """A retry budget ran out without a successful attempt."""
+
+    def __init__(self, site: str, attempts: int,
+                 last_error: BaseException | None = None) -> None:
+        self.site = site
+        self.attempts = attempts
+        self.last_error = last_error
+        msg = f"retry budget exhausted at {site!r} after {attempts} attempts"
+        if last_error is not None:
+            msg += f" (last error: {last_error!r})"
+        super().__init__(msg)

@@ -1,0 +1,228 @@
+"""Deterministic fault-injection harness.
+
+A :class:`FaultPlan` is a *seeded schedule*: whether the Nth operation
+at a given site fails is a pure function of ``(seed, kind, site, N)``
+via SHA-256, so a plan reproduces the exact same fault sequence across
+runs, machines and thread interleavings (each site keeps its own
+counter, making draws independent of cross-site ordering).  That
+determinism is what lets the checkpoint/restart tests assert
+*bit-exact* equality between an interrupted campaign and a clean one.
+
+Fault kinds (paper §VII regime — device faults, slow ranks, partial
+I/O failures at 1,024-node scale):
+
+=================  ====================================================
+``device_batch``   a GEM batch raises :class:`DeviceBatchFault`
+``timeout``        the adapter raises a transient
+                   :class:`AdapterTimeoutFault`
+``corrupt``        a reduced-chunk payload is bit-flipped in transit
+                   (checksum-detectable)
+``drop_ranks``     listed ranks raise ``RankDropout`` after
+                   ``drop_after_chunks`` completed chunks
+``kill_after``     the whole campaign dies (``CampaignKilled``) once N
+                   chunks completed — exercises checkpoint/restart
+=================  ====================================================
+
+Every injection increments ``hpdr_faults_injected_total`` (labelled by
+kind) unconditionally — recovery events are rare and must be visible in
+any metrics scrape, unlike hot-path metrics which are gated on the
+tracer flag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import asdict, dataclass
+
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import Span, TRACER as _TRACER
+
+_RATE_KINDS = ("device_batch", "timeout", "corrupt", "transport")
+
+
+def _unit_draw(seed: int, kind: str, site: str, n: int) -> float:
+    """Deterministic uniform in [0, 1) for one potential injection."""
+    h = hashlib.sha256(f"{seed}:{kind}:{site}:{n}".encode()).digest()
+    return int.from_bytes(h[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, rate-based fault schedule (JSON-serializable).
+
+    Rates are per-operation probabilities in [0, 1]; ``drop_ranks``
+    lists rank ids that leave the computation after completing
+    ``drop_after_chunks`` chunks; ``kill_after_chunks`` hard-kills the
+    campaign once that many chunks completed (``None`` = never).
+    """
+
+    seed: int = 0
+    device_batch_rate: float = 0.0
+    timeout_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    transport_rate: float = 0.0
+    drop_ranks: tuple[int, ...] = ()
+    drop_after_chunks: int = 1
+    kill_after_chunks: int | None = None
+
+    def __post_init__(self) -> None:
+        for kind in _RATE_KINDS:
+            rate = getattr(self, f"{kind}_rate")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind}_rate must be in [0, 1], got {rate}")
+        if self.drop_after_chunks < 0:
+            raise ValueError("drop_after_chunks must be non-negative")
+        if self.kill_after_chunks is not None and self.kill_after_chunks < 0:
+            raise ValueError("kill_after_chunks must be non-negative")
+        object.__setattr__(self, "drop_ranks", tuple(self.drop_ranks))
+
+    def rate(self, kind: str) -> float:
+        if kind not in _RATE_KINDS:
+            raise KeyError(f"unknown fault kind {kind!r}; known: {_RATE_KINDS}")
+        return getattr(self, f"{kind}_rate")
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["drop_ranks"] = list(self.drop_ranks)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**d)
+
+    def save(self, path) -> None:
+        from repro.util import atomic_write_json
+
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+
+@dataclass
+class Injection:
+    """One fired injection (test/debug introspection)."""
+
+    kind: str
+    site: str
+    index: int
+
+
+class FaultInjector:
+    """Per-run injection state over a :class:`FaultPlan`.
+
+    Thread-safe: rank threads share one injector, and each
+    ``(kind, site)`` pair advances its own counter, so the schedule a
+    given site sees does not depend on what other sites or threads do.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._counters: dict[tuple[str, str], int] = {}
+        self._lock = threading.Lock()
+        self.injections: list[Injection] = []
+
+    def _next(self, kind: str, site: str) -> int:
+        with self._lock:
+            n = self._counters.get((kind, site), 0)
+            self._counters[(kind, site)] = n + 1
+            return n
+
+    def _record(self, kind: str, site: str, n: int) -> None:
+        with self._lock:
+            self.injections.append(Injection(kind, site, n))
+        _METRICS.counter(
+            "hpdr_faults_injected_total", "faults injected by the harness"
+        ).inc(kind=kind)
+        if _TRACER.enabled:
+            with Span(_TRACER, f"fault.{kind}", "resilience",
+                      {"site": site, "index": n}):
+                pass
+
+    def draw(self, kind: str, site: str = "") -> bool:
+        """True when the Nth ``kind`` operation at ``site`` must fail."""
+        rate = self.plan.rate(kind)
+        n = self._next(kind, site)
+        if rate <= 0.0:
+            return False
+        hit = _unit_draw(self.plan.seed, kind, site, n) < rate
+        if hit:
+            self._record(kind, site, n)
+        return hit
+
+    def corrupt(self, payload: bytes, site: str = "") -> bytes | None:
+        """Corrupted copy of ``payload`` when the draw fires, else None.
+
+        The flipped byte position is itself deterministic, so the
+        corrupted stream — and therefore the checksum mismatch that
+        detects it — is reproducible.
+        """
+        rate = self.plan.corrupt_rate
+        n = self._next("corrupt", site)
+        if rate <= 0.0 or not payload:
+            return None
+        if _unit_draw(self.plan.seed, "corrupt", site, n) >= rate:
+            return None
+        self._record("corrupt", site, n)
+        pos = int.from_bytes(
+            hashlib.sha256(f"{self.plan.seed}:pos:{site}:{n}".encode()).digest()[:8],
+            "big",
+        ) % len(payload)
+        out = bytearray(payload)
+        out[pos] ^= 0xFF
+        return bytes(out)
+
+    def should_drop(self, rank: int, completed_chunks: int) -> bool:
+        """True once ``rank`` is scheduled to leave the computation."""
+        return (
+            rank in self.plan.drop_ranks
+            and completed_chunks >= self.plan.drop_after_chunks
+        )
+
+    def should_kill(self, completed_chunks: int) -> bool:
+        """True once the campaign-wide kill threshold is reached."""
+        k = self.plan.kill_after_chunks
+        return k is not None and completed_chunks >= k
+
+    def count(self, kind: str | None = None) -> int:
+        """Injections fired so far (optionally filtered by kind)."""
+        with self._lock:
+            if kind is None:
+                return len(self.injections)
+            return sum(1 for i in self.injections if i.kind == kind)
+
+
+def plan_for_system(system, nodes: int, wall_hours: float,
+                    seed: int = 0) -> FaultPlan:
+    """Derive a plausible :class:`FaultPlan` from a system's MTBF.
+
+    Converts the expected node-failure count of a ``wall_hours``-long
+    campaign on ``nodes`` nodes (see
+    :meth:`repro.machine.topology.SystemSpec.expected_faults`) into rank
+    drop-outs, plus a small transient-fault floor for device batches and
+    I/O — the "faults are the norm at 1,024 nodes" regime of §VII.
+    """
+    expected = system.expected_faults(nodes, wall_hours)
+    ndrop = min(nodes, int(round(expected)))
+    # Deterministic choice of victim ranks from the seed.
+    victims = sorted(
+        int(_unit_draw(seed, "victim", system.name, i) * nodes)
+        for i in range(ndrop)
+    )
+    return FaultPlan(
+        seed=seed,
+        device_batch_rate=0.01,
+        timeout_rate=0.005,
+        corrupt_rate=0.002,
+        drop_ranks=tuple(dict.fromkeys(victims)),
+        drop_after_chunks=1,
+    )

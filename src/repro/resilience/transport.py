@@ -1,0 +1,91 @@
+"""Faulty and self-verifying wrappers around the BP write path.
+
+:class:`FaultyTransport` models the partial-I/O-failure regime: writes
+through it may transiently error (``transport`` faults) or silently
+bit-flip the payload (``corrupt`` faults) before it reaches the
+:class:`~repro.io.engine.BPWriter`.  Corruption is *silent* at the
+transport — exactly like a DMA/network flip — and becomes detectable
+only because the reduced payload carries a checksum.
+
+:class:`VerifiedWriter` is the recovery side: every ``put_reduced`` is
+followed by a CRC read-back (via ``BPWriter.stored_crc``); a mismatch
+raises :class:`~repro.resilience.errors.CorruptPayloadFault` and the
+write is retried under the policy.  The pair gives campaigns an
+end-to-end integrity guarantee over an unreliable transport.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.resilience.errors import CorruptPayloadFault, TransportFault
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.policy import RetryPolicy, retry_call
+
+
+class FaultyTransport:
+    """Delegates to a BP writer, injecting transport faults on the way."""
+
+    def __init__(self, writer, injector: FaultInjector | FaultPlan) -> None:
+        if isinstance(injector, FaultPlan):
+            injector = FaultInjector(injector)
+        self.writer = writer
+        self.injector = injector
+
+    def put(self, name, data, rank=0, operator="none", compressor=None):
+        site = f"io.put.{name}"
+        if self.injector.draw("transport", site):
+            raise TransportFault(site, "simulated write failure")
+        return self.writer.put(
+            name, data, rank=rank, operator=operator, compressor=compressor
+        )
+
+    def put_reduced(self, name, payload, shape, dtype, operator, rank=0):
+        site = f"io.put_reduced.{name}"
+        if self.injector.draw("transport", site):
+            raise TransportFault(site, "simulated write failure")
+        corrupted = self.injector.corrupt(payload, site)
+        return self.writer.put_reduced(
+            name, corrupted if corrupted is not None else payload,
+            shape, dtype, operator, rank=rank,
+        )
+
+    def stored_crc(self, name, rank=0):
+        return self.writer.stored_crc(name, rank=rank)
+
+    def close(self):
+        return self.writer.close()
+
+
+class VerifiedWriter:
+    """Write-then-verify-then-retry layer over a (possibly faulty) writer.
+
+    ``writer`` needs ``put_reduced`` and ``stored_crc`` — either a plain
+    :class:`~repro.io.engine.BPWriter` or a :class:`FaultyTransport`.
+    """
+
+    def __init__(self, writer, policy: RetryPolicy | None = None,
+                 sleep=None) -> None:
+        self.writer = writer
+        self.policy = policy or RetryPolicy()
+        self._sleep = sleep
+
+    def put_reduced(self, name, payload, shape, dtype, operator, rank=0):
+        expected = zlib.crc32(payload)
+        site = f"io.verified_put.{name}"
+
+        def attempt():
+            self.writer.put_reduced(
+                name, payload, shape, dtype, operator, rank=rank
+            )
+            stored = self.writer.stored_crc(name, rank=rank)
+            if stored != expected:
+                raise CorruptPayloadFault(
+                    site,
+                    f"stored CRC {stored:#010x} != expected {expected:#010x}",
+                )
+
+        retry_call(attempt, self.policy, site=site, sleep=self._sleep)
+
+    def close(self):
+        return self.writer.close()

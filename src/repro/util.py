@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import functools
+import json
+import os
 import struct
 
 
@@ -34,6 +36,53 @@ def hot_path(fn=None, *, reason: str | None = None):
         return f
 
     return mark if fn is None else mark(fn)
+
+
+def atomic_write_bytes(path, data: bytes, fsync: bool = True) -> int:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
+
+    A reader (or a process restarted after a mid-write kill) sees either
+    the previous complete file or the new complete file, never a torn
+    prefix — the invariant campaign manifests and BP index files rely
+    on.  The temp file lives in the target directory so the final
+    ``os.replace`` stays within one filesystem.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            if fsync:
+                f.flush()
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        # Persist the rename itself (directory entry); best-effort on
+        # platforms where directories cannot be fsynced.
+        try:
+            dfd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+        except OSError:
+            return len(data)
+        try:
+            os.fsync(dfd)
+        except OSError:
+            pass
+        finally:
+            os.close(dfd)
+    return len(data)
+
+
+def atomic_write_json(path, obj, fsync: bool = True) -> int:
+    """Serialize ``obj`` as JSON and :func:`atomic_write_bytes` it."""
+    return atomic_write_bytes(
+        path, json.dumps(obj, sort_keys=True).encode("utf-8"), fsync=fsync
+    )
 
 
 def stream_errors(fn):

@@ -1,0 +1,163 @@
+"""CampaignRunner end-to-end: kill/resume bit-exactness, scale-out faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CampaignKilled,
+    CampaignRunner,
+    FaultPlan,
+    ResilienceExhausted,
+)
+from repro.resilience.campaign import reconstruct
+from repro.trace.metrics import REGISTRY
+
+
+def _data(n0=64, n1=8):
+    rng = np.random.default_rng(123)
+    base = np.linspace(0, 1, n0 * n1).reshape(n0, n1)
+    return (base + rng.normal(0, 0.01, (n0, n1))).astype(np.float32)
+
+
+def _mk(adapter):
+    from repro.compressors.zfp.compressor import ZFPX
+
+    return ZFPX(rate=8.0, adapter=adapter)
+
+
+def _runner(data, workdir, **kw):
+    kw.setdefault("make_compressor", _mk)
+    kw.setdefault("method", "zfp-x")
+    kw.setdefault("chunk_elems", 8)
+    kw.setdefault("sleep", lambda s: None)
+    return CampaignRunner(data, workdir, **kw)
+
+
+def test_clean_campaign(tmp_path):
+    data = _data()
+    res = _runner(data, tmp_path / "c", ranks=4).run()
+    assert res.total_chunks == 8
+    assert res.resumed_chunks == 0
+    assert res.dropped_ranks == []
+    assert res.faults_injected == 0 and res.retries == 0
+    assert sum(res.rank_progress.values()) == 8
+    out = reconstruct(tmp_path / "c", make_compressor=_mk)
+    assert out.shape == data.shape
+    assert np.abs(out - data).max() < 0.1  # rate-8 ZFP tolerance
+
+
+def test_rank_count_does_not_change_bytes(tmp_path):
+    data = _data()
+    digests = {
+        _runner(data, tmp_path / f"r{r}", ranks=r).run().output_digest
+        for r in (1, 2, 8)
+    }
+    assert len(digests) == 1
+
+
+def test_fresh_dir_guard(tmp_path):
+    data = _data(16)
+    _runner(data, tmp_path / "c", ranks=2).run()
+    with pytest.raises(ValueError, match="already holds a campaign"):
+        _runner(data, tmp_path / "c", ranks=2).run()
+
+
+def test_resume_fingerprint_mismatch(tmp_path):
+    _runner(_data(16), tmp_path / "c", ranks=2).run()
+    with pytest.raises(ValueError, match="fingerprint mismatch"):
+        _runner(_data(32), tmp_path / "c", ranks=2).run(resume=True)
+
+
+def test_killed_campaign_resumes_bit_exact(tmp_path):
+    """The tentpole acceptance: kill mid-run, resume, byte-identical."""
+    data = _data()
+    clean = _runner(data, tmp_path / "clean", ranks=4).run()
+
+    kill_plan = FaultPlan(seed=3, device_batch_rate=0.2, corrupt_rate=0.2,
+                          transport_rate=0.1, kill_after_chunks=3)
+    with pytest.raises(CampaignKilled) as ei:
+        _runner(data, tmp_path / "c", ranks=4, plan=kill_plan).run()
+    assert ei.value.completed_chunks >= 3
+
+    # Resume under continued (but kill-free) fire.
+    resume_plan = FaultPlan(seed=3, device_batch_rate=0.2, corrupt_rate=0.2,
+                            transport_rate=0.1)
+    res = _runner(data, tmp_path / "c", ranks=4, plan=resume_plan).run(
+        resume=True
+    )
+    assert res.resumed_chunks >= 3  # finished chunks were not recompressed
+    assert res.output_digest == clean.output_digest
+    np.testing.assert_array_equal(
+        reconstruct(tmp_path / "c", make_compressor=_mk),
+        reconstruct(tmp_path / "clean", make_compressor=_mk),
+    )
+
+
+def test_double_kill_then_resume(tmp_path):
+    """Each restart makes forward progress past repeated kills."""
+    data = _data()
+    clean = _runner(data, tmp_path / "clean", ranks=2).run()
+    plan = FaultPlan(seed=1, kill_after_chunks=3)
+    with pytest.raises(CampaignKilled):
+        _runner(data, tmp_path / "c", ranks=2, plan=plan).run()
+    with pytest.raises(CampaignKilled):
+        _runner(data, tmp_path / "c", ranks=2, plan=plan).run(resume=True)
+    res = _runner(data, tmp_path / "c", ranks=2).run(resume=True)
+    assert res.output_digest == clean.output_digest
+
+
+def test_rank_dropout_work_is_adopted(tmp_path):
+    data = _data()
+    clean = _runner(data, tmp_path / "clean", ranks=4).run()
+    plan = FaultPlan(seed=0, drop_ranks=(1, 2), drop_after_chunks=1)
+    res = _runner(data, tmp_path / "c", ranks=4, plan=plan).run()
+    assert sorted(res.dropped_ranks) == [1, 2]
+    assert res.output_digest == clean.output_digest  # zero data loss
+    # Survivors did the dropped ranks' share.
+    assert sum(res.rank_progress.values()) == res.total_chunks
+
+
+def test_all_ranks_dropping_exhausts(tmp_path):
+    plan = FaultPlan(seed=0, drop_ranks=(0, 1), drop_after_chunks=0)
+    with pytest.raises(ResilienceExhausted) as ei:
+        _runner(_data(), tmp_path / "c", ranks=2, plan=plan).run()
+    assert ei.value.site == "campaign"
+    # The checkpoint remains resumable afterwards.
+    res = _runner(_data(), tmp_path / "c", ranks=2).run(resume=True)
+    assert res.total_chunks == 8
+
+
+def test_64_rank_campaign_under_5pct_device_faults(tmp_path):
+    """Acceptance: >=5% device-batch faults at 64 simulated ranks completes
+    with zero data loss and faults == retries on the metrics registry."""
+    data = _data(128, 8)
+    clean = _runner(data, tmp_path / "clean", ranks=8, chunk_elems=2).run()
+
+    faults_c = REGISTRY.counter("hpdr_faults_injected_total")
+    retries_c = REGISTRY.counter("hpdr_retries_total")
+    f0, r0 = faults_c.total(), retries_c.total()
+
+    plan = FaultPlan(seed=5, device_batch_rate=0.05)
+    res = _runner(data, tmp_path / "c", ranks=64, chunk_elems=2,
+                  plan=plan).run()
+    assert res.total_chunks == 64
+    assert res.output_digest == clean.output_digest  # zero data loss
+    assert res.faults_injected > 0
+    # Every injected fault was recovered by exactly one re-attempt.
+    assert res.faults_injected == res.retries
+    assert faults_c.total() - f0 == res.faults_injected
+    assert retries_c.total() - r0 == res.retries
+
+
+def test_campaign_records_context_digests(tmp_path):
+    res = _runner(_data(), tmp_path / "c", ranks=2).run()
+    ckpt_digests = res.rank_progress  # progress recorded per rank
+    assert ckpt_digests
+    from repro.resilience.checkpoint import CheckpointManager
+
+    manifest = CheckpointManager(tmp_path / "c").load()
+    assert manifest is not None
+    assert set(manifest.context_digests) == set(manifest.rank_progress)
+    assert all(len(d) == 64 for d in manifest.context_digests.values())

@@ -1,0 +1,165 @@
+"""CheckpointManager / CampaignManifest: atomicity, recovery, transport."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io.engine import BPReader, BPWriter
+from repro.resilience.checkpoint import (
+    CampaignManifest,
+    CheckpointManager,
+    payload_digest,
+)
+from repro.resilience.errors import CorruptPayloadFault, TransportFault
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.transport import FaultyTransport, VerifiedWriter
+
+
+def test_chunk_roundtrip(tmp_path):
+    ckpt = CheckpointManager(tmp_path)
+    ckpt.write_chunk(3, b"hello chunk")
+    assert ckpt.read_chunk(3) == b"hello chunk"
+
+
+def test_chunk_file_is_self_validating(tmp_path):
+    ckpt = CheckpointManager(tmp_path)
+    ckpt.write_chunk(0, b"payload-bytes")
+    path = ckpt.chunk_path(0)
+
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-4])  # torn tail
+    with pytest.raises(ValueError, match="bad magic/length"):
+        ckpt.read_chunk(0)
+
+    flipped = bytearray(blob)
+    flipped[-1] ^= 0xFF  # bit rot in the payload
+    path.write_bytes(bytes(flipped))
+    with pytest.raises(ValueError, match="CRC mismatch"):
+        ckpt.read_chunk(0)
+
+    path.write_bytes(b"xx")  # truncated below header size
+    with pytest.raises(ValueError, match="truncated"):
+        ckpt.read_chunk(0)
+
+
+def test_manifest_roundtrip(tmp_path):
+    m = CampaignManifest(fingerprint="f" * 64, total_chunks=4)
+    m.completed[2] = {"digest": payload_digest(b"x"), "nbytes": 1, "rank": 1}
+    m.rank_progress[1] = 1
+    m.context_digests[1] = "c" * 64
+    ckpt = CheckpointManager(tmp_path)
+    ckpt.save(m)
+    loaded = ckpt.load()
+    assert loaded.fingerprint == m.fingerprint
+    assert loaded.completed == m.completed  # int keys survive JSON
+    assert loaded.rank_progress == {1: 1}
+    assert not loaded.done
+    assert CheckpointManager(tmp_path / "empty").load() is None
+
+
+def test_manifest_version_gate(tmp_path):
+    with pytest.raises(ValueError, match="version"):
+        CampaignManifest.from_dict({"version": 99, "fingerprint": "x",
+                                    "total_chunks": 1})
+
+
+def test_record_cadence(tmp_path):
+    ckpt = CheckpointManager(tmp_path, every=3)
+    m = CampaignManifest(fingerprint="f", total_chunks=6)
+    for i in range(2):
+        ckpt.record(m, i, b"p%d" % i, rank=0)
+    assert not ckpt.manifest_path.exists()  # below cadence: chunks only
+    ckpt.record(m, 2, b"p2", rank=0)
+    assert ckpt.load().completed.keys() == {0, 1, 2}
+
+
+def test_recover_rebuilds_from_chunk_files(tmp_path):
+    ckpt = CheckpointManager(tmp_path, every=100)  # manifest never saved
+    m = CampaignManifest(fingerprint="fp", total_chunks=4)
+    for i in range(3):
+        ckpt.record(m, i, b"chunk%d" % i, rank=i % 2)
+
+    fresh = CheckpointManager(tmp_path).recover("fp", 4)
+    assert fresh.completed.keys() == {0, 1, 2}
+    assert fresh.completed[1]["digest"] == payload_digest(b"chunk1")
+    assert not fresh.done
+
+
+def test_recover_discards_torn_chunks_and_stale_manifest(tmp_path):
+    ckpt = CheckpointManager(tmp_path, every=1)
+    m = CampaignManifest(fingerprint="fp", total_chunks=4)
+    for i in range(3):
+        ckpt.record(m, i, b"chunk%d" % i, rank=0)
+    # Tear chunk 1 on disk after the manifest recorded it as complete.
+    path = ckpt.chunk_path(1)
+    path.write_bytes(path.read_bytes()[:-2])
+    fresh = CheckpointManager(tmp_path).recover("fp", 4)
+    assert fresh.completed.keys() == {0, 2}  # disk beats manifest
+
+    # A torn manifest falls back to the chunk scan entirely.
+    ckpt.manifest_path.write_text('{"version": 1, "fingerpr')
+    fresh2 = CheckpointManager(tmp_path).recover("fp", 4)
+    assert fresh2.completed.keys() == {0, 2}
+
+
+def test_recover_rejects_fingerprint_mismatch(tmp_path):
+    ckpt = CheckpointManager(tmp_path)
+    ckpt.save(CampaignManifest(fingerprint="aaa", total_chunks=2))
+    with pytest.raises(ValueError, match="fingerprint mismatch"):
+        ckpt.recover("bbb", 2)
+
+
+def test_atomic_manifest_leaves_no_tmp_files(tmp_path):
+    ckpt = CheckpointManager(tmp_path)
+    for i in range(5):
+        ckpt.save(CampaignManifest(fingerprint="f", total_chunks=i + 1))
+    leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+    assert leftovers == []
+    assert json.loads(ckpt.manifest_path.read_text())["total_chunks"] == 5
+
+
+# -- transport-level corruption + verified writes -------------------------
+
+def test_faulty_transport_corrupts_silently(tmp_path):
+    inj = FaultInjector(FaultPlan(seed=1, corrupt_rate=1.0))
+    writer = BPWriter(tmp_path / "bp")
+    ft = FaultyTransport(writer, inj)
+    payload = bytes(range(100))
+    ft.put_reduced("v", payload, (100,), "uint8", "none")
+    import zlib
+
+    assert ft.stored_crc("v") != zlib.crc32(payload)  # flipped in transit
+    assert inj.count("corrupt") == 1
+
+
+def test_faulty_transport_raises_transport_faults(tmp_path):
+    inj = FaultInjector(FaultPlan(seed=0, transport_rate=1.0))
+    ft = FaultyTransport(BPWriter(tmp_path / "bp"), inj)
+    with pytest.raises(TransportFault):
+        ft.put_reduced("v", b"x", (1,), "uint8", "none")
+
+
+def test_verified_writer_retries_corruption_to_success(tmp_path):
+    # corrupt_rate 0.5: some attempts corrupt, the retry loop must land
+    # a clean write and the stored CRC must match the true payload.
+    inj = FaultInjector(FaultPlan(seed=7, corrupt_rate=0.5))
+    writer = BPWriter(tmp_path / "bp")
+    vw = VerifiedWriter(
+        FaultyTransport(writer, inj),
+        policy=RetryPolicy(max_attempts=10),
+        sleep=lambda s: None,
+    )
+    import numpy as np
+    import zlib
+
+    payload = np.arange(256, dtype=np.uint8).tobytes()
+    for i in range(6):
+        vw.put_reduced(f"v{i}", payload, (256,), "uint8", "none")
+        assert writer.stored_crc(f"v{i}") == zlib.crc32(payload)
+    vw.close()
+    # The final BP directory holds only verified payloads.
+    reader = BPReader(tmp_path / "bp")
+    assert len(reader.variables()) == 6

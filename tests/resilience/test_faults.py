@@ -1,0 +1,162 @@
+"""FaultPlan / FaultInjector: determinism, serialization, scheduling."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.machine.topology import FRONTIER, WORKSTATION, get_system
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    _unit_draw,
+    plan_for_system,
+)
+
+
+def test_unit_draw_deterministic_and_uniformish():
+    a = _unit_draw(7, "device_batch", "gem.x", 3)
+    assert a == _unit_draw(7, "device_batch", "gem.x", 3)
+    assert 0.0 <= a < 1.0
+    # Different seed/kind/site/index all perturb the draw.
+    assert a != _unit_draw(8, "device_batch", "gem.x", 3)
+    assert a != _unit_draw(7, "timeout", "gem.x", 3)
+    assert a != _unit_draw(7, "device_batch", "gem.y", 3)
+    assert a != _unit_draw(7, "device_batch", "gem.x", 4)
+    draws = [_unit_draw(0, "corrupt", "s", n) for n in range(2000)]
+    assert 0.3 < sum(d < 0.5 for d in draws) / len(draws) < 0.7
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(device_batch_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(corrupt_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(drop_after_chunks=-1)
+    with pytest.raises(ValueError):
+        FaultPlan(kill_after_chunks=-2)
+    with pytest.raises(KeyError):
+        FaultPlan().rate("cosmic_ray")
+
+
+def test_plan_roundtrip(tmp_path):
+    plan = FaultPlan(
+        seed=42, device_batch_rate=0.05, timeout_rate=0.01,
+        corrupt_rate=0.02, transport_rate=0.03,
+        drop_ranks=(3, 7), drop_after_chunks=2, kill_after_chunks=10,
+    )
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    assert FaultPlan.load(path) == plan
+
+
+def test_plan_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+        FaultPlan.from_dict({"seed": 1, "flux_capacitor_rate": 0.5})
+
+
+def test_draw_schedule_is_reproducible():
+    plan = FaultPlan(seed=5, device_batch_rate=0.3)
+    inj1 = FaultInjector(plan)
+    seq1 = [inj1.draw("device_batch", "s") for _ in range(50)]
+    inj2 = FaultInjector(plan)
+    seq2 = [inj2.draw("device_batch", "s") for _ in range(50)]
+    assert seq1 == seq2
+    assert any(seq1) and not all(seq1)
+    assert inj2.count("device_batch") == sum(seq2)
+
+
+def test_sites_are_independent():
+    """Interleaving draws at other sites must not shift a site's schedule."""
+    plan = FaultPlan(seed=9, device_batch_rate=0.4, timeout_rate=0.4)
+    inj_a = FaultInjector(plan)
+    seq_a = [inj_a.draw("device_batch", "gem.q") for _ in range(30)]
+    inj_b = FaultInjector(plan)
+    seq_b = []
+    for i in range(30):
+        inj_b.draw("timeout", f"other{i % 3}")
+        seq_b.append(inj_b.draw("device_batch", "gem.q"))
+        inj_b.draw("device_batch", f"other{i % 5}")
+    assert seq_a == seq_b
+
+
+def test_thread_interleaving_preserves_total_schedule():
+    """N draws at one site fire the same multiset of injections no matter
+    how many threads issue them."""
+    plan = FaultPlan(seed=3, corrupt_rate=0.25)
+    serial = FaultInjector(plan)
+    expected = sum(serial.draw("corrupt", "chunk") for _ in range(80))
+
+    threaded = FaultInjector(plan)
+    hits = []
+
+    def worker():
+        hits.append(sum(threaded.draw("corrupt", "chunk") for _ in range(20)))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sum(hits) == expected
+
+
+def test_corrupt_is_deterministic_and_detectable():
+    plan = FaultPlan(seed=1, corrupt_rate=1.0)
+    payload = bytes(range(64))
+    c1 = FaultInjector(plan).corrupt(payload, "chunk[0]")
+    c2 = FaultInjector(plan).corrupt(payload, "chunk[0]")
+    assert c1 == c2
+    assert c1 != payload and len(c1) == len(payload)
+    assert sum(x != y for x, y in zip(c1, payload)) == 1
+    assert FaultInjector(FaultPlan(seed=1)).corrupt(payload, "s") is None
+    assert FaultInjector(plan).corrupt(b"", "s") is None
+
+
+def test_drop_and_kill_scheduling():
+    plan = FaultPlan(drop_ranks=(2,), drop_after_chunks=3, kill_after_chunks=5)
+    inj = FaultInjector(plan)
+    assert not inj.should_drop(1, 99)
+    assert not inj.should_drop(2, 2)
+    assert inj.should_drop(2, 3)
+    assert not inj.should_kill(4)
+    assert inj.should_kill(5)
+    assert not FaultInjector(FaultPlan()).should_kill(10**6)
+
+
+def test_faults_metric_increments(tmp_path):
+    from repro.trace.metrics import REGISTRY
+
+    counter = REGISTRY.counter("hpdr_faults_injected_total")
+    before = counter.total()
+    inj = FaultInjector(FaultPlan(seed=0, timeout_rate=1.0))
+    assert inj.draw("timeout", "gem.z")
+    assert counter.total() == before + 1
+
+
+def test_expected_faults_model():
+    assert WORKSTATION.expected_faults(1, 0.0) == 0.0
+    # 1,024 Frontier nodes for 12 h at 2e5 node-hours MTBF.
+    assert FRONTIER.expected_faults(1024, 12.0) == pytest.approx(
+        1024 * 12.0 / 2.0e5
+    )
+    with pytest.raises(ValueError):
+        FRONTIER.expected_faults(0, 1.0)
+    with pytest.raises(ValueError):
+        FRONTIER.expected_faults(10**6, 1.0)
+    with pytest.raises(ValueError):
+        FRONTIER.expected_faults(8, -1.0)
+
+
+def test_plan_for_system_is_deterministic():
+    p1 = plan_for_system(get_system("frontier"), 1024, 12.0, seed=4)
+    p2 = plan_for_system(get_system("frontier"), 1024, 12.0, seed=4)
+    assert p1 == p2
+    assert p1.device_batch_rate > 0
+    # A long campaign on many nodes schedules at least one drop-out.
+    big = plan_for_system(get_system("frontier"), 9408, 500.0, seed=4)
+    assert len(big.drop_ranks) >= 1
+    assert all(0 <= r < 9408 for r in big.drop_ranks)

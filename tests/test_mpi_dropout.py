@@ -1,0 +1,123 @@
+"""mpi_sim collectives under rank drop-out (ULFM-style shrink semantics)."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.mpi_sim import Communicator, RankDropout, run_ranks
+
+
+@pytest.mark.parametrize("size", [1, 2, 8, 64])
+def test_allgather_over_survivors(size):
+    """One rank drops before the collective; survivors still agree."""
+    victim = size - 1  # rank 0 must survive (it is often the root)
+
+    def prog(comm: Communicator):
+        if size > 1 and comm.rank == victim:
+            raise RankDropout(comm.rank, "injected")
+        comm.barrier()
+        return comm.allgather(comm.rank)
+
+    results = run_ranks(size, prog, tolerate_dropouts=True)
+    expected = [r for r in range(size) if not (size > 1 and r == victim)]
+    for rank, res in enumerate(results):
+        if size > 1 and rank == victim:
+            assert isinstance(res, RankDropout)
+        else:
+            assert res == expected
+
+
+@pytest.mark.parametrize("size", [2, 8, 64])
+def test_allreduce_excludes_dropped_contribution(size):
+    def prog(comm: Communicator):
+        if comm.rank == 1:
+            raise RankDropout(comm.rank, "device lost")
+        comm.barrier()
+        return comm.allreduce(comm.rank, op=operator.add)
+
+    results = run_ranks(size, prog, tolerate_dropouts=True)
+    expected = sum(r for r in range(size) if r != 1)
+    for rank, res in enumerate(results):
+        if rank != 1:
+            assert res == expected
+
+
+@pytest.mark.parametrize("size", [2, 8])
+def test_gather_at_root_after_dropout(size):
+    def prog(comm: Communicator):
+        if comm.rank == size - 1:
+            raise RankDropout(comm.rank, "injected")
+        return comm.gather(comm.rank * 10, root=0)
+
+    results = run_ranks(size, prog, tolerate_dropouts=True)
+    assert results[0] == [r * 10 for r in range(size - 1)]
+
+
+def test_mid_run_drop_via_comm_api():
+    """comm.drop() mid-program releases barrier waiters immediately."""
+
+    def prog(comm: Communicator):
+        comm.barrier()  # full round first
+        if comm.rank == 2:
+            comm.drop("leaving")
+            raise RankDropout(comm.rank, "leaving")
+        comm.barrier()  # must not deadlock on the departed rank
+        return comm.active_ranks()
+
+    results = run_ranks(4, prog, tolerate_dropouts=True)
+    for rank in (0, 1, 3):
+        assert results[rank] == [0, 1, 3]
+
+
+def test_bcast_from_dead_root_is_hard_error():
+    def prog(comm: Communicator):
+        if comm.rank == 0:
+            raise RankDropout(comm.rank, "root lost")
+        comm.barrier()
+        return comm.bcast("payload", root=0)
+
+    with pytest.raises(RuntimeError, match="root 0 dropped"):
+        run_ranks(2, prog, tolerate_dropouts=True)
+
+
+def test_sequential_dropouts_shrink_progressively():
+    def prog(comm: Communicator):
+        sizes = []
+        for round_no in range(3):
+            if comm.rank == round_no + 1:
+                raise RankDropout(comm.rank, f"round {round_no}")
+            sizes.append(len(comm.allgather(None)))
+        return sizes
+
+    results = run_ranks(8, prog, tolerate_dropouts=True)
+    assert results[0] == [7, 6, 5]
+    assert results[7] == [7, 6, 5]
+    for dead in (1, 2, 3):
+        assert isinstance(results[dead], RankDropout)
+
+
+def test_without_tolerance_dropout_aborts():
+    def prog(comm: Communicator):
+        if comm.rank == 1:
+            raise RankDropout(comm.rank, "boom")
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(RuntimeError):
+        run_ranks(2, prog)  # tolerate_dropouts defaults to False
+
+
+def test_dropout_instances_carry_rank_and_reason():
+    def prog(comm: Communicator):
+        if comm.rank == 0:
+            raise RankDropout(comm.rank, "ecc storm")
+        comm.barrier()
+        return "ok"
+
+    results = run_ranks(2, prog, tolerate_dropouts=True)
+    exc = results[0]
+    assert isinstance(exc, RankDropout)
+    assert exc.rank == 0 and "ecc storm" in exc.reason
+    assert results[1] == "ok"
