@@ -1,0 +1,140 @@
+"""HPDR-Serve throughput/latency benchmark (real service, real codecs).
+
+Drives the in-process :class:`repro.serve.ReductionService` with the
+same closed-loop blast harness as ``repro blast`` and records throughput
+plus p50/p95/p99 latency for every cell of the grid
+
+    clients in {1, 8, 64}  x  max_batch in {1, 8, 64}
+
+on zfp-x (rate 8) round-trips of a (16, 16) float32 payload.
+``max_batch=1`` is the single-shot baseline: every request gets its own
+flush and its own GEM launch.  The headline number is ``speedup_c64`` —
+micro-batched throughput over single-shot at 64 concurrent clients —
+which the repo pins at >= 2x (see scripts/perf_gate.py).
+
+Writes ``BENCH_serve.json`` at the repo root, the record the perf gate
+compares CI smoke runs against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full run
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
+
+CLIENTS = (1, 8, 64)
+BATCHES = (1, 8, 64)
+SHAPE = (16, 16)
+
+
+def measure_cell(clients: int, max_batch: int,
+                 requests_per_client: int) -> dict:
+    """One grid cell: fresh service, warm-up blast, timed blast."""
+    from repro.serve import (
+        BatchLimits,
+        CodecSpec,
+        ReductionService,
+        ServiceClient,
+        ServiceConfig,
+        default_payloads,
+        run_blast,
+    )
+
+    spec = CodecSpec("zfp-x", rate=8.0)
+    payloads = default_payloads([spec], shape=SHAPE)
+
+    async def run():
+        cfg = ServiceConfig(
+            limits=BatchLimits(max_batch=max_batch, max_latency_s=0.002),
+            max_pending=max(256, 4 * clients),
+        )
+        async with ReductionService(cfg) as svc:
+            async def client(_i):
+                return ServiceClient(svc)
+
+            # Warm-up: create contexts, ramp the batch-staging scratch to
+            # its high-water mark, prime the codec caches.
+            await run_blast(client, clients=clients, requests_per_client=2,
+                            specs=[spec], payloads=payloads)
+            report = await run_blast(
+                client, clients=clients,
+                requests_per_client=requests_per_client,
+                specs=[spec], payloads=payloads,
+            )
+            report["mean_batch_size"] = round(svc.stats.mean_batch_size, 2)
+        return report
+
+    report = asyncio.run(run())
+    assert report["errors"] == 0, f"bench cell errored: {report}"
+    return report
+
+
+def measure_grid(requests_per_client: int) -> dict:
+    """Full record: every cell plus the headline speedups."""
+    cells = {}
+    for clients in CLIENTS:
+        for max_batch in BATCHES:
+            name = f"c{clients}_b{max_batch}"
+            cells[name] = measure_cell(clients, max_batch,
+                                       requests_per_client)
+            print(f"  {name:<10} {cells[name]['rps']:>9.1f} req/s  "
+                  f"p50={cells[name]['p50_ms']:.3f}ms "
+                  f"p95={cells[name]['p95_ms']:.3f}ms "
+                  f"p99={cells[name]['p99_ms']:.3f}ms "
+                  f"(mean batch {cells[name]['mean_batch_size']})",
+                  flush=True)
+    speedup = {
+        f"b{b}": round(cells[f"c64_b{b}"]["rps"] / cells["c64_b1"]["rps"], 2)
+        for b in BATCHES if b != 1
+    }
+    return {
+        "schema": 1,
+        "codec": "zfp-x",
+        "rate": 8.0,
+        "shape": list(SHAPE),
+        "dtype": "float32",
+        "roundtrip": True,
+        "requests_per_client": requests_per_client,
+        "current": cells,
+        "speedup_c64": speedup,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="fewer requests per client (fast CI smoke run)")
+    ap.add_argument("--requests", type=int, default=50,
+                    help="requests per client per cell (default 50)")
+    ap.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                    help=f"output JSON path (default {DEFAULT_OUT})")
+    args = ap.parse_args(argv)
+
+    requests = 10 if args.smoke else args.requests
+    print(f"serve grid: clients {CLIENTS} x max_batch {BATCHES}, "
+          f"zfp-x rate 8, {SHAPE} float32 round-trips, "
+          f"{requests} requests/client\n", flush=True)
+    record = measure_grid(requests)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    print("\nmicro-batching speedup at 64 clients (vs max_batch=1):")
+    for name, s in sorted(record["speedup_c64"].items()):
+        print(f"  {name:<4} {s:.2f}x")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,12 @@ Usage::
 ``--fresh`` skips re-measurement and gates a pre-computed record (e.g.
 the one the CI smoke run just produced) against the committed one.
 
+``--serve-fresh`` additionally gates an HPDR-Serve record (produced by
+``benchmarks/bench_serve.py``) against the committed ``BENCH_serve.json``:
+gated cells' req/s must stay within tolerance, and the 64-client
+micro-batching speedup over single-shot must stay >= ``--serve-min-speedup``
+(default 2x — the repo's headline serving claim).
+
 Sanitized runs are exempt: ``HPDR_SAN`` deliberately re-executes every
 GEM batch in shadow, so throughput under it measures the sanitizer, not
 the codecs — the gate refuses to produce (or judge) such numbers and
@@ -32,9 +38,15 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 COMMITTED = REPO_ROOT / "BENCH_wallclock.json"
+SERVE_COMMITTED = REPO_ROOT / "BENCH_serve.json"
 
 _CODECS = ("huffman", "huffman_openmp", "mgard", "zfp")
 _METRICS = ("compress_MBps", "decompress_MBps")
+
+#: serve-grid cells whose throughput is gated against the committed
+#: record (the single-shot baseline, the saturated micro-batch cell and
+#: the 8-client sweet spot).
+_SERVE_CELLS = ("c1_b1", "c8_b8", "c64_b64")
 
 
 def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
@@ -63,6 +75,75 @@ def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
                     f"floor of {floor:.2f})"
                 )
     return failures
+
+
+def compare_serve(
+    committed: dict, fresh: dict, tolerance: float, min_speedup: float
+) -> list[str]:
+    """Gate the HPDR-Serve record: cell throughput and batching speedup.
+
+    Two checks: (a) each gated cell's req/s must stay within
+    ``tolerance`` of the committed record, and (b) the headline claim —
+    micro-batching (max_batch >= 8) beats the single-shot baseline at 64
+    concurrent clients — must hold with at least ``min_speedup`` on the
+    *fresh* measurement, not just the committed one.
+    """
+    failures = []
+    for cell in _SERVE_CELLS:
+        ref = committed["current"].get(cell)
+        cur = fresh["current"].get(cell)
+        if not ref or not cur:
+            continue
+        floor = (1.0 - tolerance) * ref["rps"]
+        if cur["rps"] < floor:
+            drop = 100.0 * (1.0 - cur["rps"] / ref["rps"])
+            failures.append(
+                f"serve.{cell}.rps: {cur['rps']:.1f} req/s is "
+                f"{drop:.1f}% below the committed {ref['rps']:.1f} "
+                f"(floor {floor:.1f} at {tolerance:.0%} tolerance)"
+            )
+    for name, speedup in sorted(fresh.get("speedup_c64", {}).items()):
+        if speedup < min_speedup:
+            failures.append(
+                f"serve.speedup_c64.{name}: micro-batching is only "
+                f"{speedup:.2f}x over single-shot at 64 clients "
+                f"(required >= {min_speedup:.1f}x)"
+            )
+    return failures
+
+
+def write_serve_step_summary(
+    committed: dict, fresh: dict, failures: list[str], min_speedup: float
+) -> None:
+    """Append the serve-gate verdict to the GitHub Actions job summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Serve gate", ""]
+    if failures:
+        lines.append(f"**REGRESSION** — {len(failures)} serve metric(s) "
+                     f"out of bounds:")
+        lines.append("")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        speedups = ", ".join(
+            f"{k}={v:.2f}x" for k, v in sorted(
+                fresh.get("speedup_c64", {}).items())
+        )
+        lines.append(f"**OK** — cells within tolerance; 64-client "
+                     f"micro-batch speedup {speedups} "
+                     f"(floor {min_speedup:.1f}x).")
+    lines += ["", "| cell | committed req/s | fresh req/s | fresh p95 ms |",
+              "|---|---:|---:|---:|"]
+    for cell in _SERVE_CELLS:
+        ref = committed["current"].get(cell)
+        cur = fresh["current"].get(cell)
+        if not ref or not cur:
+            continue
+        lines.append(f"| {cell} | {ref['rps']:.1f} | {cur['rps']:.1f} "
+                     f"| {cur['p95_ms']:.3f} |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def write_step_summary(
@@ -111,6 +192,15 @@ def main(argv: list[str] | None = None) -> int:
                     help="1 timing rep when re-measuring")
     ap.add_argument("--report-only", action="store_true",
                     help="print the comparison but always exit 0")
+    ap.add_argument("--serve-fresh", type=pathlib.Path, default=None,
+                    help="fresh BENCH_serve record to gate (from "
+                         "benchmarks/bench_serve.py)")
+    ap.add_argument("--serve-committed", type=pathlib.Path,
+                    default=SERVE_COMMITTED,
+                    help="committed serve reference record")
+    ap.add_argument("--serve-min-speedup", type=float, default=2.0,
+                    help="required 64-client micro-batch speedup over "
+                         "single-shot (default 2.0)")
     args = ap.parse_args(argv)
 
     if os.environ.get("HPDR_SAN", "") not in ("", "0"):
@@ -142,6 +232,35 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = compare(committed, fresh, args.tolerance)
     write_step_summary(committed, fresh, failures, args.tolerance)
+
+    if args.serve_fresh is not None:
+        if not args.serve_committed.exists():
+            print(f"perf_gate: no committed serve record at "
+                  f"{args.serve_committed}; run benchmarks/bench_serve.py "
+                  f"first", file=sys.stderr)
+            return 0 if args.report_only else 2
+        serve_committed = json.loads(args.serve_committed.read_text())
+        serve_fresh = json.loads(args.serve_fresh.read_text())
+        print(f"\n{'serve cell':<16} {'committed rps':>14} {'fresh rps':>10}")
+        for cell in _SERVE_CELLS:
+            ref = serve_committed["current"].get(cell)
+            cur = serve_fresh["current"].get(cell)
+            if not ref or not cur:
+                continue
+            print(f"{cell:<16} {ref['rps']:>14.1f} {cur['rps']:>10.1f}")
+        for name, s in sorted(serve_fresh.get("speedup_c64", {}).items()):
+            print(f"speedup_c64.{name:<4} {s:>10.2f}x "
+                  f"(floor {args.serve_min_speedup:.1f}x)")
+        serve_failures = compare_serve(
+            serve_committed, serve_fresh, args.tolerance,
+            args.serve_min_speedup,
+        )
+        write_serve_step_summary(
+            serve_committed, serve_fresh, serve_failures,
+            args.serve_min_speedup,
+        )
+        failures += serve_failures
+
     if failures:
         print("\nperf_gate: REGRESSION" + (" (report-only)" if args.report_only else ""))
         for line in failures:

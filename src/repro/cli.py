@@ -263,6 +263,125 @@ def cmd_faultplan(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the HPDR-Serve micro-batching service on a TCP socket."""
+    import asyncio
+    import signal
+
+    from repro.serve import BatchLimits, ReductionService, ServiceConfig, serve_tcp
+
+    tracing = _trace_begin(args)
+    cfg = ServiceConfig(
+        limits=BatchLimits(
+            max_batch=args.max_batch,
+            max_bytes=args.max_bytes,
+            max_latency_s=args.max_latency_ms / 1e3,
+        ),
+        max_pending=args.max_pending,
+        workers=args.workers,
+        adapter=args.adapter or "serial",
+        threads=args.threads,
+    )
+
+    async def run() -> dict:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix loops
+            pass
+        async with ReductionService(cfg) as svc:
+            server = await serve_tcp(svc, args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(
+                f"serving on {host}:{port} adapter={cfg.adapter} "
+                f"workers={cfg.workers} max_batch={cfg.limits.max_batch} "
+                f"deadline={cfg.limits.max_latency_s * 1e3:g}ms "
+                f"max_pending={cfg.max_pending}; Ctrl-C drains and exits",
+                flush=True,
+            )
+            await stop.wait()
+            print("draining…", flush=True)
+            server.close()
+            await server.wait_closed()
+        return svc.stats.snapshot()
+
+    snapshot = asyncio.run(run())
+    print("drained: " + " ".join(f"{k}={v}" for k, v in snapshot.items()))
+    _trace_end(args, tracing)
+    return 0
+
+
+def cmd_blast(args) -> int:
+    """Closed-loop load generator against a served reduction service."""
+    import asyncio
+
+    from repro.serve import (
+        BatchLimits,
+        BlastClient,
+        CodecSpec,
+        ReductionService,
+        ServiceConfig,
+        default_payloads,
+        run_blast,
+        serve_tcp,
+    )
+
+    if not args.selfhost and args.port is None:
+        raise SystemExit("--port is required (or use --selfhost)")
+    spec = CodecSpec(args.codec, error_bound=args.eb, rate=args.rate)
+    try:
+        shape = tuple(int(s) for s in args.shape.split("x"))
+    except ValueError:
+        raise SystemExit(f"--shape must look like 16x16, got {args.shape!r}")
+
+    async def run() -> dict:
+        server = None
+        svc = None
+        host, port = args.host, args.port
+        if args.selfhost:
+            cfg = ServiceConfig(
+                limits=BatchLimits(
+                    max_batch=args.max_batch,
+                    max_latency_s=args.max_latency_ms / 1e3,
+                ),
+                workers=args.workers,
+                adapter=args.adapter or "serial",
+                threads=args.threads,
+            )
+            svc = await ReductionService(cfg).start()
+            server = await serve_tcp(svc, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+        try:
+            report = await run_blast(
+                lambda i: BlastClient.connect(host, port),
+                clients=args.clients,
+                requests_per_client=args.requests,
+                specs=[spec],
+                payloads=default_payloads([spec], shape=shape, seed=args.seed),
+                roundtrip=not args.compress_only,
+                verify=args.verify,
+            )
+        finally:
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+            if svc is not None:
+                await svc.close()
+        return report
+
+    report = asyncio.run(run())
+    print(
+        f"{report['completed']} requests ({args.codec}, "
+        f"{args.clients} clients): {report['rps']:.0f} req/s  "
+        f"p50={report['p50_ms']:.2f}ms p95={report['p95_ms']:.2f}ms "
+        f"p99={report['p99_ms']:.2f}ms  rejected={report['rejected']} "
+        f"errors={report['errors']} mismatches={report['mismatches']}"
+    )
+    return 1 if (report["errors"] or report["mismatches"]) else 0
+
+
 def cmd_datasets(_args) -> int:
     from repro.data.registry import DATASETS
 
@@ -390,6 +509,71 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--kill-after-chunks", type=int, default=None,
                     help="hard-kill the campaign after N chunks (restart drill)")
     fp.set_defaults(func=cmd_faultplan)
+
+    sv = sub.add_parser(
+        "serve", help="run the micro-batching reduction service (TCP)"
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral, printed at startup)")
+    sv.add_argument("--adapter", default=None,
+                    choices=["serial", "openmp", "cuda", "hip"])
+    sv.add_argument("--threads", type=int, default=None,
+                    help="worker threads (openmp adapter)")
+    sv.add_argument("--workers", type=int, default=1,
+                    help="batch-execution workers (each with its own CMM cache)")
+    sv.add_argument("--max-batch", type=int, default=16,
+                    help="flush a batch at this many requests")
+    sv.add_argument("--max-bytes", type=int, default=4 << 20,
+                    help="flush a batch at this many payload bytes")
+    sv.add_argument("--max-latency-ms", type=float, default=2.0,
+                    help="flush a batch this long after its first request")
+    sv.add_argument("--max-pending", type=int, default=256,
+                    help="admission limit (beyond it requests are rejected)")
+    sv.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="record spans and write Chrome trace-event JSON")
+    sv.add_argument("--metrics", action="store_true",
+                    help="print the stage/metrics summary after draining")
+    sv.set_defaults(func=cmd_serve)
+
+    bl = sub.add_parser(
+        "blast", help="closed-loop load generator for a served service"
+    )
+    bl.add_argument("--host", default="127.0.0.1")
+    bl.add_argument("--port", type=int, default=None,
+                    help="port of a running `repro serve`")
+    bl.add_argument("--selfhost", action="store_true",
+                    help="start an in-process service on an ephemeral port "
+                         "and blast it (single-command demo)")
+    bl.add_argument("--clients", type=int, default=8,
+                    help="concurrent closed-loop clients (connections)")
+    bl.add_argument("--requests", type=int, default=50,
+                    help="round-trips per client")
+    bl.add_argument("--codec", default="zfp-x",
+                    choices=["mgard-x", "zfp-x", "huffman-x", "lz4", "sz"])
+    bl.add_argument("--rate", type=float, default=8.0,
+                    help="bits/value (zfp-x)")
+    bl.add_argument("--eb", type=float, default=1e-3,
+                    help="error bound (lossy codecs)")
+    bl.add_argument("--shape", default="16x16",
+                    help="payload array shape, e.g. 64x64")
+    bl.add_argument("--seed", type=int, default=7)
+    bl.add_argument("--verify", action="store_true",
+                    help="check lossless round-trips for exact equality")
+    bl.add_argument("--compress-only", action="store_true",
+                    help="skip the decompress half of each round-trip")
+    bl.add_argument("--adapter", default=None,
+                    choices=["serial", "openmp", "cuda", "hip"],
+                    help="(selfhost) service adapter")
+    bl.add_argument("--threads", type=int, default=None,
+                    help="(selfhost) openmp worker threads")
+    bl.add_argument("--workers", type=int, default=1,
+                    help="(selfhost) service workers")
+    bl.add_argument("--max-batch", type=int, default=16,
+                    help="(selfhost) service flush size")
+    bl.add_argument("--max-latency-ms", type=float, default=2.0,
+                    help="(selfhost) service flush deadline")
+    bl.set_defaults(func=cmd_blast)
 
     ds = sub.add_parser("datasets", help="print the Table III inventory")
     ds.set_defaults(func=cmd_datasets)

@@ -1,0 +1,172 @@
+"""Deadline-based micro-batch planning (pure, clock-injected).
+
+:class:`MicroBatchPlanner` is the decision core of the service's
+batcher, deliberately free of asyncio, threads and wall clocks: callers
+pass ``now`` explicitly, which is what makes the batching invariants
+*property-testable* with a synthetic clock (``tests/serve``).  The
+asyncio front end feeds it ``loop.time()`` and arms one timer for
+:meth:`next_deadline`.
+
+Flush policy (paper Fig. 9 applied to request traffic — aggregate small
+calls until the device-side batch is worth launching):
+
+* **size** — a key's open batch reaches ``max_batch`` requests;
+* **bytes** — admitting the next request would push the open batch past
+  ``max_bytes`` (the batch is closed first, so no flush ever exceeds
+  the byte bound unless a *single* request alone does — oversized
+  requests flush as singletons immediately);
+* **deadline** — ``max_latency_s`` elapsed since the batch's first
+  request arrived (:meth:`due`);
+* **drain** — explicit :meth:`flush_all` on shutdown.
+
+Invariants (enforced by the property suite):
+
+1. every added item appears in exactly one flush, unless discarded
+   (cancelled) first — never zero, never twice;
+2. ``len(flush.items) <= max_batch`` always;
+3. ``flush.nbytes <= max_bytes`` unless the flush is a single item;
+4. after ``due(now)`` returns, no open batch is older than
+   ``max_latency_s`` at time ``now``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class BatchLimits:
+    """Flush bounds for the micro-batcher."""
+
+    max_batch: int = 16
+    max_bytes: int = 4 << 20
+    max_latency_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {self.max_bytes}")
+        if self.max_latency_s < 0:
+            raise ValueError(
+                f"max_latency_s must be >= 0, got {self.max_latency_s}"
+            )
+
+
+@dataclass
+class Flush:
+    """One closed batch, ready for worker execution."""
+
+    key: Hashable
+    items: list[Any]
+    nbytes: int
+    opened_at: float
+    reason: str  # "size" | "bytes" | "deadline" | "drain"
+
+
+@dataclass
+class _Open:
+    """A key's accumulating batch (per-item sizes kept for discard)."""
+
+    opened_at: float
+    items: list[Any] = field(default_factory=list)
+    sizes: list[int] = field(default_factory=list)
+    nbytes: int = 0
+
+
+class MicroBatchPlanner:
+    """Groups keyed items into bounded, deadline-flushed batches."""
+
+    def __init__(self, limits: BatchLimits | None = None) -> None:
+        self.limits = limits if limits is not None else BatchLimits()
+        self._open: dict[Hashable, _Open] = {}
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Items currently waiting in open batches."""
+        return sum(len(o.items) for o in self._open.values())
+
+    def open_batches(self) -> int:
+        return len(self._open)
+
+    # ------------------------------------------------------------------
+    def add(self, key: Hashable, item: Any, nbytes: int, now: float) -> list[Flush]:
+        """Admit one item; return any flushes it triggers (0, 1 or 2).
+
+        Two flushes happen when the incoming item overflows the open
+        batch's byte budget (the old batch closes "bytes") *and* is
+        itself at or over ``max_bytes`` (it closes immediately as an
+        oversized singleton).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        lim = self.limits
+        flushes: list[Flush] = []
+        batch = self._open.get(key)
+        if batch is not None and batch.items and batch.nbytes + nbytes > lim.max_bytes:
+            flushes.append(self._close(key, "bytes"))
+            batch = None
+        if batch is None:
+            batch = _Open(opened_at=now)
+            self._open[key] = batch
+        batch.items.append(item)
+        batch.sizes.append(nbytes)
+        batch.nbytes += nbytes
+        if len(batch.items) >= lim.max_batch:
+            flushes.append(self._close(key, "size"))
+        elif batch.nbytes >= lim.max_bytes:
+            flushes.append(self._close(key, "bytes"))
+        return flushes
+
+    def discard(self, key: Hashable, item: Any) -> bool:
+        """Remove a cancelled item from its open batch (identity match).
+
+        Returns False when the item is not pending (already flushed or
+        never added) — the flush path then ignores its dead future.
+        """
+        batch = self._open.get(key)
+        if batch is None:
+            return False
+        for i, held in enumerate(batch.items):
+            if held is item:
+                del batch.items[i]
+                batch.nbytes -= batch.sizes.pop(i)
+                if not batch.items:
+                    del self._open[key]
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def next_deadline(self) -> float | None:
+        """Earliest instant any open batch must flush, or None."""
+        if not self._open:
+            return None
+        return (
+            min(o.opened_at for o in self._open.values())
+            + self.limits.max_latency_s
+        )
+
+    def due(self, now: float) -> list[Flush]:
+        """Close every batch whose deadline has passed at ``now``."""
+        lim = self.limits
+        due_keys = [
+            k for k, o in self._open.items()
+            if o.opened_at + lim.max_latency_s <= now
+        ]
+        return [self._close(k, "deadline") for k in due_keys]
+
+    def flush_all(self) -> list[Flush]:
+        """Close every open batch (graceful drain)."""
+        return [self._close(k, "drain") for k in list(self._open)]
+
+    # ------------------------------------------------------------------
+    def _close(self, key: Hashable, reason: str) -> Flush:
+        batch = self._open.pop(key)
+        return Flush(
+            key=key,
+            items=batch.items,
+            nbytes=batch.nbytes,
+            opened_at=batch.opened_at,
+            reason=reason,
+        )

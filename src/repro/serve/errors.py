@@ -1,0 +1,40 @@
+"""Typed failure modes of the HPDR-Serve front end.
+
+The service never signals overload or shutdown with a bare exception:
+clients distinguish *shed load* (:class:`ServiceOverloaded` — retry
+with backoff, the request was never admitted) from *lifecycle*
+(:class:`ServiceClosed` — the service is draining, find another
+replica) from a genuinely failed request (the original codec exception
+is delivered through the request's future untouched).
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class for service-layer failures."""
+
+
+class ServiceOverloaded(ServeError):
+    """Admission control rejected the request (bounded queue full).
+
+    Carries the queue state so clients and load generators can log the
+    rejection meaningfully and back off proportionally.  Raised
+    *before* the request is enqueued: a rejected request consumed no
+    worker time and holds no slot.
+    """
+
+    def __init__(self, depth: int, limit: int) -> None:
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            f"service overloaded: {depth} requests in flight "
+            f"(admission limit {limit}); retry with backoff"
+        )
+
+
+class ServiceClosed(ServeError):
+    """The service is draining or closed; no new requests are admitted."""
+
+    def __init__(self, what: str = "submit") -> None:
+        super().__init__(f"cannot {what}: the service is shut down or draining")

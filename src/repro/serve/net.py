@@ -1,0 +1,221 @@
+"""Minimal length-prefixed TCP transport for HPDR-Serve.
+
+Frame layout (little-endian)::
+
+    b"HPDS" | version:u8 | header_len:u32 | payload_len:u64
+    header  : UTF-8 JSON (op, spec fields, array dtype/shape or status)
+    payload : raw bytes (array data, compressed stream, or empty)
+
+The wire format is deliberately dumb: one JSON header plus one opaque
+byte run, so a client in any language can speak it with ``struct`` and
+a JSON parser.  Arrays travel as raw C-order bytes described by
+``dtype``/``shape`` in the header — the same portable layout the codecs
+already guarantee byte-stability for.
+
+Each connection is handled **sequentially** (one request in flight per
+connection); concurrency — and therefore micro-batching — comes from
+many connections, which is exactly how :mod:`repro.serve.loadgen`
+drives load.  Error responses carry the exception's class name so
+:class:`BlastClient` re-raises typed service errors
+(:class:`~repro.serve.errors.ServiceOverloaded`,
+:class:`~repro.serve.errors.ServiceClosed`) on the client side, letting
+remote callers run the same backoff logic as in-process ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.serve.errors import ServeError, ServiceClosed, ServiceOverloaded
+from repro.serve.spec import CodecSpec
+
+_MAGIC = b"HPDS"
+_VERSION = 1
+_PREAMBLE = struct.Struct("<4sBIQ")
+
+#: refuse headers/payloads beyond these bounds (malformed-stream guard).
+MAX_HEADER_BYTES = 1 << 20
+MAX_PAYLOAD_BYTES = 1 << 32
+
+
+class ProtocolError(ServeError):
+    """The peer sent bytes that are not a valid HPDR-Serve frame."""
+
+
+class RemoteRequestError(ServeError):
+    """A remote request failed with a non-service exception."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        self.kind = kind
+        super().__init__(f"remote {kind}: {message}")
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes] | None:
+    """Read one frame; None on clean EOF at a frame boundary."""
+    try:
+        preamble = await reader.readexactly(_PREAMBLE.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    magic, version, hlen, plen = _PREAMBLE.unpack(preamble)
+    if magic != _MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (expected {_MAGIC!r})")
+    if version != _VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if hlen > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large: {hlen} bytes")
+    if plen > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"payload too large: {plen} bytes")
+    try:
+        raw_header = await reader.readexactly(hlen)
+        payload = await reader.readexactly(plen)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return header, payload
+
+
+def _write_frame(writer: asyncio.StreamWriter, header: dict, payload: bytes) -> None:
+    raw_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    writer.write(_PREAMBLE.pack(_MAGIC, _VERSION, len(raw_header), len(payload)))
+    writer.write(raw_header)
+    writer.write(payload)
+
+
+def _encode_payload(op: str, payload: Any) -> tuple[dict, bytes]:
+    """Split a request/response payload into header metadata + bytes."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return {"form": "blob"}, bytes(payload)
+    arr = np.ascontiguousarray(payload)
+    return (
+        {"form": "array", "dtype": arr.dtype.str, "shape": list(arr.shape)},
+        arr.tobytes(),
+    )
+
+
+def _decode_payload(header: dict, raw: bytes) -> Any:
+    form = header.get("form")
+    if form == "blob":
+        return raw
+    if form == "array":
+        dtype = np.dtype(header["dtype"])
+        shape = tuple(int(s) for s in header["shape"])
+        return np.frombuffer(raw, dtype=dtype).reshape(shape)
+    raise ProtocolError(f"unknown payload form {form!r}")
+
+
+def _raise_remote(header: dict) -> None:
+    kind = header.get("kind", "ServeError")
+    message = header.get("message", "")
+    if kind == "ServiceOverloaded":
+        raise ServiceOverloaded(int(header.get("depth", 0)),
+                                int(header.get("limit", 0)))
+    if kind == "ServiceClosed":
+        raise ServiceClosed(header.get("what", "submit"))
+    raise RemoteRequestError(kind, message)
+
+
+# ---------------------------------------------------------------------------
+async def _handle_connection(service, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            frame = await _read_frame(reader)
+            if frame is None:
+                break
+            header, raw = frame
+            try:
+                op = header["op"]
+                spec = CodecSpec(**header["spec"])
+                payload = _decode_payload(header, raw)
+                value = await service.submit(op, spec, payload)
+            except asyncio.CancelledError:
+                raise
+            except ServiceOverloaded as exc:
+                _write_frame(writer, {
+                    "status": "err", "kind": "ServiceOverloaded",
+                    "message": str(exc), "depth": exc.depth, "limit": exc.limit,
+                }, b"")
+            except Exception as exc:
+                _write_frame(writer, {
+                    "status": "err", "kind": type(exc).__name__,
+                    "message": str(exc),
+                }, b"")
+            else:
+                meta, out = _encode_payload(op, value)
+                _write_frame(writer, {"status": "ok", **meta}, out)
+            await writer.drain()
+    except (ProtocolError, ConnectionResetError):
+        pass  # drop the misbehaving/vanished connection
+    finally:
+        # Close without awaiting: the transport finishes asynchronously,
+        # and awaiting here races loop shutdown (spurious cancellation).
+        writer.close()
+
+
+async def serve_tcp(service, host: str = "127.0.0.1",
+                    port: int = 0) -> asyncio.AbstractServer:
+    """Expose a started :class:`ReductionService` on a TCP socket.
+
+    Returns the asyncio server; ``server.sockets[0].getsockname()``
+    yields the bound address (pass ``port=0`` for an ephemeral port in
+    tests).  Close the server *before* closing the service so draining
+    covers every admitted request.
+    """
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host, port)
+
+
+class BlastClient:
+    """One sequential client connection to a served reduction service."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "BlastClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, op: str, spec: CodecSpec, payload: Any) -> Any:
+        meta, raw = _encode_payload(op, payload)
+        header = {"op": op, "spec": dataclasses.asdict(spec), **meta}
+        _write_frame(self._writer, header, raw)
+        await self._writer.drain()
+        frame = await _read_frame(self._reader)
+        if frame is None:
+            raise ProtocolError("server closed the connection mid-request")
+        resp, out = frame
+        if resp.get("status") != "ok":
+            _raise_remote(resp)
+        return _decode_payload(resp, out)
+
+    async def compress(self, spec: CodecSpec, data: np.ndarray) -> bytes:
+        return await self.request("compress", spec, data)
+
+    async def decompress(self, spec: CodecSpec, blob: bytes) -> np.ndarray:
+        return await self.request("decompress", spec, blob)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass

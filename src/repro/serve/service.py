@@ -1,0 +1,401 @@
+"""HPDR-Serve: the asyncio micro-batching reduction service.
+
+:class:`ReductionService` is the concurrent front end over the HPDR
+codecs: callers ``await submit(...)`` individual compress/decompress
+requests; the service groups them by :meth:`CodecSpec.batch_key
+<repro.serve.spec.CodecSpec.batch_key>` with a deadline-based
+micro-batcher and executes whole batches on a pool of workers that
+keep pinned CMM contexts per ``(codec, dtype, shape-class)`` — the
+paper's 3-queue/2-buffer philosophy (amortize per-call costs across
+chunks) applied to request traffic.
+
+Guarantees:
+
+* **exactly-once** — every admitted request is answered exactly once:
+  with its result, with the exception its execution raised, or not at
+  all if the caller cancelled it first (the batcher then drops it);
+* **byte-stability** — a batched response is byte-for-byte identical
+  to the single-shot codec call (the property/conformance suites pin
+  this against every codec and adapter);
+* **admission control** — at most ``max_pending`` requests in flight;
+  beyond it :meth:`submit` raises a typed
+  :class:`~repro.serve.errors.ServiceOverloaded` *before* queueing, so
+  shed load costs no worker time (backpressure, not collapse);
+* **fault isolation** — per-request retry via
+  :class:`~repro.resilience.policy.RetryPolicy` with degradation to a
+  serial fallback codec: one poisoned request never fails its batch;
+* **graceful drain** — :meth:`close` stops admission, flushes every
+  open batch, waits for in-flight work, then releases worker pools.
+
+Observability: always-on operational counters
+(``hpdr_serve_requests_total``, ``hpdr_serve_rejected_total``,
+``hpdr_serve_batches_total``) plus — when :mod:`repro.trace` is
+enabled — ``serve.batch``/``serve.flush``/``serve.drain`` spans and
+queue-depth / batch-size / latency histograms.  :attr:`stats` keeps an
+always-on latency reservoir for p50/p95/p99 reporting regardless of
+tracing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any
+
+import numpy as np
+
+from repro.resilience.policy import RetryPolicy
+from repro.serve.batcher import BatchLimits, Flush, MicroBatchPlanner
+from repro.serve.errors import ServiceClosed, ServiceOverloaded
+from repro.serve.spec import CodecSpec, payload_nbytes
+from repro.serve.worker import ERR, OK, Worker
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
+
+#: histogram buckets for batch sizes (requests per flush).
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+#: histogram buckets for request latency (seconds).
+_LATENCY_BUCKETS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0)
+
+
+def _span(name: str, **args):
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return Span(_TRACER, name, "serve", args)
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one :class:`ReductionService` instance.
+
+    ``adapter``/``threads`` pick the worker device; ``fault_plan`` (a
+    :class:`~repro.resilience.faults.FaultPlan`) wraps every worker
+    adapter in a fault injector — the hook the fault-under-load suite
+    drives.  ``retry_sleep`` is injectable so tests pay no wall-clock
+    for backoff.
+    """
+
+    limits: BatchLimits = field(default_factory=BatchLimits)
+    max_pending: int = 256
+    workers: int = 1
+    adapter: str = "serial"
+    threads: int | None = None
+    cache_capacity: int = 64
+    pin_contexts: bool = True
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    retry_sleep: Any = None
+    fault_plan: Any = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+class ServiceStats:
+    """Always-on operational counters + latency reservoir."""
+
+    def __init__(self, reservoir: int = 8192) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.peak_queue_depth = 0
+        self._latencies: deque[float] = deque(maxlen=reservoir)
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def latency_percentile(self, pct: float) -> float:
+        """Percentile (0..100) over the retained latency reservoir."""
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        idx = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "peak_queue_depth": self.peak_queue_depth,
+            "p50_ms": round(self.latency_percentile(50) * 1e3, 3),
+            "p95_ms": round(self.latency_percentile(95) * 1e3, 3),
+            "p99_ms": round(self.latency_percentile(99) * 1e3, 3),
+        }
+
+
+@dataclass
+class _Request:
+    """One admitted request travelling through batcher and worker."""
+
+    op: str
+    spec: CodecSpec
+    payload: Any
+    nbytes: int
+    future: asyncio.Future
+    submitted_at: float
+    key: Any
+
+
+class ReductionService:
+    """Async micro-batching front end over the HPDR codecs.
+
+    Use as an async context manager::
+
+        async with ReductionService(config) as svc:
+            blob = await svc.compress(CodecSpec("zfp-x", rate=8), data)
+            back = await svc.decompress(CodecSpec("zfp-x", rate=8), blob)
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.stats = ServiceStats()
+        self._planner = MicroBatchPlanner(self.config.limits)
+        self._workers: list[Worker] = []
+        self._executors: list[ThreadPoolExecutor] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._timer: asyncio.TimerHandle | None = None
+        self._inflight = 0
+        self._idle: asyncio.Event | None = None
+        self._started = False
+        self._closing = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "ReductionService":
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        cfg = self.config
+        from repro.adapters import get_adapter
+
+        for wid in range(cfg.workers):
+            kwargs = {}
+            if cfg.adapter == "openmp" and cfg.threads is not None:
+                kwargs["num_threads"] = cfg.threads
+            adapter = get_adapter(cfg.adapter, **kwargs)
+            if cfg.fault_plan is not None:
+                from repro.resilience.adapter import FaultyAdapter
+
+                adapter = FaultyAdapter(adapter, cfg.fault_plan)
+            worker = Worker(
+                wid,
+                adapter,
+                get_adapter("serial"),
+                cache_capacity=cfg.cache_capacity,
+                policy=cfg.retry,
+                sleep=cfg.retry_sleep,
+                pin_contexts=cfg.pin_contexts,
+            )
+            self._workers.append(worker)
+            self._executors.append(
+                ThreadPoolExecutor(1, thread_name_prefix=f"hpdr-serve-w{wid}")
+            )
+        self._started = True
+        return self
+
+    async def __aenter__(self) -> "ReductionService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    @property
+    def workers(self) -> list[Worker]:
+        return self._workers
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    # -- submission -----------------------------------------------------
+    async def submit(self, op: str, spec: CodecSpec, payload) -> Any:
+        """Admit one request and await its answer.
+
+        Raises :class:`ServiceOverloaded` when the bounded queue is
+        full, :class:`ServiceClosed` after :meth:`close` began, or the
+        exception the request's execution ultimately produced.
+        Cancelling the awaiting task withdraws the request: if it has
+        not been flushed to a worker yet it is dropped entirely.
+        """
+        if not self._started or self._closed:
+            raise ServiceClosed("submit")
+        if self._closing:
+            raise ServiceClosed("submit")
+        if self._inflight >= self.config.max_pending:
+            self.stats.rejected += 1
+            _METRICS.counter(
+                "hpdr_serve_rejected_total",
+                "requests shed by admission control",
+            ).inc(reason="overload")
+            raise ServiceOverloaded(self._inflight, self.config.max_pending)
+
+        loop = self._loop
+        now = loop.time()
+        nbytes = payload_nbytes(payload)
+        key = spec.batch_key(op, payload)
+        req = _Request(
+            op=op,
+            spec=spec,
+            payload=payload,
+            nbytes=nbytes,
+            future=loop.create_future(),
+            submitted_at=now,
+            key=key,
+        )
+        self._inflight += 1
+        self._idle.clear()
+        self.stats.submitted += 1
+        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth,
+                                          self._inflight)
+        _METRICS.counter(
+            "hpdr_serve_requests_total", "requests admitted by the service"
+        ).inc(op=op, codec=spec.name)
+        if _TRACER.enabled:
+            _METRICS.histogram(
+                "hpdr_serve_queue_depth",
+                "requests in flight at admission",
+                buckets=_BATCH_BUCKETS,
+            ).observe(self._inflight)
+        req.future.add_done_callback(partial(self._request_done, req))
+        for flush in self._planner.add(key, req, nbytes, now):
+            self._dispatch(flush)
+        self._arm_timer()
+        return await req.future
+
+    async def compress(self, spec: CodecSpec, data: np.ndarray) -> bytes:
+        return await self.submit("compress", spec, data)
+
+    async def decompress(self, spec: CodecSpec, blob: bytes) -> np.ndarray:
+        return await self.submit("decompress", spec, blob)
+
+    # -- batching machinery ---------------------------------------------
+    def _arm_timer(self) -> None:
+        deadline = self._planner.next_deadline()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if deadline is not None:
+            self._timer = self._loop.call_at(deadline, self._on_deadline)
+
+    def _on_deadline(self) -> None:
+        self._timer = None
+        for flush in self._planner.due(self._loop.time()):
+            self._dispatch(flush)
+        self._arm_timer()
+
+    def _dispatch(self, flush: Flush) -> None:
+        """Hand one closed batch to the least-loaded worker."""
+        flush.items = [r for r in flush.items if not r.future.done()]
+        if not flush.items:
+            return
+        self.stats.batches += 1
+        self.stats.batched_requests += len(flush.items)
+        _METRICS.counter(
+            "hpdr_serve_batches_total", "batches flushed to workers"
+        ).inc(reason=flush.reason)
+        if _TRACER.enabled:
+            _METRICS.histogram(
+                "hpdr_serve_batch_size",
+                "requests per flushed batch",
+                buckets=_BATCH_BUCKETS,
+            ).observe(len(flush.items), reason=flush.reason)
+            with _span("serve.flush", reason=flush.reason,
+                       n=len(flush.items), nbytes=flush.nbytes):
+                pass
+        idx = min(range(len(self._workers)),
+                  key=lambda i: self._workers[i].backlog)
+        worker = self._workers[idx]
+        worker.backlog += 1
+        fut = self._loop.run_in_executor(
+            self._executors[idx], worker.run_batch, flush
+        )
+        fut.add_done_callback(partial(self._deliver, worker))
+
+    def _deliver(self, worker: Worker, fut: asyncio.Future) -> None:
+        """Answer every request of a completed batch (event-loop thread)."""
+        worker.backlog -= 1
+        try:
+            results = fut.result()
+        except Exception:  # pragma: no cover - worker.run_batch never raises
+            results = []
+        now = self._loop.time()
+        for req, tag, value in results:
+            if req.future.done():
+                continue  # cancelled mid-execution
+            latency = now - req.submitted_at
+            self.stats.observe_latency(latency)
+            if _TRACER.enabled:
+                _METRICS.histogram(
+                    "hpdr_serve_latency_seconds",
+                    "request latency (admission to answer)",
+                    buckets=_LATENCY_BUCKETS,
+                ).observe(latency, op=req.op, codec=req.spec.name)
+            if tag == OK:
+                self.stats.completed += 1
+                req.future.set_result(value)
+            else:
+                self.stats.errors += 1
+                req.future.set_exception(value)
+
+    def _request_done(self, req: _Request, fut: asyncio.Future) -> None:
+        """Single accounting point: runs once per admitted request."""
+        self._inflight -= 1
+        if fut.cancelled():
+            self.stats.cancelled += 1
+            if self._planner.discard(req.key, req):
+                self._arm_timer()
+        if self._inflight == 0:
+            self._idle.set()
+
+    # -- drain / shutdown -----------------------------------------------
+    async def drain(self) -> None:
+        """Flush every open batch and wait until nothing is in flight."""
+        if not self._started:
+            return
+        for flush in self._planner.flush_all():
+            self._dispatch(flush)
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._inflight:
+            await self._idle.wait()
+
+    async def close(self) -> None:
+        """Graceful shutdown: stop admission, drain, release workers."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closing = True
+        t0 = time.perf_counter()
+        await self.drain()
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+        for worker in self._workers:
+            worker.close()
+        self._closed = True
+        if _TRACER.enabled:
+            with _span("serve.drain",
+                       answered=self.stats.completed + self.stats.errors,
+                       seconds=round(time.perf_counter() - t0, 6)):
+                pass

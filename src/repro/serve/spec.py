@@ -1,0 +1,144 @@
+"""Codec specifications and batch/context keying for HPDR-Serve.
+
+A :class:`CodecSpec` is the hashable description of one reduction
+configuration (codec + bound/rate parameters).  The service uses it in
+two keys:
+
+* the **batch key** — ``(op, spec.key(), dtype, shape)`` for arrays,
+  ``(op, spec.key(), "blob", size_class)`` for compressed streams —
+  groups requests the micro-batcher may execute together.  Compress
+  batches share the exact shape so the vectorized codec fast paths
+  (e.g. :meth:`repro.ZFPX.compress_batch`) apply and the codec's CMM
+  contexts are reused across every request in the batch;
+* the **context key** — ``("serve", spec.key(), dtype, shape_class)``
+  — addresses the pinned :class:`~repro.core.context.ReductionContext`
+  a worker keeps per configuration.  The shape *class* (rank plus
+  power-of-two element-count bucket) bounds how many serve contexts a
+  many-shape workload can open while still separating workloads with
+  very different working-set sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+#: codec names the service accepts (the CLI envelope vocabulary).
+SERVABLE_CODECS = ("mgard-x", "zfp-x", "huffman-x", "lz4", "sz")
+
+#: request operations.
+OPS = ("compress", "decompress")
+
+
+def _ceil_pow2(n: int) -> int:
+    return 1 << max(0, int(n - 1).bit_length()) if n > 0 else 1
+
+
+def shape_class(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Bucket a shape as ``(rank, next-pow2 element count)``.
+
+    Contexts keyed by the class are shared by near-identical working
+    sets (the scratch buffers inside grow geometrically, so a class
+    reaches its own zero-alloc steady state) without one pinned context
+    per exact shape.
+    """
+    elems = 1
+    for s in shape:
+        elems *= int(s)
+    return (len(shape), _ceil_pow2(elems))
+
+
+def size_class(nbytes: int) -> int:
+    """Power-of-two byte bucket for opaque compressed streams."""
+    return _ceil_pow2(int(nbytes))
+
+
+def payload_nbytes(payload) -> int:
+    """Bytes a request payload contributes to batch byte budgets."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    return int(np.asarray(payload).nbytes)
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """Hashable description of one reduction configuration.
+
+    Only the parameters the named codec actually consumes participate
+    in :meth:`key`, so e.g. two ``zfp-x`` specs differing in an unused
+    ``error_bound`` land in the same batch and share contexts.
+    """
+
+    name: str = "zfp-x"
+    error_bound: float = 1e-3
+    error_mode: str = "rel"
+    rate: float = 8.0
+    dict_size: int = 4096
+    chunk_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.name not in SERVABLE_CODECS:
+            raise ValueError(
+                f"unknown codec {self.name!r}; servable: {SERVABLE_CODECS}"
+            )
+        if self.error_mode not in ("rel", "abs"):
+            raise ValueError(f"error_mode must be rel|abs, got {self.error_mode!r}")
+
+    # ------------------------------------------------------------------
+    def key(self) -> tuple[Hashable, ...]:
+        """Minimal parameter tuple identifying this configuration."""
+        if self.name == "zfp-x":
+            return (self.name, self.rate)
+        if self.name == "huffman-x":
+            return (self.name, self.chunk_size)
+        if self.name == "lz4":
+            return (self.name,)
+        # mgard-x / sz: error-bounded codecs.
+        if self.name == "mgard-x":
+            return (self.name, self.error_bound, self.error_mode, self.dict_size)
+        return (self.name, self.error_bound, self.error_mode)
+
+    def build(self, adapter=None, context_cache=None):
+        """Instantiate the codec on ``adapter`` sharing ``context_cache``.
+
+        Every returned object satisfies ``compress(data) -> bytes`` /
+        ``decompress(bytes) -> ndarray``; codecs with CMM support are
+        handed the worker's shared cache so their working buffers
+        persist across batches.
+        """
+        from repro import Config, ErrorMode, HuffmanX, LZ4, MGARDX, SZ, ZFPX
+
+        if self.name == "zfp-x":
+            return ZFPX(rate=self.rate, adapter=adapter,
+                        context_cache=context_cache)
+        if self.name == "huffman-x":
+            return HuffmanX(adapter=adapter, chunk_size=self.chunk_size,
+                            context_cache=context_cache)
+        if self.name == "lz4":
+            return LZ4(adapter=adapter)
+        mode = ErrorMode.ABS if self.error_mode == "abs" else ErrorMode.REL
+        cfg = Config(error_bound=self.error_bound, error_mode=mode)
+        if self.name == "mgard-x":
+            return MGARDX(cfg, adapter=adapter, context_cache=context_cache,
+                          dict_size=self.dict_size)
+        return SZ(cfg, adapter=adapter)
+
+    # ------------------------------------------------------------------
+    def batch_key(self, op: str, payload) -> tuple[Hashable, ...]:
+        """Grouping key for the micro-batcher (see module docstring)."""
+        if op not in OPS:
+            raise ValueError(f"op must be one of {OPS}, got {op!r}")
+        if op == "compress":
+            arr = np.asarray(payload)
+            return (op,) + self.key() + (arr.dtype.str, arr.shape)
+        return (op,) + self.key() + ("blob", size_class(len(payload)))
+
+    def context_key(self, op: str, payload) -> tuple[Hashable, ...]:
+        """Serve-layer CMM context key: (codec, dtype, shape-class)."""
+        if op == "compress":
+            arr = np.asarray(payload)
+            return ("serve",) + self.key() + (arr.dtype.str,
+                                              shape_class(arr.shape))
+        return ("serve",) + self.key() + ("blob", (1, size_class(len(payload))))

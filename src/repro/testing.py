@@ -41,6 +41,7 @@ def check_adapter(adapter, rng: np.random.Generator | None = None) -> None:
     _check_gem_shape_change(adapter, rng)
     _check_gem_order_stability(adapter)
     _check_gem_empty_batch(adapter)
+    _check_batched_submission(adapter, rng)
     _check_dem_stages(adapter)
     _check_reference_agreement(adapter, rng)
     _check_real_kernels(adapter, rng)
@@ -81,6 +82,47 @@ def _check_gem_empty_batch(adapter) -> None:
     _require(out.shape[0] == 0, "GEM must pass empty batches through")
 
 
+def _check_batched_submission(adapter, rng) -> None:
+    """Contract the serving layer's micro-batching relies on.
+
+    1. ``map_tasks`` preserves submission order, runs each task exactly
+       once, and passes empty task lists through;
+    2. GEM is **concat-equivalent**: executing the concatenation of two
+       batches equals executing them separately and concatenating the
+       results.  This is what lets :meth:`repro.ZFPX.compress_batch`
+       fuse many requests' blocks into one launch and slice the records
+       back out byte-identically.
+    """
+    # map_tasks: order, exactly-once, empty.
+    calls: list[int] = []
+
+    def task(i: int) -> int:
+        calls.append(i)
+        return i * i
+
+    out = adapter.map_tasks(task, range(8))
+    _require(out == [i * i for i in range(8)],
+             "map_tasks must return results in submission order")
+    _require(sorted(calls) == list(range(8)),
+             "map_tasks must run every task exactly once")
+    _require(adapter.map_tasks(task, []) == [],
+             "map_tasks must pass empty task lists through")
+    _require(adapter.parallel_width() >= 1,
+             "parallel_width must be >= 1")
+
+    # GEM concat-equivalence.
+    a = rng.normal(size=(5, 4, 4))
+    b = rng.normal(size=(3, 4, 4))
+    f = FnLocality(lambda blk: np.tanh(blk) * 3, "concat")
+    fused = adapter.execute_group_batch(f, np.concatenate([a, b]))
+    split = np.concatenate(
+        [adapter.execute_group_batch(f, a), adapter.execute_group_batch(f, b)]
+    )
+    _require(np.array_equal(fused, split),
+             "GEM must be concat-equivalent: fused batches must match "
+             "separately executed sub-batches (micro-batching contract)")
+
+
 def _check_dem_stages(adapter) -> None:
     functor = FnDomain(lambda d: d + "b", lambda d: d + "c", name="chain")
     out = adapter.execute_domain(functor, "a")
@@ -119,3 +161,81 @@ def _check_real_kernels(adapter, rng) -> None:
     ref = HuffmanX().compress_keys(keys, 64)
     got = HuffmanX(adapter=adapter).compress_keys(keys, 64)
     _require(ref == got, "Huffman-X stream differs on this backend")
+
+
+# ----------------------------------------------------------------------
+# Serving-path conformance
+# ----------------------------------------------------------------------
+def check_service(
+    adapter: str = "serial",
+    codecs: tuple[str, ...] = ("mgard-x", "zfp-x", "huffman-x"),
+    batch_sizes: tuple[int, ...] = (1, 7, 64),
+    shape: tuple[int, ...] = (16, 16),
+    threads: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> None:
+    """Differential conformance of the HPDR-Serve request path.
+
+    For every codec and batch size, submits that many concurrent
+    requests to a :class:`~repro.serve.service.ReductionService` on
+    ``adapter`` and requires each response to be **byte-identical** to a
+    fresh single-shot codec call: micro-batching, context reuse and
+    worker routing must never change a stream.  Decompressing the served
+    streams through the service must likewise reproduce the single-shot
+    arrays exactly.
+
+    Runs its own event loop; call from synchronous test code.  Raises
+    :class:`AdapterConformanceError` on the first divergence.
+    """
+    import asyncio
+
+    from repro.serve import (
+        BatchLimits,
+        CodecSpec,
+        ReductionService,
+        ServiceConfig,
+    )
+
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    async def run() -> None:
+        for codec in codecs:
+            spec = CodecSpec(codec)
+            for n in batch_sizes:
+                arrays = [
+                    np.ascontiguousarray(
+                        rng.standard_normal(shape).astype(np.float32)
+                    )
+                    for _ in range(n)
+                ]
+                reference = spec.build()
+                want_blobs = [reference.compress(a) for a in arrays]
+                want_arrays = [reference.decompress(b) for b in want_blobs]
+                cfg = ServiceConfig(
+                    limits=BatchLimits(
+                        max_batch=max(1, min(n, 64)), max_latency_s=0.005
+                    ),
+                    max_pending=max(256, 2 * n),
+                    adapter=adapter,
+                    threads=threads,
+                )
+                async with ReductionService(cfg) as svc:
+                    got_blobs = await asyncio.gather(
+                        *(svc.compress(spec, a) for a in arrays)
+                    )
+                    _require(
+                        list(got_blobs) == want_blobs,
+                        f"served {codec} stream differs from single-shot "
+                        f"(adapter={adapter}, batch={n})",
+                    )
+                    got_arrays = await asyncio.gather(
+                        *(svc.decompress(spec, b) for b in got_blobs)
+                    )
+                    for got, want in zip(got_arrays, want_arrays):
+                        _require(
+                            np.array_equal(np.asarray(got), want),
+                            f"served {codec} decompression differs from "
+                            f"single-shot (adapter={adapter}, batch={n})",
+                        )
+
+    asyncio.run(run())

@@ -1,0 +1,1 @@
+"""HPDR-Serve test suite."""

@@ -1,0 +1,176 @@
+"""TCP transport: framing round-trips, remote error mapping, bad peers."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BatchLimits,
+    BlastClient,
+    CodecSpec,
+    ProtocolError,
+    ReductionService,
+    RemoteRequestError,
+    ServiceConfig,
+    ServiceClient,
+    ServiceOverloaded,
+    run_blast,
+    serve_tcp,
+)
+
+
+def _served(cfg=None):
+    """Start service + TCP server; return (svc, server, host, port)."""
+
+    async def boot():
+        svc = await ReductionService(
+            cfg if cfg is not None else ServiceConfig(
+                limits=BatchLimits(max_batch=8, max_latency_s=0.002)
+            )
+        ).start()
+        server = await serve_tcp(svc)
+        host, port = server.sockets[0].getsockname()[:2]
+        return svc, server, host, port
+
+    return boot
+
+
+def test_tcp_roundtrip_matches_in_process():
+    spec = CodecSpec("zfp-x", rate=8.0)
+    data = np.random.default_rng(0).standard_normal((16, 16)).astype(np.float32)
+    want = spec.build().compress(data)
+
+    async def run():
+        svc, server, host, port = await _served()()
+        try:
+            client = await BlastClient.connect(host, port)
+            blob = await client.compress(spec, data)
+            back = await client.decompress(spec, blob)
+            await client.close()
+            return blob, back
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    blob, back = asyncio.run(run())
+    assert blob == want
+    assert np.array_equal(back, spec.build().decompress(want))
+    assert back.dtype == data.dtype and back.shape == data.shape
+
+
+def test_remote_errors_are_typed():
+    spec = CodecSpec("zfp-x", rate=8.0)
+
+    async def run():
+        svc, server, host, port = await _served()()
+        try:
+            client = await BlastClient.connect(host, port)
+            with pytest.raises(RemoteRequestError) as exc:
+                await client.decompress(spec, b"garbage stream")
+            assert exc.value.kind  # carries the server-side class name
+            # The connection survives a failed request.
+            data = np.ones((4, 4), dtype=np.float32)
+            blob = await client.compress(spec, data)
+            assert blob == spec.build().compress(data)
+            await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    asyncio.run(run())
+
+
+def test_remote_overload_maps_to_service_overloaded():
+    spec = CodecSpec("zfp-x", rate=8.0)
+    data = np.ones((16, 16), dtype=np.float32)
+
+    async def run():
+        cfg = ServiceConfig(
+            limits=BatchLimits(max_batch=64, max_latency_s=0.2),
+            max_pending=1,
+        )
+        svc, server, host, port = await _served(cfg)()
+        try:
+            c1 = await BlastClient.connect(host, port)
+            c2 = await BlastClient.connect(host, port)
+            first = asyncio.ensure_future(c1.compress(spec, data))
+            await asyncio.sleep(0.02)  # first request occupies the one slot
+            with pytest.raises(ServiceOverloaded) as exc:
+                await c2.compress(spec, data)
+            assert exc.value.limit == 1
+            await first
+            await c1.close()
+            await c2.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    asyncio.run(run())
+
+
+def test_malformed_frame_drops_connection_only():
+    async def run():
+        svc, server, host, port = await _served()()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GETX" + struct.pack("<BIQ", 1, 4, 0) + b"oops")
+            await writer.drain()
+            got = await reader.read(64)
+            assert got == b""  # server hung up on the bad peer
+            writer.close()
+            # The service itself is unharmed.
+            client = await BlastClient.connect(host, port)
+            spec = CodecSpec("lz4")
+            data = np.arange(64, dtype=np.float32)
+            blob = await client.compress(spec, data)
+            back = await client.decompress(spec, blob)
+            assert np.array_equal(back, data)
+            await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    asyncio.run(run())
+
+
+def test_run_blast_in_process_and_tcp_agree_on_verification():
+    spec = CodecSpec("huffman-x")
+
+    async def run():
+        svc, server, host, port = await _served()()
+        try:
+            tcp = await run_blast(
+                lambda i: BlastClient.connect(host, port),
+                clients=4, requests_per_client=5, specs=[spec],
+                verify=True,
+            )
+
+            async def inproc_client(i):
+                return ServiceClient(svc)
+
+            inproc = await run_blast(
+                inproc_client,
+                clients=4, requests_per_client=5, specs=[spec],
+                verify=True,
+            )
+            return tcp, inproc
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    tcp, inproc = asyncio.run(run())
+    for report in (tcp, inproc):
+        assert report["completed"] == 20
+        assert report["errors"] == 0
+        assert report["mismatches"] == 0
+        assert report["rps"] > 0
+        assert report["p99_ms"] >= report["p95_ms"] >= report["p50_ms"] > 0

@@ -91,3 +91,22 @@ def test_zfp_accuracy_mode(field_file, tmp_path):
     assert main(["decompress", str(hpdr), str(back)]) == 0
     restored = np.load(back)
     assert np.max(np.abs(restored - data)) <= 0.01
+
+
+def test_blast_selfhost_roundtrip(capsys):
+    assert main(["blast", "--selfhost", "--clients", "4", "--requests", "5",
+                 "--codec", "zfp-x", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "20 requests" in out
+    assert "mismatches=0" in out
+    assert "errors=0" in out
+
+
+def test_blast_requires_port_or_selfhost():
+    with pytest.raises(SystemExit):
+        main(["blast", "--clients", "1", "--requests", "1"])
+
+
+def test_blast_bad_shape_rejected():
+    with pytest.raises(SystemExit):
+        main(["blast", "--selfhost", "--shape", "banana"])
