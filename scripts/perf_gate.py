@@ -16,9 +16,14 @@ the one the CI smoke run just produced) against the committed one.
 
 ``--serve-fresh`` additionally gates an HPDR-Serve record (produced by
 ``benchmarks/bench_serve.py``) against the committed ``BENCH_serve.json``:
-gated cells' req/s must stay within tolerance, and the 64-client
+gated cells' req/s must stay within tolerance, the 64-client
 micro-batching speedup over single-shot must stay >= ``--serve-min-speedup``
-(default 2x — the repo's headline serving claim).
+(default 2x — the repo's headline serving claim), and every codec's
+direct batch-vs-single *round-trip* speedup (``codec_batch`` in the
+record: one ``compress_batch`` + ``decompress_batch`` pair against 64
+single-shot round trips) must stay >= ``--codec-batch-min`` (default
+2x).  Per-direction speedups are recorded and reported but not gated —
+they differ in how much per-item work the batch path can amortize.
 
 Sanitized runs are exempt: ``HPDR_SAN`` deliberately re-executes every
 GEM batch in shadow, so throughput under it measures the sanitizer, not
@@ -78,15 +83,18 @@ def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
 
 
 def compare_serve(
-    committed: dict, fresh: dict, tolerance: float, min_speedup: float
+    committed: dict, fresh: dict, tolerance: float, min_speedup: float,
+    codec_batch_min: float = 2.0,
 ) -> list[str]:
-    """Gate the HPDR-Serve record: cell throughput and batching speedup.
+    """Gate the HPDR-Serve record: cell throughput and batching speedups.
 
-    Two checks: (a) each gated cell's req/s must stay within
-    ``tolerance`` of the committed record, and (b) the headline claim —
+    Three checks: (a) each gated cell's req/s must stay within
+    ``tolerance`` of the committed record; (b) the headline claim —
     micro-batching (max_batch >= 8) beats the single-shot baseline at 64
     concurrent clients — must hold with at least ``min_speedup`` on the
-    *fresh* measurement, not just the committed one.
+    *fresh* measurement, not just the committed one; (c) every batched
+    codec's direct batch-vs-single speedup must stay >=
+    ``codec_batch_min`` in both directions.
     """
     failures = []
     for cell in _SERVE_CELLS:
@@ -108,6 +116,15 @@ def compare_serve(
                 f"serve.speedup_c64.{name}: micro-batching is only "
                 f"{speedup:.2f}x over single-shot at 64 clients "
                 f"(required >= {min_speedup:.1f}x)"
+            )
+    for codec, cell in sorted(fresh.get("codec_batch", {}).items()):
+        speedup = cell.get("roundtrip_speedup", 0.0)
+        if speedup < codec_batch_min:
+            failures.append(
+                f"serve.codec_batch.{codec}.roundtrip_speedup: "
+                f"batch-{cell.get('batch')} launches are only "
+                f"{speedup:.2f}x over single-shot round trips "
+                f"(required >= {codec_batch_min:.1f}x)"
             )
     return failures
 
@@ -142,6 +159,14 @@ def write_serve_step_summary(
             continue
         lines.append(f"| {cell} | {ref['rps']:.1f} | {cur['rps']:.1f} "
                      f"| {cur['p95_ms']:.3f} |")
+    if fresh.get("codec_batch"):
+        lines += ["", "| codec | batch | compress | decompress | "
+                      "roundtrip (gated) |", "|---|---:|---:|---:|---:|"]
+        for codec, cell in sorted(fresh["codec_batch"].items()):
+            lines.append(f"| {codec} | {cell.get('batch')} "
+                         f"| {cell.get('compress_speedup', 0.0):.2f}x "
+                         f"| {cell.get('decompress_speedup', 0.0):.2f}x "
+                         f"| {cell.get('roundtrip_speedup', 0.0):.2f}x |")
     with open(path, "a") as f:
         f.write("\n".join(lines) + "\n")
 
@@ -201,6 +226,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--serve-min-speedup", type=float, default=2.0,
                     help="required 64-client micro-batch speedup over "
                          "single-shot (default 2.0)")
+    ap.add_argument("--codec-batch-min", type=float, default=2.0,
+                    help="required per-codec direct batch-vs-single "
+                         "speedup, both directions (default 2.0)")
     args = ap.parse_args(argv)
 
     if os.environ.get("HPDR_SAN", "") not in ("", "0"):
@@ -251,9 +279,16 @@ def main(argv: list[str] | None = None) -> int:
         for name, s in sorted(serve_fresh.get("speedup_c64", {}).items()):
             print(f"speedup_c64.{name:<4} {s:>10.2f}x "
                   f"(floor {args.serve_min_speedup:.1f}x)")
+        for codec, cell in sorted(serve_fresh.get("codec_batch", {}).items()):
+            print(f"codec_batch.{codec:<12} "
+                  f"compress {cell.get('compress_speedup', 0.0):>7.2f}x  "
+                  f"decompress {cell.get('decompress_speedup', 0.0):>7.2f}x  "
+                  f"roundtrip {cell.get('roundtrip_speedup', 0.0):>7.2f}x "
+                  f"(floor {args.codec_batch_min:.1f}x on roundtrip, "
+                  f"n={cell.get('batch')})")
         serve_failures = compare_serve(
             serve_committed, serve_fresh, args.tolerance,
-            args.serve_min_speedup,
+            args.serve_min_speedup, args.codec_batch_min,
         )
         write_serve_step_summary(
             serve_committed, serve_fresh, serve_failures,

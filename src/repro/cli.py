@@ -278,9 +278,10 @@ def cmd_serve(args) -> int:
             max_latency_s=args.max_latency_ms / 1e3,
         ),
         max_pending=args.max_pending,
-        workers=args.workers,
+        workers=args.processes if args.processes else args.workers,
         adapter=args.adapter or "serial",
         threads=args.threads,
+        process=bool(args.processes),
     )
 
     async def run() -> dict:
@@ -296,7 +297,9 @@ def cmd_serve(args) -> int:
             host, port = server.sockets[0].getsockname()[:2]
             print(
                 f"serving on {host}:{port} adapter={cfg.adapter} "
-                f"workers={cfg.workers} max_batch={cfg.limits.max_batch} "
+                f"workers={cfg.workers}"
+                f"{' (processes)' if cfg.process else ''} "
+                f"max_batch={cfg.limits.max_batch} "
                 f"deadline={cfg.limits.max_latency_s * 1e3:g}ms "
                 f"max_pending={cfg.max_pending}; Ctrl-C drains and exits",
                 flush=True,
@@ -346,16 +349,17 @@ def cmd_blast(args) -> int:
                     max_batch=args.max_batch,
                     max_latency_s=args.max_latency_ms / 1e3,
                 ),
-                workers=args.workers,
+                workers=args.processes if args.processes else args.workers,
                 adapter=args.adapter or "serial",
                 threads=args.threads,
+                process=bool(args.processes),
             )
             svc = await ReductionService(cfg).start()
             server = await serve_tcp(svc, "127.0.0.1", 0)
             host, port = server.sockets[0].getsockname()[:2]
         try:
             report = await run_blast(
-                lambda i: BlastClient.connect(host, port),
+                lambda i: BlastClient.connect(host, port, use_shm=args.shm),
                 clients=args.clients,
                 requests_per_client=args.requests,
                 specs=[spec],
@@ -522,6 +526,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker threads (openmp adapter)")
     sv.add_argument("--workers", type=int, default=1,
                     help="batch-execution workers (each with its own CMM cache)")
+    sv.add_argument("--processes", type=int, default=None, metavar="N",
+                    help="run N worker *processes* instead of threads "
+                         "(escapes the GIL for CPU-bound codec stages)")
     sv.add_argument("--max-batch", type=int, default=16,
                     help="flush a batch at this many requests")
     sv.add_argument("--max-bytes", type=int, default=4 << 20,
@@ -569,6 +576,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="(selfhost) openmp worker threads")
     bl.add_argument("--workers", type=int, default=1,
                     help="(selfhost) service workers")
+    bl.add_argument("--processes", type=int, default=None, metavar="N",
+                    help="(selfhost) run N worker *processes* instead of "
+                         "threads")
+    bl.add_argument("--shm", action="store_true",
+                    help="stage request payloads in shared memory instead "
+                         "of the socket (local servers only)")
     bl.add_argument("--max-batch", type=int, default=16,
                     help="(selfhost) service flush size")
     bl.add_argument("--max-latency-ms", type=float, default=2.0,

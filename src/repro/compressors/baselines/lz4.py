@@ -168,7 +168,7 @@ class LZ4:
         if version != _VERSION:
             raise ValueError(f"unsupported LZ4X version {version}")
         off += 3
-        dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
+        dtype = np.dtype(bytes(blob[off : off + dts_len]).decode("ascii"))
         off += dts_len
         shape = struct.unpack_from(f"<{ndim}q", blob, off)
         off += 8 * ndim

@@ -99,7 +99,7 @@ class SZ:
         if version != _VERSION:
             raise ValueError(f"unsupported SZ version {version}")
         off += 3
-        dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
+        dtype = np.dtype(bytes(blob[off : off + dts_len]).decode("ascii"))
         off += dts_len
         shape = struct.unpack_from(f"<{ndim}q", blob, off)
         off += 8 * ndim

@@ -33,13 +33,14 @@ from __future__ import annotations
 
 import struct
 import threading
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.abstractions import global_pipeline, locality
 from repro.core.context import ContextCache
 from repro.core.functor import FnDomain, LocalityFunctor
-from repro.compressors.huffman.bitstream import pack_bits, pad_payload
+from repro.compressors.huffman.bitstream import PAYLOAD_SLACK, pack_bits, pad_payload
 from repro.compressors.huffman.codebook import (
     MAX_CODE_LENGTH,
     Codebook,
@@ -333,6 +334,332 @@ class HuffmanX:
             shape, keys.dtype, num_symbols, n, book, chunk_offsets, payload, chunk
         )
 
+    # ------------------------------------------------------------------
+    # Batched key-level API (uniform shape/dtype, one launch per stage)
+    # ------------------------------------------------------------------
+    def compress_keys_batch(
+        self, keys_list: Sequence[np.ndarray], num_symbols: int
+    ) -> list[bytes]:
+        """Compress N same-shape/same-dtype key arrays in one launch per stage.
+
+        Byte-identical to calling :meth:`compress_keys` per array.  The
+        codebooks stay per-item (they are data-dependent), but every
+        array stage fuses across the batch: one offset-bincount histogram,
+        one Locality encode gather over per-item lookup tables laid side
+        by side, one 2-D prefix-sum serialize pass, and one
+        :func:`~repro.compressors.huffman.bitstream.pack_bits` call over
+        word-aligned per-item bit ranges.  Raises ``ValueError`` on
+        non-uniform inputs (callers fall back to per-item execution).
+        """
+        keys_list = [np.ascontiguousarray(k) for k in keys_list]
+        if not keys_list:
+            return []
+        first = keys_list[0]
+        if not np.issubdtype(first.dtype, np.integer):
+            raise TypeError(f"keys must be integers, got {first.dtype}")
+        shape, dtype = first.shape, first.dtype
+        for k in keys_list[1:]:
+            if k.shape != shape or k.dtype != dtype:
+                raise ValueError(
+                    "compress_keys_batch requires uniform shape/dtype, got "
+                    f"{k.shape}/{k.dtype} vs {shape}/{dtype}"
+                )
+        n = first.size
+        if len(keys_list) == 1 or n == 0:
+            return [self.compress_keys(k, num_symbols) for k in keys_list]
+
+        ctx = self._key_context(shape, dtype, num_symbols, tag="batch",
+                                pin=True)
+        try:
+            return self._compress_keys_batch(
+                keys_list, num_symbols, ctx, self.adapter
+            )
+        finally:
+            self.cache.release(ctx)
+
+    def _compress_keys_batch(
+        self, keys_list, num_symbols: int, ctx, adapter
+    ) -> list[bytes]:
+        shape, dtype = keys_list[0].shape, keys_list[0].dtype
+        nbatch = len(keys_list)
+        n = keys_list[0].size
+        chunk = self._effective_chunk(n)
+        nchunks = -(-n // chunk)
+        m = nchunks * chunk
+
+        # Stage every item's padded keys side by side, offset by
+        # i*num_symbols: gathers through the concatenated per-item
+        # lookup tables below then index the right item's table.
+        staged = ctx.scratch("batch.enc.keys", nbatch * m, np.int64)
+        staged2d = staged.reshape(nbatch, m)
+        for i, k in enumerate(keys_list):
+            flat = k.reshape(-1)
+            np.copyto(staged2d[i, :n], flat, casting="unsafe")
+            staged2d[i, n:] = staged2d[i, n - 1]
+        lo = staged2d.min(axis=1)
+        hi = staged2d.max(axis=1)
+        if int(lo.min()) < 0 or int(hi.max()) >= num_symbols:
+            raise ValueError(
+                f"keys outside [0, {num_symbols}): range "
+                f"[{int(lo.min())}, {int(hi.max())}]"
+            )
+
+        # histogram: one offset bincount for the whole batch (DEM), then
+        # remove the edge-padding tail's contribution per item — counts
+        # match the per-item histogram exactly (integer arithmetic).
+        with _span("huffman.histogram", symbols=num_symbols,
+                   keys=n, batch=nbatch):
+            bases = np.arange(nbatch, dtype=np.int64) * num_symbols
+            staged2d += bases[:, None]
+
+            def _counts(flat_keys: np.ndarray) -> np.ndarray:
+                return np.bincount(
+                    flat_keys, minlength=nbatch * num_symbols
+                ).astype(np.int64)
+
+            freqs2d = global_pipeline(
+                staged,
+                FnDomain(_counts, name="huffman.histogram",
+                         bytes_per_element=12.0),
+                adapter=adapter,
+            ).reshape(nbatch, num_symbols)
+            if m != n:
+                pad_keys = staged2d[:, n - 1] - bases
+                freqs2d[np.arange(nbatch, dtype=np.int64), pad_keys] -= m - n
+
+        with _span("huffman.codebook", symbols=num_symbols, batch=nbatch):
+            books = [build_codebook(freqs2d[i]) for i in range(nbatch)]
+
+        # encode: one Locality launch through the concatenated tables.
+        with _span("huffman.encode", keys=n, chunk=chunk, batch=nbatch):
+            all_codes = np.concatenate([b.codes for b in books])
+            all_lengths = np.concatenate([b.lengths for b in books])
+            enc = locality(
+                staged,
+                _EncodeFunctor(
+                    all_codes, all_lengths, ctx=ctx,
+                    per_thread=adapter is not None,
+                ),
+                block_shape=(chunk,),
+                adapter=adapter,
+                pad_mode="edge",
+                reassemble=False,
+                ctx=ctx,
+            )
+        flat_enc = enc.reshape(-1)
+        lens = ctx.scratch("batch.enc.lens", nbatch * m, np.int64)
+        np.copyto(lens, flat_enc)
+        lens &= 0xFF
+        lens2d = lens.reshape(nbatch, m)
+        lens2d[:, n:] = 0  # padding tails write no bits
+        codes = ctx.scratch("batch.enc.codes", nbatch * m, np.uint64)
+        np.copyto(codes, flat_enc)
+        codes >>= np.uint64(8)
+
+        # serialize: one 2-D prefix-sum pass (DEM), then a single
+        # pack_bits over per-item word-aligned bit ranges.  Item i's
+        # payload starts at word ``wbase[i]``; codes never spill past a
+        # word-aligned item end (their high spill at the boundary is
+        # zero), so each item's byte slice equals its solo pack.
+        def _offsets(lengths: np.ndarray) -> np.ndarray:
+            off = ctx.scratch("batch.enc.offsets", nbatch * m, np.int64)
+            off2d = off.reshape(nbatch, m)
+            np.cumsum(lengths.reshape(nbatch, m), axis=1, out=off2d)
+            np.subtract(off2d, lengths.reshape(nbatch, m), out=off2d)
+            return off
+
+        with _span("huffman.serialize", keys=n, batch=nbatch):
+            offsets = global_pipeline(
+                lens,
+                FnDomain(_offsets, name="huffman.serialize",
+                         bytes_per_element=16.0),
+                adapter=adapter,
+            )
+            off2d = offsets.reshape(nbatch, m)
+            totals = off2d[:, -1] + lens2d[:, -1]  # bits per item
+            nwords = (totals + 63) >> 6
+            wbase = np.concatenate([[0], np.cumsum(nwords)[:-1]])
+            goff = ctx.scratch("batch.pack.offsets", nbatch * m, np.int64)
+            goff2d = goff.reshape(nbatch, m)
+            np.add(off2d, (wbase << 6)[:, None], out=goff2d)
+            total_bits = int(wbase[-1] * 64 + totals[-1])
+            packed = pack_bits(
+                codes, lens, total_bits=total_bits, offsets=goff, ctx=ctx
+            )
+
+        blobs = []
+        for i, book in enumerate(books):
+            start = int(wbase[i]) * 8
+            nbytes = (int(totals[i]) + 7) >> 3
+            chunk_offsets = off2d[i, ::chunk].astype(np.uint64)
+            blobs.append(
+                self._serialize(
+                    shape, dtype, num_symbols, n, book, chunk_offsets,
+                    packed[start : start + nbytes], chunk,
+                )
+            )
+        return blobs
+
+    def decompress_keys_batch(self, blobs: Sequence[bytes]) -> list[np.ndarray]:
+        """Decompress N uniform ``HUFX`` streams with one fused decode loop.
+
+        The streams must agree on shape, dtype, alphabet and chunking
+        (their codebooks and payloads may differ); otherwise
+        ``ValueError`` and callers fall back per stream.  Results match
+        :meth:`decompress_keys` exactly: the vectorized symbol loop runs
+        the same per-lane arithmetic, just across all streams' chunks at
+        once.
+        """
+        blobs = list(blobs)
+        if not blobs:
+            return []
+        if len(blobs) == 1:
+            return [self.decompress_keys(blobs[0])]
+        return self._decompress_keys_batch(blobs, tag="batch")
+
+    def _decompress_keys_batch(self, blobs, tag) -> list[np.ndarray]:
+        parsed = [self._deserialize(b) for b in blobs]
+        shape, dtype, num_symbols, n = parsed[0][:4]
+        chunk_size = parsed[0][7]
+        for p in parsed[1:]:
+            if (p[0], p[1], p[2], p[3], p[7]) != (
+                shape, dtype, num_symbols, n, chunk_size
+            ):
+                raise ValueError(
+                    "decompress_keys_batch requires uniform stream "
+                    "geometry (shape/dtype/alphabet/chunking)"
+                )
+        if n == 0:
+            return [np.zeros(shape, dtype=dtype) for _ in parsed]
+
+        nchunks = parsed[0][5].size
+        rem = n - (nchunks - 1) * chunk_size
+        if not 1 <= rem <= chunk_size:
+            raise ValueError(
+                f"corrupt stream: {n} symbols cannot fill {nchunks} chunks "
+                f"of {chunk_size}"
+            )
+        for p in parsed[1:]:
+            if p[5].size != nchunks:
+                raise ValueError(
+                    "decompress_keys_batch requires uniform chunk counts"
+                )
+
+        ctx = self._key_context(shape, dtype, num_symbols, tag, pin=True)
+        try:
+            with _span("huffman.decode", keys=n, chunks=nchunks,
+                       batch=len(parsed)):
+                return self._decode_chunks_batch(
+                    ctx, parsed, chunk_size, nchunks, rem, n, shape, dtype
+                )
+        finally:
+            self.cache.release(ctx)
+
+    @hot_path(reason="fused batch decode loop; zero-alloc via batch.dec.*")
+    def _decode_chunks_batch(
+        self, ctx, parsed, chunk_size, nchunks, rem, n, shape, dtype
+    ) -> list[np.ndarray]:
+        nbatch = len(parsed)
+        books = [p[4] for p in parsed]
+        payloads = [p[6] for p in parsed]
+        # One shared window width: a decode table only needs width >=
+        # max code length, and wider tables decode identically (extra
+        # low bits select replicated entries).
+        width = max(1, max(b.max_length for b in books))
+        tsize = 1 << width
+
+        # Per-item combined (length << 32) | symbol tables, side by side.
+        comb = ctx.scratch("batch.dec.comb", nbatch * tsize, np.int64)
+        comb2d = comb.reshape(nbatch, tsize)
+        for i, book in enumerate(books):
+            sym_table, len_table, _ = book.decode_table(width)
+            np.copyto(comb2d[i], len_table)
+            comb2d[i] <<= 32
+            comb2d[i] |= sym_table
+
+        # Concatenate padded payloads (each keeps its own 4 slack zero
+        # bytes, so per-item windows read exactly what a solo decode
+        # reads) and precompute the 32-bit window at every byte.
+        starts = ctx.scratch("batch.dec.starts", nbatch, np.int64)
+        for i, p in enumerate(payloads):
+            starts[i] = p.size + PAYLOAD_SLACK
+        np.cumsum(starts, out=starts)
+        total = int(starts[-1])
+        for i in range(nbatch - 1, 0, -1):  # inclusive -> exclusive sums
+            starts[i] = starts[i - 1]
+        starts[0] = 0
+        conc = ctx.scratch("batch.dec.payload", total, np.uint8)
+        for i, p in enumerate(payloads):
+            s = int(starts[i])
+            conc[s : s + p.size] = p
+            conc[s + p.size : s + p.size + PAYLOAD_SLACK] = 0
+        nwin = total - PAYLOAD_SLACK + 1
+        win = ctx.scratch("batch.dec.win", nwin, np.int64)
+        np.copyto(win, conc[:nwin])
+        for byte in range(1, 4):
+            win <<= 8
+            win |= conc[byte : byte + nwin]
+
+        # Row layout is chunk-major (row = c*nbatch + i): every item's
+        # short last chunk lands in the final nbatch rows, so the tail
+        # slice of the per-item decoder generalizes to ``[:-nbatch]``.
+        rows = nchunks * nbatch
+        out = ctx.scratch("batch.dec.out", rows * chunk_size, np.int64)
+        out2d = out.reshape(rows, chunk_size)
+        pos = ctx.scratch("batch.dec.pos", rows, np.int64)
+        pos2d = pos.reshape(nchunks, nbatch)
+        for i, p in enumerate(parsed):
+            np.copyto(pos2d[:, i], p[5], casting="unsafe")
+        byte_base = ctx.scratch("batch.dec.bbase", rows, np.int64)
+        np.copyto(byte_base.reshape(nchunks, nbatch), starts[None, :])
+        comb_base = ctx.scratch("batch.dec.cbase", rows, np.int64)
+        idx = ctx.scratch("batch.dec.idx", nbatch, np.int64)
+        idx.fill(tsize)
+        np.cumsum(idx, out=idx)
+        idx -= tsize  # [0, tsize, 2*tsize, ...] without an arange alloc
+        np.copyto(comb_base.reshape(nchunks, nbatch), idx[None, :])
+
+        wshift = 32 - width
+        wmask = (1 << width) - 1
+        scr = [
+            ctx.scratch(f"batch.dec.scr{i}", rows, np.int64) for i in range(3)
+        ]
+        full = (pos, out2d, byte_base, comb_base, *scr)
+        tail = (
+            tuple(a[:-nbatch] for a in (pos, out2d, byte_base, comb_base, *scr))
+            if nchunks > 1
+            else full
+        )
+
+        for step in range(chunk_size):
+            if step < rem:
+                p, o, bb, cb, b, s, w = full
+            elif nchunks == 1:
+                break
+            else:
+                p, o, bb, cb, b, s, w = tail
+            np.right_shift(p, 3, out=b)
+            np.add(b, bb, out=b)
+            np.take(win, b, out=w, mode="clip")
+            np.bitwise_and(p, 7, out=s)
+            np.subtract(wshift, s, out=s)
+            np.right_shift(w, s, out=w)
+            np.bitwise_and(w, wmask, out=w)
+            np.add(w, cb, out=w)
+            np.take(comb, w, out=b)
+            np.right_shift(b, 32, out=s)
+            np.add(p, s, out=p)
+            np.bitwise_and(b, 0xFFFFFFFF, out=b)
+            o[:, step] = b
+
+        out3d = out2d.reshape(nchunks, nbatch, chunk_size)
+        # Results must leave context memory (poisoned on eviction).
+        # hpdrlint: disable=HPL001 — results handed to the caller
+        return [
+            out3d[:, i, :].reshape(-1)[:n].astype(dtype).reshape(shape)
+            for i in range(nbatch)
+        ]
+
     def _effective_chunk(self, n: int) -> int:
         """Chunk size actually used for ``n`` symbols.
 
@@ -539,6 +866,156 @@ class HuffmanX:
             return np.zeros(0, dtype=np.uint8)
         return np.concatenate([p.reshape(-1) for p in parts])
 
+    # ------------------------------------------------------------------
+    # Byte-level batched API (serve fast path)
+    # ------------------------------------------------------------------
+    def compress_batch(self, arrays: Sequence) -> list[bytes]:
+        """Compress N uniform-(shape, dtype) inputs, one launch per stage.
+
+        Byte-identical to per-item :meth:`compress` — the container
+        choice (``HUFX`` vs chunk-parallel ``HUFP``) depends only on the
+        uniform input size, and each segment index is key-batch
+        compressed across all N inputs.  Raises ``ValueError`` for
+        non-uniform batches (the serve worker then falls back to
+        per-item execution).
+        """
+        datas = list(arrays)
+        if not datas:
+            return []
+        if len(datas) == 1:
+            return [self.compress(datas[0])]
+        prepared = []
+        for data in datas:
+            if isinstance(data, (bytes, bytearray, memoryview)):
+                arr = np.frombuffer(bytes(data), dtype=np.uint8)
+                meta = ("|u1", (arr.size,))
+            else:
+                arr = np.ascontiguousarray(data)
+                meta = (arr.dtype.str, arr.shape)
+            prepared.append((arr.reshape(-1).view(np.uint8), meta))
+        meta = prepared[0][1]
+        for _, m in prepared[1:]:
+            if m != meta:
+                raise ValueError(
+                    f"compress_batch requires uniform shape/dtype, got "
+                    f"{m} vs {meta}"
+                )
+        keys_list = [p[0] for p in prepared]
+        nbytes = keys_list[0].size
+        header = _pack_meta(meta[0], meta[1])
+
+        nseg = self._num_segments(nbytes)
+        if nseg <= 1:
+            blobs = [
+                header + body
+                for body in self.compress_keys_batch(keys_list, 256)
+            ]
+            for b in blobs:
+                _count_bytes(nbytes, len(b))
+            return blobs
+
+        seg = -(-nbytes // nseg)
+        seg = -(-seg // self.chunk_size) * self.chunk_size  # chunk-aligned
+        bounds = list(range(0, nbytes, seg)) + [nbytes]
+        nseg = len(bounds) - 1
+
+        def _one_index(i: int) -> list[bytes]:
+            parts = [k[bounds[i] : bounds[i + 1]] for k in keys_list]
+            ctx = self._key_context(
+                parts[0].shape, parts[0].dtype, 256, tag=("batch", i),
+                pin=True,
+            )
+            try:
+                return self._compress_keys_batch(parts, 256, ctx, None)
+            finally:
+                self.cache.release(ctx)
+
+        by_index = _map_tasks(self.adapter, _one_index, range(nseg))
+        blobs = []
+        for j in range(len(datas)):
+            parts = [by_index[i][j] for i in range(nseg)]
+            body = (
+                _PAR_MAGIC
+                + struct.pack("<BI", _VERSION, nseg)
+                + struct.pack(f"<{nseg}Q", *(len(p) for p in parts))
+                + b"".join(parts)
+            )
+            blobs.append(header + body)
+            _count_bytes(nbytes, len(blobs[-1]))
+        return blobs
+
+    @stream_errors
+    def decompress_batch(self, blobs: Sequence[bytes]) -> list[np.ndarray]:
+        """Invert :meth:`compress_batch` with one fused decode per stage.
+
+        Requires uniform stream metadata and container layout (what a
+        uniform :meth:`compress_batch` produces); ``ValueError``
+        otherwise, and callers fall back per stream.
+        """
+        blobs = list(blobs)
+        if not blobs:
+            return []
+        if len(blobs) == 1:
+            return [self.decompress(blobs[0])]
+        metas = [_unpack_meta(b) for b in blobs]
+        dtype_str, shape, used = metas[0]
+        for m in metas[1:]:
+            if m[:2] != (dtype_str, shape):
+                raise ValueError(
+                    "decompress_batch requires uniform stream headers"
+                )
+        bodies = [b[m[2]:] for b, m in zip(blobs, metas)]
+        pars = [body[:4] == _PAR_MAGIC for body in bodies]
+        if any(pars) and not all(pars):
+            raise ValueError(
+                "decompress_batch requires uniform container layout"
+            )
+        if not pars[0]:
+            keys_list = self.decompress_keys_batch(bodies)
+        else:
+            keys_list = self._decompress_segments_batch(bodies)
+        return [
+            k.astype(np.uint8).view(np.dtype(dtype_str)).reshape(shape)
+            for k in keys_list
+        ]
+
+    def _decompress_segments_batch(self, bodies: list) -> list[np.ndarray]:
+        """Batch-decode ``HUFP`` containers, segment index by index."""
+        split = []
+        nseg0 = None
+        for body in bodies:
+            version, nseg = struct.unpack_from("<BI", body, 4)
+            if version != _VERSION:
+                raise ValueError(f"unsupported Huffman-X version {version}")
+            if nseg0 is None:
+                nseg0 = nseg
+            elif nseg != nseg0:
+                raise ValueError(
+                    "decompress_batch requires uniform segment counts"
+                )
+            off = 4 + struct.calcsize("<BI")
+            seg_lens = struct.unpack_from(f"<{nseg}Q", body, off)
+            off += 8 * nseg
+            segments = []
+            for length in seg_lens:
+                segments.append(body[off : off + length])
+                off += length
+            split.append(segments)
+
+        def _one_index(i: int) -> list[np.ndarray]:
+            return self._decompress_keys_batch(
+                [segments[i] for segments in split], tag=("batch", i)
+            )
+
+        by_index = _map_tasks(self.adapter, _one_index, range(nseg0))
+        if not by_index:
+            return [np.zeros(0, dtype=np.uint8) for _ in bodies]
+        return [
+            np.concatenate([by_index[i][j].reshape(-1)
+                            for i in range(nseg0)])
+            for j in range(len(bodies))
+        ]
+
     def compression_ratio(self, data: np.ndarray, blob: bytes) -> float:
         return data.nbytes / len(blob)
 
@@ -601,7 +1078,7 @@ class HuffmanX:
         if version != _VERSION:
             raise ValueError(f"unsupported Huffman-X version {version}")
         off += struct.calcsize("<BBHIQIQI")
-        dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
+        dtype = np.dtype(bytes(blob[off : off + dts_len]).decode("ascii"))
         off += dts_len
         shape = struct.unpack_from(f"<{ndim}q", blob, off)
         off += 8 * ndim
@@ -643,7 +1120,7 @@ def _pack_meta(dtype_str: str, shape: tuple[int, ...]) -> bytes:
 def _unpack_meta(blob: bytes) -> tuple[str, tuple[int, ...], int]:
     dts_len, ndim = struct.unpack_from("<BH", blob, 0)
     off = struct.calcsize("<BH")
-    dtype_str = blob[off : off + dts_len].decode("ascii")
+    dtype_str = bytes(blob[off : off + dts_len]).decode("ascii")
     off += dts_len
     shape = struct.unpack_from(f"<{ndim}q", blob, off)
     off += 8 * ndim

@@ -10,13 +10,20 @@ multi-GPU scalability results.
 from __future__ import annotations
 
 import struct
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.config import Config, ErrorMode
 from repro.core.context import ContextCache
 from repro.compressors.huffman import HuffmanX
-from repro.compressors.mgard.decompose import decompose, level_factors, recompose
+from repro.compressors.mgard.decompose import (
+    decompose,
+    decompose_batched,
+    level_factors,
+    recompose,
+    recompose_batched,
+)
 from repro.compressors.mgard.hierarchy import Hierarchy
 from repro.compressors.mgard.quantize import (
     DEFAULT_KAPPA,
@@ -95,13 +102,14 @@ class MGARDX:
         dtype: np.dtype,
         coords: tuple[np.ndarray, ...] | None = None,
         pin: bool = False,
+        tag: str = "mgard",
     ):
         coords_key = (
             None
             if coords is None
             else tuple(hash(c.tobytes()) for c in coords)
         )
-        key = ("mgard", coords_key) + self.config.cache_key(shape, dtype)
+        key = (tag, coords_key) + self.config.cache_key(shape, dtype)
         # ``pin`` protects the context while the nested Huffman coder
         # opens its own contexts in the shared cache (a tight-capacity
         # cache would otherwise evict — and poison — ours mid-call).
@@ -215,28 +223,38 @@ class MGARDX:
                 payload = symbols.astype(np.int32).tobytes()
 
         with _span("mgard.serialize", payload=len(payload)):
-            dts = np.dtype(data.dtype).str.encode("ascii")
-            header = (
-                _MAGIC
-                + struct.pack(
-                    "<BBBB",
-                    _VERSION,
-                    1 if self.config.lossless == "huffman" else 0,
-                    len(dts),
-                    data.ndim,
-                )
-                + dts
-                + struct.pack(f"<{data.ndim}q", *data.shape)
-                + struct.pack("<ddIIQQ", abs_eb, kappa, self.dict_size,
-                              bins.size, outliers.size, len(payload))
-                + bins.astype(np.float64).tobytes()
-                + outliers.astype(np.int64).tobytes()
+            return self._serialize_stream(
+                data.dtype, data.shape, abs_eb, kappa, bins, outliers, payload
             )
-            return header + payload
+
+    def _serialize_stream(
+        self, dtype, shape, abs_eb, kappa, bins, outliers, payload: bytes
+    ) -> bytes:
+        """Assemble one ``MGRX`` stream (shared by both encode paths)."""
+        dts = np.dtype(dtype).str.encode("ascii")
+        header = (
+            _MAGIC
+            + struct.pack(
+                "<BBBB",
+                _VERSION,
+                1 if self.config.lossless == "huffman" else 0,
+                len(dts),
+                len(shape),
+            )
+            + dts
+            + struct.pack(f"<{len(shape)}q", *shape)
+            + struct.pack("<ddIIQQ", abs_eb, kappa, self.dict_size,
+                          bins.size, outliers.size, len(payload))
+            + bins.astype(np.float64).tobytes()
+            + outliers.astype(np.int64).tobytes()
+        )
+        return header + payload
 
     # ------------------------------------------------------------------
-    @stream_errors
-    def decompress(self, blob: bytes, coords=None) -> np.ndarray:
+    @staticmethod
+    def _parse_stream(blob: bytes):
+        """Parse one ``MGRX`` stream into
+        ``(lossless, dtype, shape, bins, outliers, payload)``."""
         if blob[:4] != _MAGIC:
             raise ValueError("not an MGARD-X stream (bad magic)")
         off = 4
@@ -244,7 +262,7 @@ class MGARDX:
         if version != _VERSION:
             raise ValueError(f"unsupported MGARD-X version {version}")
         off += 4
-        dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
+        dtype = np.dtype(bytes(blob[off : off + dts_len]).decode("ascii"))
         off += dts_len
         shape = struct.unpack_from(f"<{ndim}q", blob, off)
         off += 8 * ndim
@@ -257,6 +275,11 @@ class MGARDX:
         outliers = np.frombuffer(blob, dtype=np.int64, count=noutliers, offset=off).copy()
         off += 8 * noutliers
         payload = blob[off : off + payload_len]
+        return lossless, dtype, tuple(shape), bins, outliers, payload
+
+    @stream_errors
+    def decompress(self, blob: bytes, coords=None) -> np.ndarray:
+        lossless, dtype, shape, bins, outliers, payload = self._parse_stream(blob)
 
         coords = self._check_coords(coords, tuple(shape))
         ctx, hierarchy, factors = self._context(
@@ -292,6 +315,185 @@ class MGARDX:
                 # recompose's result aliases context memory;
                 # astype(copy=True) hands the caller an independent array.
                 return out.astype(dtype, copy=True)
+        finally:
+            self.cache.release(ctx)
+
+    # ------------------------------------------------------------------
+    # Batched API (serve fast path): one launch per pipeline stage
+    # ------------------------------------------------------------------
+    def compress_batch(self, arrays: Sequence[np.ndarray], coords=None) -> list[bytes]:
+        """Compress N uniform-(shape, dtype) arrays, one launch per stage.
+
+        Byte-identical to per-item :meth:`compress`: the error bounds,
+        quantization bins and codebooks stay per-item (they are
+        data-dependent), while decomposition, quantization and the
+        nested Huffman stages run once over a leading batch axis (see
+        :func:`~repro.compressors.mgard.decompose.decompose_batched` for
+        the lane-identity argument).  Raises ``ValueError`` for
+        non-uniform batches so callers can fall back per item.
+        """
+        datas = [np.ascontiguousarray(a) for a in arrays]
+        if not datas:
+            return []
+        if len(datas) == 1:
+            return [self.compress(datas[0], coords=coords)]
+        first = datas[0]
+        if first.dtype not in (np.float32, np.float64):
+            raise TypeError(
+                f"MGARD-X supports float32/float64, got {first.dtype}"
+            )
+        if first.ndim < 1 or first.ndim > 4:
+            raise ValueError(f"MGARD-X supports 1-4 dims, got {first.ndim}")
+        for d in datas[1:]:
+            if d.shape != first.shape or d.dtype != first.dtype:
+                raise ValueError(
+                    "compress_batch requires uniform shape/dtype, got "
+                    f"{d.shape}/{d.dtype} vs {first.shape}/{first.dtype}"
+                )
+        if self.verify:
+            # The verify loop re-derives κ per item from round-trip
+            # error measurements — inherently per-item control flow.
+            return [self.compress(d, coords=coords) for d in datas]
+        nbatch = len(datas)
+        ebs = [self.config.absolute_bound(d) for d in datas]
+        coords = self._check_coords(coords, first.shape)
+        ctx, hierarchy, factors = self._context(
+            first.shape, first.dtype, coords, pin=True, tag="mgard.batch"
+        )
+        try:
+            stack = np.empty((nbatch,) + first.shape, dtype=np.float64)
+            for i, d in enumerate(datas):
+                stack[i] = d
+            with _span("mgard.decompose", nbytes=int(first.nbytes) * nbatch,
+                       levels=hierarchy.total_levels, batch=nbatch):
+                coeffs, coarsest = decompose_batched(
+                    stack, hierarchy, adapter=self.adapter,
+                    factors_per_level=factors, ctx=ctx,
+                )
+            groups = coeffs + [coarsest.reshape(nbatch, -1)]
+
+            with _span("mgard.quantize", levels=len(groups), batch=nbatch):
+                bins2d = np.stack([
+                    level_bins(eb, len(groups), self.kappa, s=self.s)
+                    for eb in ebs
+                ])
+                qflat = (
+                    np.concatenate(
+                        [
+                            np.round(g / bins2d[:, l][:, None]).astype(np.int64)
+                            for l, g in enumerate(groups)
+                        ],
+                        axis=1,
+                    )
+                    if groups
+                    else np.zeros((nbatch, 0), dtype=np.int64)
+                )
+                z = (qflat << 1) ^ (qflat >> 63)  # zigzag, per lane
+                fits = z < self.dict_size - 1
+                symbols = np.where(fits, z + 1, 0)
+                outliers = [qflat[i][~fits[i]] for i in range(nbatch)]
+
+            with _span("mgard.encode", symbols=int(symbols.size)):
+                if self.config.lossless == "huffman":
+                    payloads = self._huffman.compress_keys_batch(
+                        [symbols[i] for i in range(nbatch)], self.dict_size
+                    )
+                else:
+                    payloads = [
+                        symbols[i].astype(np.int32).tobytes()
+                        for i in range(nbatch)
+                    ]
+
+            blobs = []
+            for i in range(nbatch):
+                blob = self._serialize_stream(
+                    first.dtype, first.shape, ebs[i], self.kappa,
+                    bins2d[i], outliers[i], payloads[i],
+                )
+                self._count_bytes(first.nbytes, len(blob))
+                blobs.append(blob)
+            return blobs
+        finally:
+            self.cache.release(ctx)
+
+    @stream_errors
+    def decompress_batch(self, blobs: Sequence[bytes], coords=None) -> list[np.ndarray]:
+        """Invert :meth:`compress_batch` with one launch per stage.
+
+        Requires uniform stream headers (lossless mode, dtype, shape) —
+        what a uniform :meth:`compress_batch` produces; ``ValueError``
+        otherwise and callers fall back per stream.
+        """
+        blobs = list(blobs)
+        if not blobs:
+            return []
+        if len(blobs) == 1:
+            return [self.decompress(blobs[0], coords=coords)]
+        parsed = [self._parse_stream(b) for b in blobs]
+        lossless, dtype, shape = parsed[0][:3]
+        for p in parsed[1:]:
+            if p[:3] != (lossless, dtype, shape):
+                raise ValueError(
+                    "decompress_batch requires uniform stream headers"
+                )
+        nbatch = len(parsed)
+        coords = self._check_coords(coords, shape)
+        ctx, hierarchy, factors = self._context(
+            shape, dtype, coords, pin=True, tag="mgard.batch"
+        )
+        try:
+            with _span("mgard.decode", batch=nbatch):
+                if lossless:
+                    rows = self._huffman.decompress_keys_batch(
+                        [p[5] for p in parsed]
+                    )
+                else:
+                    rows = [
+                        np.frombuffer(p[5], dtype=np.int32).astype(np.int64)
+                        for p in parsed
+                    ]
+                qrows = [
+                    from_symbols(row, p[4]) for row, p in zip(rows, parsed)
+                ]
+
+            with _span("mgard.dequantize", batch=nbatch):
+                sizes = [
+                    hierarchy.num_coefficients(l)
+                    for l in range(hierarchy.total_levels)
+                ]
+                sizes.append(
+                    int(np.prod(hierarchy.shape_at(hierarchy.total_levels)))
+                )
+                bounds = np.cumsum([0] + sizes)
+                for q in qrows:
+                    if bounds[-1] != q.size:
+                        raise ValueError(
+                            f"stream length {q.size} != expected {bounds[-1]}"
+                        )
+                for p in parsed:
+                    if p[3].size != len(sizes):
+                        raise ValueError(
+                            f"{len(sizes)} groups but {p[3].size} bins"
+                        )
+                qflat = np.stack(qrows)
+                bins2d = np.stack([p[3] for p in parsed])
+                groups = [
+                    qflat[:, bounds[i] : bounds[i + 1]].astype(np.float64)
+                    * bins2d[:, i][:, None]
+                    for i in range(len(sizes))
+                ]
+
+            with _span("mgard.recompose", levels=hierarchy.total_levels,
+                       batch=nbatch):
+                coeffs = groups[:-1]
+                coarsest = groups[-1].reshape(
+                    (nbatch,) + hierarchy.shape_at(hierarchy.total_levels)
+                )
+                out = recompose_batched(
+                    coeffs, coarsest, hierarchy, adapter=self.adapter,
+                    factors_per_level=factors, ctx=ctx,
+                )
+                return [out[i].astype(dtype, copy=True) for i in range(nbatch)]
         finally:
             self.cache.release(ctx)
 

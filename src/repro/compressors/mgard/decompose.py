@@ -109,6 +109,134 @@ def _correction(
     return corr
 
 
+def _correction_batched(
+    mc: np.ndarray,
+    hierarchy: Hierarchy,
+    level: int,
+    factors: dict[int, TridiagFactors],
+    adapter=None,
+    ctx=None,
+) -> np.ndarray:
+    """:func:`_correction` over a leading batch axis (ops at ``d + 1``)."""
+    corr = mc
+    dims = hierarchy.active_dims(level)
+    for d in dims:
+        lvl = hierarchy.dim_level(d, level)
+        corr = restrict(mass_apply(corr, lvl, d + 1), lvl, d + 1)
+    for d in dims:
+        corr = factors[d].solve_along(corr, axis=d + 1, adapter=adapter,
+                                      ctx=ctx)
+    return corr
+
+
+def decompose_batched(
+    stack: np.ndarray,
+    hierarchy: Hierarchy,
+    adapter=None,
+    factors_per_level: list[dict[int, TridiagFactors]] | None = None,
+    ctx=None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """:func:`decompose` over a ``(N,) + shape`` stack, one launch per stage.
+
+    Lane ``i`` of every result is bit-identical to ``decompose(stack[i],
+    ...)``: each 1-D operator pass runs along ``d + 1`` (the batch axis
+    leads), which broadcasts the exact per-item arithmetic across lanes
+    — elementwise lerp/mass kernels, per-output-element ``np.add.at``
+    accumulation order, and per-vector Thomas sweeps are all independent
+    of how many lanes ride along.  Returns per-level ``(N, size)``
+    coefficient planes and the ``(N,) + coarse_shape`` approximation.
+    """
+    if tuple(stack.shape[1:]) != hierarchy.shape:
+        raise ValueError(
+            f"stack item shape {stack.shape[1:]} != hierarchy "
+            f"{hierarchy.shape}"
+        )
+    nbatch = stack.shape[0]
+    current = np.asarray(stack, dtype=np.float64).copy()
+    coeffs: list[np.ndarray] = []
+    for level in range(hierarchy.total_levels):
+        dims = hierarchy.active_dims(level)
+        factors = (
+            factors_per_level[level]
+            if factors_per_level is not None
+            else level_factors(hierarchy, level)
+        )
+        shape = (nbatch,) + hierarchy.shape_at(level)
+        if ctx is not None:
+            approx = ctx.buffer(f"decompose.approx.{level}", shape, np.float64)
+            np.copyto(approx, current)
+            mc = ctx.buffer(f"decompose.mc.{level}", shape, np.float64)
+        else:
+            approx = current.copy()
+            mc = None
+        for d in dims:
+            lerp_fill(approx, hierarchy.dim_level(d, level), d + 1)
+        if mc is None:
+            mc = current - approx
+        else:
+            np.subtract(current, approx, out=mc)
+        selector, fine_idx = _level_geometry(hierarchy, level, ctx)
+        if ctx is not None:
+            level_coeffs = ctx.buffer(
+                f"decompose.coeffs.{level}", (nbatch, fine_idx.size),
+                np.float64,
+            )
+            np.take(mc.reshape(nbatch, -1), fine_idx, axis=1,
+                    out=level_coeffs)
+        else:
+            level_coeffs = mc.reshape(nbatch, -1)[:, fine_idx]
+        coeffs.append(level_coeffs)
+        corr = _correction_batched(mc, hierarchy, level, factors, adapter,
+                                   ctx=ctx)
+        current = current[(slice(None),) + selector] + corr
+    return coeffs, current
+
+
+def recompose_batched(
+    coeffs: list[np.ndarray],
+    coarsest: np.ndarray,
+    hierarchy: Hierarchy,
+    adapter=None,
+    factors_per_level: list[dict[int, TridiagFactors]] | None = None,
+    ctx=None,
+) -> np.ndarray:
+    """Exact inverse of :func:`decompose_batched` (see its lane-identity
+    argument; with ``ctx`` the result aliases context memory)."""
+    if len(coeffs) != hierarchy.total_levels:
+        raise ValueError(
+            f"{len(coeffs)} coefficient levels != {hierarchy.total_levels}"
+        )
+    nbatch = coarsest.shape[0]
+    current = np.asarray(coarsest, dtype=np.float64).copy()
+    for level in range(hierarchy.total_levels - 1, -1, -1):
+        dims = hierarchy.active_dims(level)
+        factors = (
+            factors_per_level[level]
+            if factors_per_level is not None
+            else level_factors(hierarchy, level)
+        )
+        shape = (nbatch,) + hierarchy.shape_at(level)
+        selector, fine_idx = _level_geometry(hierarchy, level, ctx)
+        if ctx is not None:
+            mc = ctx.buffer(f"recompose.mc.{level}", shape, np.float64)
+            mc[...] = 0.0
+            new = ctx.buffer(f"recompose.new.{level}", shape, np.float64)
+            new[...] = 0.0
+        else:
+            mc = np.zeros(shape, dtype=np.float64)
+            new = np.zeros(shape, dtype=np.float64)
+        mc.reshape(nbatch, -1)[:, fine_idx] = coeffs[level]
+        corr = _correction_batched(mc, hierarchy, level, factors, adapter,
+                                   ctx=ctx)
+        coarse_vals = current - corr
+        new[(slice(None),) + selector] = coarse_vals
+        for d in dims:
+            lerp_fill(new, hierarchy.dim_level(d, level), d + 1)
+        new += mc
+        current = new
+    return current
+
+
 def decompose(
     data: np.ndarray,
     hierarchy: Hierarchy,

@@ -99,7 +99,7 @@ class RefactoredData:
         if version != _VERSION:
             raise ValueError(f"unsupported refactor version {version}")
         off = 8
-        dtype = np.dtype(blob[off : off + dts_len].decode("ascii"))
+        dtype = np.dtype(bytes(blob[off : off + dts_len]).decode("ascii"))
         off += dts_len
         shape = struct.unpack_from(f"<{ndim}q", blob, off)
         off += 8 * ndim

@@ -17,6 +17,14 @@ calls until the device-side batch is worth launching):
   requests flush as singletons immediately);
 * **deadline** — ``max_latency_s`` elapsed since the batch's first
   request arrived (:meth:`due`);
+* **idle** — the caller detected there is nothing to wait *for*
+  (:meth:`close_key`): batching trades latency for launch efficiency,
+  but when the admitted request is the only one in flight no second
+  request can join its batch before it completes — holding it for the
+  deadline would add ``max_latency_s`` of pure latency per request and
+  collapse a single closed-loop client's throughput (the service flushes
+  immediately instead, so ``batch=1`` traffic performs like an
+  unbatched service);
 * **drain** — explicit :meth:`flush_all` on shutdown.
 
 Invariants (enforced by the property suite):
@@ -62,7 +70,7 @@ class Flush:
     items: list[Any]
     nbytes: int
     opened_at: float
-    reason: str  # "size" | "bytes" | "deadline" | "drain"
+    reason: str  # "size" | "bytes" | "deadline" | "idle" | "drain"
 
 
 @dataclass
@@ -156,9 +164,22 @@ class MicroBatchPlanner:
         ]
         return [self._close(k, "deadline") for k in due_keys]
 
-    def flush_all(self) -> list[Flush]:
-        """Close every open batch (graceful drain)."""
-        return [self._close(k, "drain") for k in list(self._open)]
+    def close_key(self, key: Hashable, reason: str = "idle") -> Flush | None:
+        """Close ``key``'s open batch immediately (idle-flush heuristic).
+
+        Returns None when the key has no open batch.  The caller decides
+        *when* idleness holds (the planner has no view of in-flight
+        work); the planner only guarantees the flush obeys invariant 1 —
+        each item still appears in exactly one flush.
+        """
+        if key not in self._open:
+            return None
+        return self._close(key, reason)
+
+    def flush_all(self, reason: str = "drain") -> list[Flush]:
+        """Close every open batch (graceful drain, or a caller-detected
+        idle system — see :meth:`close_key`)."""
+        return [self._close(k, reason) for k in list(self._open)]
 
     # ------------------------------------------------------------------
     def _close(self, key: Hashable, reason: str) -> Flush:

@@ -38,3 +38,13 @@ class ServiceClosed(ServeError):
 
     def __init__(self, what: str = "submit") -> None:
         super().__init__(f"cannot {what}: the service is shut down or draining")
+
+
+class ProtocolError(ServeError):
+    """The peer sent bytes that are not a valid HPDR-Serve frame.
+
+    Also raised for malformed shared-memory payload references (bad
+    segment names, out-of-range windows) — everything a misbehaving
+    peer can put on the wire maps to this one typed error so transports
+    drop the connection instead of crashing the service.
+    """

@@ -1,4 +1,4 @@
-"""Minimal length-prefixed TCP transport for HPDR-Serve.
+"""Minimal length-prefixed TCP transport for HPDR-Serve — zero-copy.
 
 Frame layout (little-endian)::
 
@@ -11,6 +11,25 @@ byte run, so a client in any language can speak it with ``struct`` and
 a JSON parser.  Arrays travel as raw C-order bytes described by
 ``dtype``/``shape`` in the header — the same portable layout the codecs
 already guarantee byte-stability for.
+
+The payload path never copies bodies between socket, batcher, and
+worker:
+
+* **receive** — each connection owns a :class:`FrameAssembler`, an
+  incremental parser over one preallocated ``bytearray``; complete
+  frames come back as ``memoryview`` windows into that buffer, and
+  array payloads reach the service as ``np.frombuffer`` aliases of the
+  same bytes (valid until the next ``feed``, which the sequential
+  per-connection discipline guarantees happens only after the
+  response);
+* **send** — :func:`_encode_payload` returns ``memoryview`` windows
+  (``memoryview(arr).cast("B")`` for arrays) and
+  :func:`_write_frame` hands them to the transport as-is
+  (scatter-gather: no ``tobytes()``/``bytes()`` staging copy);
+* **local clients** — an optional shared-memory channel
+  (:mod:`repro.serve.shm`) replaces the request body with a
+  ``{"name", "offset", "nbytes"}`` header reference into a client-owned
+  segment the server maps directly.
 
 Each connection is handled **sequentially** (one request in flight per
 connection); concurrency — and therefore micro-batching — comes from
@@ -32,7 +51,13 @@ from typing import Any
 
 import numpy as np
 
-from repro.serve.errors import ServeError, ServiceClosed, ServiceOverloaded
+from repro.serve.errors import (
+    ProtocolError,
+    ServeError,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.serve.shm import ShmArena, ShmRegistry
 from repro.serve.spec import CodecSpec
 
 _MAGIC = b"HPDS"
@@ -43,9 +68,8 @@ _PREAMBLE = struct.Struct("<4sBIQ")
 MAX_HEADER_BYTES = 1 << 20
 MAX_PAYLOAD_BYTES = 1 << 32
 
-
-class ProtocolError(ServeError):
-    """The peer sent bytes that are not a valid HPDR-Serve frame."""
+#: socket read size feeding each connection's FrameAssembler.
+RECV_CHUNK = 1 << 16
 
 
 class RemoteRequestError(ServeError):
@@ -56,8 +80,86 @@ class RemoteRequestError(ServeError):
         super().__init__(f"remote {kind}: {message}")
 
 
+class FrameAssembler:
+    """Incremental frame parser over one preallocated receive buffer.
+
+    ``feed`` appends socket chunks into a reusable ``bytearray``
+    (growing geometrically, compacting consumed bytes in place);
+    ``next_frame`` returns ``(header, payload_view)`` where
+    ``payload_view`` is a zero-copy ``memoryview`` window into the
+    buffer.  A returned view stays valid until the next ``feed`` —
+    callers (the sequential connection handler) must finish the frame
+    before reading more bytes.  Preamble validation runs as soon as the
+    preamble arrives, so an invalid peer is rejected without buffering
+    its announced payload.
+    """
+
+    def __init__(self, capacity: int = RECV_CHUNK) -> None:
+        self._buf = bytearray(max(int(capacity), _PREAMBLE.size))
+        self._view = memoryview(self._buf)
+        self._start = 0  # read offset of the unparsed region
+        self._end = 0    # write offset
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet returned as frames."""
+        return self._end - self._start
+
+    def feed(self, data) -> None:
+        """Append received bytes (invalidates previously returned views)."""
+        n = len(data)
+        if self._start == self._end:
+            self._start = self._end = 0
+        if self._end + n > len(self._buf):
+            live = self._end - self._start
+            if self._start and live + n <= len(self._buf):
+                # Compact consumed bytes away instead of growing (the
+                # bytes() staging copy sidesteps overlapping-slice
+                # assignment; compaction is rare and small).
+                self._buf[:live] = bytes(self._view[self._start:self._end])
+            else:
+                size = len(self._buf)
+                while size < live + n:
+                    size *= 2
+                new = bytearray(size)
+                new[:live] = self._view[self._start:self._end]
+                self._view.release()
+                self._buf = new
+                self._view = memoryview(new)
+            self._start, self._end = 0, live
+        self._view[self._end : self._end + n] = data
+        self._end += n
+
+    def next_frame(self) -> tuple[dict, memoryview] | None:
+        """Parse one complete frame, or None until more bytes arrive."""
+        if self.pending < _PREAMBLE.size:
+            return None
+        magic, version, hlen, plen = _PREAMBLE.unpack_from(self._buf, self._start)
+        if magic != _MAGIC:
+            raise ProtocolError(f"bad magic {bytes(magic)!r} (expected {_MAGIC!r})")
+        if version != _VERSION:
+            raise ProtocolError(f"unsupported protocol version {version}")
+        if hlen > MAX_HEADER_BYTES:
+            raise ProtocolError(f"header too large: {hlen} bytes")
+        if plen > MAX_PAYLOAD_BYTES:
+            raise ProtocolError(f"payload too large: {plen} bytes")
+        total = _PREAMBLE.size + hlen + plen
+        if self.pending < total:
+            return None
+        hoff = self._start + _PREAMBLE.size
+        try:
+            header = json.loads(bytes(self._view[hoff : hoff + hlen]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"unparseable frame header: {exc}") from exc
+        if not isinstance(header, dict):
+            raise ProtocolError("frame header must be a JSON object")
+        payload = self._view[hoff + hlen : hoff + hlen + plen]
+        self._start += total
+        return header, payload
+
+
 async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes] | None:
-    """Read one frame; None on clean EOF at a frame boundary."""
+    """Read one frame (client side); None on clean EOF at a boundary."""
     try:
         preamble = await reader.readexactly(_PREAMBLE.size)
     except asyncio.IncompleteReadError as exc:
@@ -87,25 +189,38 @@ async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes] | None
     return header, payload
 
 
-def _write_frame(writer: asyncio.StreamWriter, header: dict, payload: bytes) -> None:
+def _write_frame(writer: asyncio.StreamWriter, header: dict, payload) -> None:
+    """Scatter-gather frame write: the payload view goes to the
+    transport as-is, with no staging concatenation or ``bytes()`` copy."""
     raw_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
     writer.write(_PREAMBLE.pack(_MAGIC, _VERSION, len(raw_header), len(payload)))
     writer.write(raw_header)
-    writer.write(payload)
+    if len(payload):
+        writer.write(payload)
 
 
-def _encode_payload(op: str, payload: Any) -> tuple[dict, bytes]:
-    """Split a request/response payload into header metadata + bytes."""
+def _encode_payload(op: str, payload: Any) -> tuple[dict, Any]:
+    """Split a request/response payload into header metadata + a
+    zero-copy byte view (the caller keeps ``payload`` alive until the
+    view is consumed)."""
     if isinstance(payload, (bytes, bytearray, memoryview)):
-        return {"form": "blob"}, bytes(payload)
+        view = payload if isinstance(payload, memoryview) else memoryview(payload)
+        return {"form": "blob"}, view.cast("B")
     arr = np.ascontiguousarray(payload)
     return (
         {"form": "array", "dtype": arr.dtype.str, "shape": list(arr.shape)},
-        arr.tobytes(),
+        memoryview(arr).cast("B"),
     )
 
 
-def _decode_payload(header: dict, raw: bytes) -> Any:
+def _decode_payload(header: dict, raw, shm: ShmRegistry | None = None) -> Any:
+    """Materialize a payload without copying: arrays alias ``raw`` (the
+    receive buffer or a mapped shared-memory window)."""
+    ref = header.get("shm")
+    if ref is not None:
+        if shm is None:
+            raise ProtocolError("shared-memory payloads not accepted here")
+        raw = shm.resolve(ref)
     form = header.get("form")
     if form == "blob":
         return raw
@@ -130,19 +245,29 @@ def _raise_remote(header: dict) -> None:
 # ---------------------------------------------------------------------------
 async def _handle_connection(service, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
+    assembler = FrameAssembler()
+    shm = ShmRegistry()
     try:
         while True:
-            frame = await _read_frame(reader)
+            frame = assembler.next_frame()
             if frame is None:
-                break
+                data = await reader.read(RECV_CHUNK)
+                if not data:
+                    if assembler.pending:
+                        raise ProtocolError("connection closed mid-frame")
+                    break
+                assembler.feed(data)
+                continue
             header, raw = frame
             try:
                 op = header["op"]
                 spec = CodecSpec(**header["spec"])
-                payload = _decode_payload(header, raw)
+                payload = _decode_payload(header, raw, shm=shm)
                 value = await service.submit(op, spec, payload)
             except asyncio.CancelledError:
                 raise
+            except ProtocolError:
+                raise  # malformed peer: drop the connection, not just the request
             except ServiceOverloaded as exc:
                 _write_frame(writer, {
                     "status": "err", "kind": "ServiceOverloaded",
@@ -156,10 +281,17 @@ async def _handle_connection(service, reader: asyncio.StreamReader,
             else:
                 meta, out = _encode_payload(op, value)
                 _write_frame(writer, {"status": "ok", **meta}, out)
+                del value, out
+            # Drop payload references eagerly: a shared-memory window (or
+            # an array aliasing it) left bound in this frame would keep
+            # the segment's pages pinned past ``shm.close()``.
+            del header, raw, frame
+            payload = None
             await writer.drain()
     except (ProtocolError, ConnectionResetError):
         pass  # drop the misbehaving/vanished connection
     finally:
+        shm.close()
         # Close without awaiting: the transport finishes asynchronously,
         # and awaiting here races loop shutdown (spurious cancellation).
         writer.close()
@@ -182,22 +314,36 @@ async def serve_tcp(service, host: str = "127.0.0.1",
 
 
 class BlastClient:
-    """One sequential client connection to a served reduction service."""
+    """One sequential client connection to a served reduction service.
+
+    With ``use_shm=True`` (local servers only) request bodies travel
+    through a client-owned shared-memory arena instead of the socket;
+    responses always return inline.
+    """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
+                 writer: asyncio.StreamWriter,
+                 arena: ShmArena | None = None) -> None:
         self._reader = reader
         self._writer = writer
+        self._arena = arena
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "BlastClient":
+    async def connect(cls, host: str, port: int,
+                      use_shm: bool = False,
+                      shm_bytes: int = 1 << 20) -> "BlastClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        arena = ShmArena(shm_bytes) if use_shm else None
+        return cls(reader, writer, arena)
 
     async def request(self, op: str, spec: CodecSpec, payload: Any) -> Any:
         meta, raw = _encode_payload(op, payload)
         header = {"op": op, "spec": dataclasses.asdict(spec), **meta}
-        _write_frame(self._writer, header, raw)
+        if self._arena is not None:
+            header["shm"] = self._arena.stage(raw)
+            _write_frame(self._writer, header, b"")
+        else:
+            _write_frame(self._writer, header, raw)
         await self._writer.drain()
         frame = await _read_frame(self._reader)
         if frame is None:
@@ -214,6 +360,8 @@ class BlastClient:
         return await self.request("decompress", spec, blob)
 
     async def close(self) -> None:
+        if self._arena is not None:
+            self._arena.close()
         self._writer.close()
         try:
             await self._writer.wait_closed()

@@ -39,9 +39,11 @@ tracing.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import multiprocessing
 import time
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any
@@ -52,7 +54,14 @@ from repro.resilience.policy import RetryPolicy
 from repro.serve.batcher import BatchLimits, Flush, MicroBatchPlanner
 from repro.serve.errors import ServiceClosed, ServiceOverloaded
 from repro.serve.spec import CodecSpec, payload_nbytes
-from repro.serve.worker import ERR, OK, Worker
+from repro.serve.worker import (
+    ERR,
+    OK,
+    ProcessWorkerConfig,
+    Worker,
+    _init_process_worker,
+    _run_payloads_in_process,
+)
 from repro.trace.metrics import REGISTRY as _METRICS
 from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
 
@@ -89,12 +98,24 @@ class ServiceConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     retry_sleep: Any = None
     fault_plan: Any = None
+    #: run workers as pool *processes* instead of threads — escapes the
+    #: GIL for CPU-bound codec stages.  Each process owns the same stack
+    #: a thread worker gets (adapter, retry, serial-fallback degradation,
+    #: private CMM cache); batches cross the boundary as pickled
+    #: payloads, so process mode trades per-request copy overhead for
+    #: true parallel codec execution.
+    process: bool = False
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.process and self.retry_sleep is not None:
+            raise ValueError(
+                "retry_sleep is not injectable across process workers "
+                "(callables do not pickle); use thread workers in tests"
+            )
 
 
 class ServiceStats:
@@ -142,7 +163,7 @@ class ServiceStats:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class _Request:
     """One admitted request travelling through batcher and worker."""
 
@@ -165,19 +186,40 @@ class ReductionService:
             back = await svc.decompress(CodecSpec("zfp-x", rate=8), blob)
     """
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
-        self.config = config if config is not None else ServiceConfig()
+    def __init__(self, config: ServiceConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            config = dataclasses.replace(config, **overrides)
+        self.config = config
         self.stats = ServiceStats()
         self._planner = MicroBatchPlanner(self.config.limits)
         self._workers: list[Worker] = []
         self._executors: list[ThreadPoolExecutor] = []
+        self._pool: ProcessPoolExecutor | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._timer: asyncio.TimerHandle | None = None
+        self._timer_when: float | None = None
+        self._idle_check_scheduled = False
         self._inflight = 0
         self._idle: asyncio.Event | None = None
         self._started = False
         self._closing = False
         self._closed = False
+        # Prebound metric counters: the submit/dispatch hot path pays
+        # one dict update per event — never a registry lookup, never a
+        # label-key sort (label combinations are cached as children).
+        self._ctr_requests = _METRICS.counter(
+            "hpdr_serve_requests_total", "requests admitted by the service"
+        )
+        self._ctr_rejected = _METRICS.counter(
+            "hpdr_serve_rejected_total", "requests shed by admission control"
+        ).child(reason="overload")
+        self._ctr_batches = _METRICS.counter(
+            "hpdr_serve_batches_total", "batches flushed to workers"
+        )
+        self._req_children: dict[tuple[str, str], Any] = {}
+        self._batch_children: dict[str, Any] = {}
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> "ReductionService":
@@ -187,6 +229,25 @@ class ReductionService:
         self._idle = asyncio.Event()
         self._idle.set()
         cfg = self.config
+        if cfg.process:
+            # One pool, ``workers`` processes; each builds its own
+            # Worker in the initializer (spawn keeps the children free
+            # of the parent's event loop and executor threads).
+            self._pool = ProcessPoolExecutor(
+                max_workers=cfg.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_init_process_worker,
+                initargs=(ProcessWorkerConfig(
+                    adapter=cfg.adapter,
+                    threads=cfg.threads,
+                    cache_capacity=cfg.cache_capacity,
+                    pin_contexts=cfg.pin_contexts,
+                    policy=cfg.retry,
+                    fault_plan=cfg.fault_plan,
+                ),),
+            )
+            self._started = True
+            return self
         from repro.adapters import get_adapter
 
         for wid in range(cfg.workers):
@@ -244,10 +305,7 @@ class ReductionService:
             raise ServiceClosed("submit")
         if self._inflight >= self.config.max_pending:
             self.stats.rejected += 1
-            _METRICS.counter(
-                "hpdr_serve_rejected_total",
-                "requests shed by admission control",
-            ).inc(reason="overload")
+            self._ctr_rejected.inc()
             raise ServiceOverloaded(self._inflight, self.config.max_pending)
 
         loop = self._loop
@@ -268,20 +326,41 @@ class ReductionService:
         self.stats.submitted += 1
         self.stats.peak_queue_depth = max(self.stats.peak_queue_depth,
                                           self._inflight)
-        _METRICS.counter(
-            "hpdr_serve_requests_total", "requests admitted by the service"
-        ).inc(op=op, codec=spec.name)
+        ctr = self._req_children.get((op, spec.name))
+        if ctr is None:
+            ctr = self._req_children[(op, spec.name)] = \
+                self._ctr_requests.child(op=op, codec=spec.name)
+        ctr.inc()
         if _TRACER.enabled:
             _METRICS.histogram(
                 "hpdr_serve_queue_depth",
                 "requests in flight at admission",
                 buckets=_BATCH_BUCKETS,
             ).observe(self._inflight)
-        req.future.add_done_callback(partial(self._request_done, req))
-        for flush in self._planner.add(key, req, nbytes, now):
+        flushes = self._planner.add(key, req, nbytes, now)
+        for flush in flushes:
             self._dispatch(flush)
+        if not flushes and not self._idle_check_scheduled:
+            # Idle-flush check, deferred to the end of this event-loop
+            # tick so every submission of a same-tick burst lands first
+            # (checking at admission would flush the burst's first
+            # request alone and desynchronize the rest).
+            self._idle_check_scheduled = True
+            self._loop.call_soon(self._idle_check)
         self._arm_timer()
-        return await req.future
+        # Accounting lives in this finally instead of a per-future done
+        # callback: add_done_callback costs a partial, a Handle and an
+        # extra call_soon per request, all on the hot path.
+        try:
+            return await req.future
+        finally:
+            self._inflight -= 1
+            if req.future.cancelled():
+                self.stats.cancelled += 1
+                if self._planner.discard(key, req):
+                    self._arm_timer()
+            if self._inflight == 0:
+                self._idle.set()
 
     async def compress(self, spec: CodecSpec, data: np.ndarray) -> bytes:
         return await self.submit("compress", spec, data)
@@ -292,17 +371,39 @@ class ReductionService:
     # -- batching machinery ---------------------------------------------
     def _arm_timer(self) -> None:
         deadline = self._planner.next_deadline()
+        if deadline == self._timer_when and self._timer is not None:
+            return  # earliest deadline unchanged: keep the armed timer
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._timer_when = deadline
         if deadline is not None:
             self._timer = self._loop.call_at(deadline, self._on_deadline)
 
     def _on_deadline(self) -> None:
         self._timer = None
+        self._timer_when = None
         for flush in self._planner.due(self._loop.time()):
             self._dispatch(flush)
         self._arm_timer()
+
+    def _idle_check(self) -> None:
+        """Flush every open batch when the system is idle-but-waiting.
+
+        Runs after all submissions scheduled in the same loop tick.  If
+        every in-flight request is sitting in an open batch — nothing is
+        executing on a worker — then no response is coming, and in
+        closed-loop traffic no new request can arrive before one does:
+        holding the batches to the deadline would add ``max_latency_s``
+        of pure latency per round and collapse throughput (the
+        c1_b64-vs-c1_b1 pathology).  Flushing costs nothing we could
+        have gained by waiting.
+        """
+        self._idle_check_scheduled = False
+        if self._inflight and self._planner.pending() == self._inflight:
+            for flush in self._planner.flush_all(reason="idle"):
+                self._dispatch(flush)
+            self._arm_timer()
 
     def _dispatch(self, flush: Flush) -> None:
         """Hand one closed batch to the least-loaded worker."""
@@ -311,9 +412,11 @@ class ReductionService:
             return
         self.stats.batches += 1
         self.stats.batched_requests += len(flush.items)
-        _METRICS.counter(
-            "hpdr_serve_batches_total", "batches flushed to workers"
-        ).inc(reason=flush.reason)
+        ctr = self._batch_children.get(flush.reason)
+        if ctr is None:
+            ctr = self._batch_children[flush.reason] = \
+                self._ctr_batches.child(reason=flush.reason)
+        ctr.inc()
         if _TRACER.enabled:
             _METRICS.histogram(
                 "hpdr_serve_batch_size",
@@ -323,6 +426,22 @@ class ReductionService:
             with _span("serve.flush", reason=flush.reason,
                        n=len(flush.items), nbytes=flush.nbytes):
                 pass
+        if self._pool is not None:
+            first = flush.items[0]
+            # Payloads cross the pickle boundary; a memoryview (the
+            # zero-copy TCP/shm receive path) must be materialized —
+            # the process hop copies regardless.
+            payloads = [
+                bytes(r.payload) if isinstance(r.payload, memoryview)
+                else r.payload
+                for r in flush.items
+            ]
+            fut = self._loop.run_in_executor(
+                self._pool, _run_payloads_in_process,
+                first.op, first.spec, payloads,
+            )
+            fut.add_done_callback(partial(self._deliver_process, flush.items))
+            return
         idx = min(range(len(self._workers)),
                   key=lambda i: self._workers[i].backlog)
         worker = self._workers[idx]
@@ -332,6 +451,15 @@ class ReductionService:
         )
         fut.add_done_callback(partial(self._deliver, worker))
 
+    def _deliver_process(self, items: list, fut: asyncio.Future) -> None:
+        """Answer a batch completed by a pool process."""
+        try:
+            outs = fut.result()
+            results = [(r, tag, value) for r, (tag, value) in zip(items, outs)]
+        except Exception as exc:  # pool broke or the job failed to pickle
+            results = [(r, ERR, exc) for r in items]
+        self._answer(results)
+
     def _deliver(self, worker: Worker, fut: asyncio.Future) -> None:
         """Answer every request of a completed batch (event-loop thread)."""
         worker.backlog -= 1
@@ -339,6 +467,9 @@ class ReductionService:
             results = fut.result()
         except Exception:  # pragma: no cover - worker.run_batch never raises
             results = []
+        self._answer(results)
+
+    def _answer(self, results: list) -> None:
         now = self._loop.time()
         for req, tag, value in results:
             if req.future.done():
@@ -358,16 +489,6 @@ class ReductionService:
                 self.stats.errors += 1
                 req.future.set_exception(value)
 
-    def _request_done(self, req: _Request, fut: asyncio.Future) -> None:
-        """Single accounting point: runs once per admitted request."""
-        self._inflight -= 1
-        if fut.cancelled():
-            self.stats.cancelled += 1
-            if self._planner.discard(req.key, req):
-                self._arm_timer()
-        if self._inflight == 0:
-            self._idle.set()
-
     # -- drain / shutdown -----------------------------------------------
     async def drain(self) -> None:
         """Flush every open batch and wait until nothing is in flight."""
@@ -378,6 +499,7 @@ class ReductionService:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+            self._timer_when = None
         if self._inflight:
             await self._idle.wait()
 
@@ -393,6 +515,9 @@ class ReductionService:
             executor.shutdown(wait=True)
         for worker in self._workers:
             worker.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         self._closed = True
         if _TRACER.enabled:
             with _span("serve.drain",

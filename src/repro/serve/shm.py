@@ -1,0 +1,148 @@
+"""Shared-memory payload channel for local HPDR-Serve clients.
+
+TCP framing moves every request body through the socket once.  For
+clients on the same host the payload can skip the socket entirely: the
+client stages bytes in a ``multiprocessing.shared_memory`` segment and
+sends only a tiny ``{"name", "offset", "nbytes"}`` reference in the
+frame header.  The server maps the same physical pages and hands the
+codecs a zero-copy view — the body crosses no socket buffer and is
+never duplicated between transport, batcher, and worker.
+
+Ownership: the **client** creates and unlinks its staging segment
+(:class:`ShmArena`); the **server** only attaches, through a
+connection-scoped :class:`ShmRegistry` that validates every reference
+before mapping it (a malformed peer gets a typed
+:class:`~repro.serve.errors.ProtocolError`, never a crash).  Responses
+return inline over TCP — replies are fresh buffers the client will own
+anyway, so sharing them would only add lifetime bookkeeping.
+
+Tuning: size the arena to the largest payload (it grows by doubling,
+re-creating the segment — a cold-path cost) and keep one arena per
+client connection; see ``docs/operations.md``.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.serve.errors import ProtocolError
+
+__all__ = ["ShmArena", "ShmRegistry"]
+
+#: smallest segment an arena allocates (one page of slack over typical
+#: metadata keeps tiny payloads from ever forcing a regrow).
+MIN_ARENA_BYTES = 1 << 12
+
+
+def _as_view(payload) -> memoryview:
+    """Flat byte view of a payload without copying."""
+    if isinstance(payload, memoryview):
+        return payload.cast("B")
+    if isinstance(payload, (bytes, bytearray)):
+        return memoryview(payload)
+    arr = np.ascontiguousarray(payload)
+    return memoryview(arr).cast("B")
+
+
+class ShmArena:
+    """Client-side staging segment, reused (and grown) across requests.
+
+    One arena supports one in-flight request at a time — exactly the
+    sequential-connection discipline of :class:`repro.serve.net.BlastClient`
+    — so staging can always start at offset 0 and a request's bytes
+    stay valid until its response arrives.
+    """
+
+    def __init__(self, nbytes: int = MIN_ARENA_BYTES) -> None:
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(int(nbytes), MIN_ARENA_BYTES)
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def stage(self, payload) -> dict:
+        """Copy ``payload`` into the segment; return its wire reference."""
+        view = _as_view(payload)
+        n = view.nbytes
+        if n > self._shm.size:
+            # Doubling regrow: new segment, new name (the server's
+            # registry attaches to it on first reference).
+            size = self._shm.size
+            while size < n:
+                size *= 2
+            self._close_segment()
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._shm.buf[:n] = view
+        return {"name": self._shm.name, "offset": 0, "nbytes": n}
+
+    def _close_segment(self) -> None:
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (BufferError, FileNotFoundError):  # pragma: no cover
+            pass
+
+    def close(self) -> None:
+        """Release and unlink the segment (client owns its lifetime)."""
+        self._close_segment()
+
+
+class ShmRegistry:
+    """Server-side cache of attached client segments, one per connection.
+
+    Attachments persist for the connection's lifetime so repeated
+    requests through the same arena cost one ``mmap`` total; every
+    reference is validated **before** mapping — the malformed-peer
+    surface of the shared-memory channel.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def resolve(self, ref) -> memoryview:
+        """Validate a wire reference and return its zero-copy window."""
+        if not isinstance(ref, dict):
+            raise ProtocolError(f"shm reference must be an object, got {type(ref).__name__}")
+        try:
+            name = ref["name"]
+            offset = ref["offset"]
+            nbytes = ref["nbytes"]
+        except KeyError as exc:
+            raise ProtocolError(f"shm reference missing field {exc}") from exc
+        if not isinstance(name, str) or not name or len(name) > 255 or "/" in name.lstrip("/"):
+            raise ProtocolError(f"bad shm segment name {name!r}")
+        if not isinstance(offset, int) or not isinstance(nbytes, int) or isinstance(offset, bool) or isinstance(nbytes, bool):
+            raise ProtocolError("shm offset/nbytes must be integers")
+        if offset < 0 or nbytes < 0:
+            raise ProtocolError(f"negative shm window: offset={offset} nbytes={nbytes}")
+        seg = self._segments.get(name)
+        if seg is None:
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, ValueError, OSError) as exc:
+                raise ProtocolError(f"unknown shm segment {name!r}") from exc
+            self._segments[name] = seg
+        if offset + nbytes > seg.size:
+            raise ProtocolError(
+                f"shm window [{offset}, {offset + nbytes}) exceeds segment "
+                f"size {seg.size}"
+            )
+        return seg.buf[offset : offset + nbytes]
+
+    def close(self) -> None:
+        """Detach every cached segment (never unlinks — the client owns
+        them)."""
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+        self._segments.clear()

@@ -57,7 +57,10 @@ def size_class(nbytes: int) -> int:
 
 def payload_nbytes(payload) -> int:
     """Bytes a request payload contributes to batch byte budgets."""
-    if isinstance(payload, (bytes, bytearray, memoryview)):
+    nbytes = getattr(payload, "nbytes", None)  # ndarray / memoryview
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     return int(np.asarray(payload).nbytes)
 
@@ -85,10 +88,17 @@ class CodecSpec:
             )
         if self.error_mode not in ("rel", "abs"):
             raise ValueError(f"error_mode must be rel|abs, got {self.error_mode!r}")
+        # The spec is frozen, so its key tuple never changes: compute it
+        # once here instead of on every batch_key() call (the service
+        # builds a batch key per admitted request).
+        object.__setattr__(self, "_key", self._compute_key())
 
     # ------------------------------------------------------------------
     def key(self) -> tuple[Hashable, ...]:
         """Minimal parameter tuple identifying this configuration."""
+        return self._key
+
+    def _compute_key(self) -> tuple[Hashable, ...]:
         if self.name == "zfp-x":
             return (self.name, self.rate)
         if self.name == "huffman-x":

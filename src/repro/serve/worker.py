@@ -36,7 +36,9 @@ Execution of one flush:
 
 from __future__ import annotations
 
+import pickle
 import time
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.context import ContextCache
@@ -110,41 +112,51 @@ class Worker:
         if not items:
             return []
         first = items[0]
-        op, spec = first.op, first.spec
-        self.batches_run += 1
-        self.requests_run += len(items)
         with _span(
             "serve.batch",
             worker=self.wid,
-            codec=spec.name,
-            op=op,
+            codec=first.spec.name,
+            op=first.op,
             n=len(items),
             nbytes=flush.nbytes,
             reason=flush.reason,
         ):
-            ctx = self.cache.get(
-                spec.context_key(op, first.payload), pin=self.pin_contexts
+            outs = self.run_payloads(
+                first.op, first.spec, [r.payload for r in items]
             )
-            try:
-                codec = ctx.object(
-                    "codec",
-                    lambda: spec.build(adapter=self.adapter,
-                                       context_cache=self.cache),
-                )
-                if len(items) > 1:
-                    values = self._try_batch_path(codec, op, spec, items)
-                    if values is not None:
-                        return [(r, OK, v) for r, v in zip(items, values)]
-                return [
-                    (r,) + self._run_one(ctx, codec, spec, op, r.payload)
-                    for r in items
-                ]
-            finally:
-                if self.pin_contexts:
-                    self.cache.release(ctx)
+        return [(r, tag, value) for r, (tag, value) in zip(items, outs)]
+
+    def run_payloads(self, op: str, spec, payloads: list) -> list[tuple[str, Any]]:
+        """Execute one homogeneous batch of payloads; ``(tag, value)``
+        per payload, in order.  The request-free core of
+        :meth:`run_batch` — also the unit of work shipped to process
+        pools, where ``_Request`` objects (holding asyncio futures)
+        cannot cross the pickle boundary.
+        """
+        if not payloads:
+            return []
+        self.batches_run += 1
+        self.requests_run += len(payloads)
+        ctx = self.cache.get(
+            spec.context_key(op, payloads[0]), pin=self.pin_contexts
+        )
+        try:
+            codec = ctx.object(
+                "codec",
+                lambda: spec.build(adapter=self.adapter,
+                                   context_cache=self.cache),
+            )
+            if len(payloads) > 1:
+                values = self._try_batch_path(codec, op, spec, payloads)
+                if values is not None:
+                    return [(OK, v) for v in values]
+            return [self._run_one(ctx, codec, spec, op, p) for p in payloads]
+        finally:
+            if self.pin_contexts:
+                self.cache.release(ctx)
 
     # ------------------------------------------------------------------
-    def _try_batch_path(self, codec, op: str, spec, items) -> list | None:
+    def _try_batch_path(self, codec, op: str, spec, payloads) -> list | None:
         """One vectorized launch for the whole batch, under retry.
 
         Returns None when the codec has no batch entry point or the
@@ -152,7 +164,6 @@ class Worker:
         retry budget, or a poisoned request) — the caller then degrades
         to per-request execution, which isolates the failure.
         """
-        payloads = [r.payload for r in items]
         try:
             values = retry_call(
                 lambda: _apply_batch(codec, op, payloads),
@@ -162,7 +173,7 @@ class Worker:
             )
         except Exception:
             return None
-        if values is not None and len(values) != len(items):
+        if values is not None and len(values) != len(payloads):
             # A batch entry point that loses answers violates the
             # exactly-once contract; treat as no fast path.
             return None
@@ -214,3 +225,75 @@ class Worker:
             if close is not None:
                 close()
         self.cache.clear()
+
+
+# ---------------------------------------------------------------------------
+# Process-pool execution (GIL escape for CPU-bound codec stages)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProcessWorkerConfig:
+    """Picklable recipe for one pool process's :class:`Worker`.
+
+    Carried through the pool initializer so every process builds the
+    same stack the in-process workers get — adapter, optional fault
+    injector, retry policy, degradation fallback, and a private CMM
+    cache (processes share nothing, so no locking is ever needed).
+    ``retry_sleep`` has no process-mode equivalent: callables do not
+    pickle, and backoff in a pool process is real wall-clock anyway.
+    """
+
+    adapter: str = "serial"
+    threads: int | None = None
+    cache_capacity: int = 64
+    pin_contexts: bool = True
+    policy: RetryPolicy = RetryPolicy()
+    fault_plan: Any = None
+
+
+#: the process-local Worker, created once per pool process.
+_PROCESS_WORKER: Worker | None = None
+
+
+def _init_process_worker(cfg: ProcessWorkerConfig) -> None:
+    """Pool initializer: build this process's Worker from the recipe."""
+    global _PROCESS_WORKER
+    import os
+
+    from repro.adapters import get_adapter
+
+    kwargs = {}
+    if cfg.adapter == "openmp" and cfg.threads is not None:
+        kwargs["num_threads"] = cfg.threads
+    adapter = get_adapter(cfg.adapter, **kwargs)
+    if cfg.fault_plan is not None:
+        from repro.resilience.adapter import FaultyAdapter
+
+        adapter = FaultyAdapter(adapter, cfg.fault_plan)
+    _PROCESS_WORKER = Worker(
+        os.getpid(),
+        adapter,
+        get_adapter("serial"),
+        cache_capacity=cfg.cache_capacity,
+        policy=cfg.policy,
+        pin_contexts=cfg.pin_contexts,
+    )
+
+
+def _run_payloads_in_process(op: str, spec, payloads: list) -> list[tuple[str, Any]]:
+    """Pool job: run one batch on the process-local Worker.
+
+    Error values must survive the return pickle; an exception whose
+    state does not round-trip is replaced by a ``RuntimeError`` carrying
+    its type and message (the request still fails with a useful error
+    instead of poisoning the whole pool future).
+    """
+    outs = _PROCESS_WORKER.run_payloads(op, spec, payloads)
+    safe = []
+    for tag, value in outs:
+        if tag == ERR:
+            try:
+                pickle.loads(pickle.dumps(value))
+            except Exception:
+                value = RuntimeError(f"{type(value).__name__}: {value}")
+        safe.append((tag, value))
+    return safe

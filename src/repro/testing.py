@@ -89,9 +89,14 @@ def _check_batched_submission(adapter, rng) -> None:
        once, and passes empty task lists through;
     2. GEM is **concat-equivalent**: executing the concatenation of two
        batches equals executing them separately and concatenating the
-       results.  This is what lets :meth:`repro.ZFPX.compress_batch`
-       fuse many requests' blocks into one launch and slice the records
-       back out byte-identically.
+       results.  This is what lets the codecs' ``compress_batch`` fuse
+       many requests' blocks into one launch and slice the records back
+       out byte-identically;
+    3. every codec exposing ``compress_batch``/``decompress_batch``
+       honors that contract on this backend — batched streams equal the
+       per-item streams byte for byte, and a non-uniform batch raises
+       ``ValueError`` (the signal the serving layer's per-item fallback
+       keys on).
     """
     # map_tasks: order, exactly-once, empty.
     calls: list[int] = []
@@ -121,6 +126,63 @@ def _check_batched_submission(adapter, rng) -> None:
     _require(np.array_equal(fused, split),
              "GEM must be concat-equivalent: fused batches must match "
              "separately executed sub-batches (micro-batching contract)")
+
+    _check_codec_batch_paths(adapter, rng)
+
+
+def _check_codec_batch_paths(adapter, rng) -> None:
+    """Batched entry points must be byte-identical to per-item calls.
+
+    Discovers the batch path the same way the serving worker does
+    (``getattr(codec, f"{op}_batch")``), so any codec that grows one is
+    automatically held to the contract on every backend.
+    """
+    from repro import Config, ErrorMode, HuffmanX, MGARDX, ZFPX
+
+    cfg = Config(error_bound=1e-2, error_mode=ErrorMode.REL)
+    floats = [
+        np.ascontiguousarray(rng.standard_normal((12, 16)).astype(np.float32))
+        for _ in range(5)
+    ]
+    blobs_in = [
+        rng.integers(0, 48, size=3000, dtype=np.int64).astype(np.uint8).tobytes()
+        for _ in range(5)
+    ]
+    cases = [
+        ("mgard-x", lambda: MGARDX(cfg, adapter=adapter), floats,
+         floats[0][:6, :6]),
+        ("zfp-x", lambda: ZFPX(rate=8, adapter=adapter), floats,
+         floats[0][:6, :6]),
+        ("huffman-x", lambda: HuffmanX(adapter=adapter), blobs_in,
+         blobs_in[0][:17]),
+    ]
+    for name, build, payloads, odd in cases:
+        codec = build()
+        if getattr(codec, "compress_batch", None) is None:
+            continue
+        want = [codec.compress(p) for p in payloads]
+        got = codec.compress_batch(payloads)
+        _require(
+            [bytes(b) for b in got] == [bytes(b) for b in want],
+            f"{name}.compress_batch differs from per-item streams",
+        )
+        back = codec.decompress_batch(want)
+        ref = [codec.decompress(b) for b in want]
+        _require(
+            all(np.array_equal(np.asarray(g), np.asarray(r))
+                for g, r in zip(back, ref)),
+            f"{name}.decompress_batch differs from per-item results",
+        )
+        # Non-uniform batches must raise ValueError — the worker's
+        # signal to fall back to per-item execution.
+        try:
+            codec.compress_batch([payloads[0], odd])
+        except ValueError:
+            pass
+        else:
+            _require(False,
+                     f"{name}.compress_batch accepted a non-uniform batch "
+                     "(must raise ValueError for the per-item fallback)")
 
 
 def _check_dem_stages(adapter) -> None:
@@ -173,14 +235,17 @@ def check_service(
     shape: tuple[int, ...] = (16, 16),
     threads: int | None = None,
     rng: np.random.Generator | None = None,
+    workers: int = 1,
+    process: bool = False,
 ) -> None:
     """Differential conformance of the HPDR-Serve request path.
 
     For every codec and batch size, submits that many concurrent
     requests to a :class:`~repro.serve.service.ReductionService` on
     ``adapter`` and requires each response to be **byte-identical** to a
-    fresh single-shot codec call: micro-batching, context reuse and
-    worker routing must never change a stream.  Decompressing the served
+    fresh single-shot codec call: micro-batching, context reuse, worker
+    routing — and, with ``process=True``, the multi-process worker pool
+    and its pickle boundary — must never change a stream.  Decompressing the served
     streams through the service must likewise reproduce the single-shot
     arrays exactly.
 
@@ -218,6 +283,8 @@ def check_service(
                     max_pending=max(256, 2 * n),
                     adapter=adapter,
                     threads=threads,
+                    workers=workers,
+                    process=process,
                 )
                 async with ReductionService(cfg) as svc:
                     got_blobs = await asyncio.gather(

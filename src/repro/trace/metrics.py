@@ -40,6 +40,30 @@ def _format_labels(key: _LabelKey) -> str:
     return "{" + inner + "}"
 
 
+class BoundCounter:
+    """Hot-path handle on one label combination of a :class:`Counter`.
+
+    :meth:`Counter.child` precomputes the label key once, so per-event
+    sites (e.g. the serve submit path) pay a dict update under the
+    parent's lock and never rebuild/sort the label tuple.
+    """
+
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: "Counter", key: _LabelKey) -> None:
+        self._counter = counter
+        self._key = key
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(
+                f"counter {self._counter.name} cannot decrease (n={n})"
+            )
+        c = self._counter
+        with c._lock:
+            c._values[self._key] = c._values.get(self._key, 0) + n
+
+
 class Counter:
     """Monotonic counter with optional labels.
 
@@ -61,6 +85,10 @@ class Counter:
         key = _label_key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0) + n
+
+    def child(self, **labels) -> BoundCounter:
+        """Precomputed-label handle for per-event instrumentation."""
+        return BoundCounter(self, _label_key(labels))
 
     def value(self, **labels) -> float:
         with self._lock:

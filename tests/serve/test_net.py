@@ -86,9 +86,24 @@ def test_remote_errors_are_typed():
     asyncio.run(run())
 
 
-def test_remote_overload_maps_to_service_overloaded():
+def test_remote_overload_maps_to_service_overloaded(monkeypatch):
+    import threading
+
+    from repro.serve import worker as worker_mod
+
     spec = CodecSpec("zfp-x", rate=8.0)
     data = np.ones((16, 16), dtype=np.float32)
+    # Hold the first request inside the worker so it deterministically
+    # occupies the single admission slot (idle-flush dispatches it
+    # immediately, so timing alone can no longer keep it in flight).
+    release = threading.Event()
+    original = worker_mod.Worker.run_batch
+
+    def slow_run_batch(self, flush):
+        release.wait(timeout=10)
+        return original(self, flush)
+
+    monkeypatch.setattr(worker_mod.Worker, "run_batch", slow_run_batch)
 
     async def run():
         cfg = ServiceConfig(
@@ -104,10 +119,12 @@ def test_remote_overload_maps_to_service_overloaded():
             with pytest.raises(ServiceOverloaded) as exc:
                 await c2.compress(spec, data)
             assert exc.value.limit == 1
+            release.set()
             await first
             await c1.close()
             await c2.close()
         finally:
+            release.set()
             server.close()
             await server.wait_closed()
             await svc.close()

@@ -1,0 +1,213 @@
+"""Shared-memory payload channel: arena, registry validation, bad peers.
+
+The shm channel moves request bodies out of the socket for local
+clients; its threat surface is the wire *reference* — a peer can name
+any segment, any window.  The registry must reject every malformed
+reference with a typed :class:`ProtocolError` (which the connection
+handler escalates to a hangup) while honest traffic stays
+byte-identical with the inline-TCP path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BatchLimits,
+    BlastClient,
+    CodecSpec,
+    ReductionService,
+    ServiceConfig,
+    serve_tcp,
+)
+from repro.serve.errors import ProtocolError
+from repro.serve.net import _PREAMBLE, _MAGIC, _VERSION, _write_frame
+from repro.serve.shm import MIN_ARENA_BYTES, ShmArena, ShmRegistry
+
+
+# -- arena ------------------------------------------------------------------
+def test_arena_stage_returns_resolvable_reference():
+    arena = ShmArena()
+    registry = ShmRegistry()
+    try:
+        payload = b"x" * 100
+        ref = arena.stage(payload)
+        assert ref == {"name": arena.name, "offset": 0, "nbytes": 100}
+        window = registry.resolve(ref)
+        assert bytes(window) == payload
+        del window  # release the exported buffer before detach
+    finally:
+        registry.close()
+        arena.close()
+
+
+def test_arena_regrows_by_doubling_with_fresh_segment():
+    arena = ShmArena(MIN_ARENA_BYTES)
+    try:
+        first_name = arena.name
+        big = np.arange(MIN_ARENA_BYTES, dtype=np.float64)  # 8x the arena
+        ref = arena.stage(big)
+        assert arena.name != first_name  # regrow re-creates the segment
+        assert ref["nbytes"] == big.nbytes
+        assert arena.nbytes >= big.nbytes
+        registry = ShmRegistry()
+        try:
+            back = np.frombuffer(registry.resolve(ref), dtype=np.float64)
+            assert np.array_equal(back, big)
+            del back
+        finally:
+            registry.close()
+    finally:
+        arena.close()
+
+
+# -- registry validation ----------------------------------------------------
+@pytest.mark.parametrize(
+    "ref",
+    [
+        "not-a-dict",
+        {"offset": 0, "nbytes": 1},                          # missing name
+        {"name": "x", "nbytes": 1},                          # missing offset
+        {"name": "x", "offset": 0},                          # missing nbytes
+        {"name": "", "offset": 0, "nbytes": 1},              # empty name
+        {"name": 7, "offset": 0, "nbytes": 1},               # non-str name
+        {"name": "a" * 300, "offset": 0, "nbytes": 1},       # oversized name
+        {"name": "a/../b", "offset": 0, "nbytes": 1},        # traversal
+        {"name": "x", "offset": "0", "nbytes": 1},           # str offset
+        {"name": "x", "offset": True, "nbytes": 1},          # bool offset
+        {"name": "x", "offset": -1, "nbytes": 1},            # negative
+        {"name": "x", "offset": 0, "nbytes": -4},            # negative
+        {"name": "hpdr-definitely-missing", "offset": 0, "nbytes": 1},
+    ],
+)
+def test_registry_rejects_malformed_reference(ref):
+    registry = ShmRegistry()
+    try:
+        with pytest.raises(ProtocolError):
+            registry.resolve(ref)
+    finally:
+        registry.close()
+
+
+def test_registry_rejects_window_past_segment_end():
+    arena = ShmArena()
+    registry = ShmRegistry()
+    try:
+        ref = arena.stage(b"abc")
+        bad = dict(ref, nbytes=arena.nbytes + 1)
+        with pytest.raises(ProtocolError):
+            registry.resolve(bad)
+    finally:
+        registry.close()
+        arena.close()
+
+
+def test_registry_caches_attachments_and_never_unlinks():
+    arena = ShmArena()
+    registry = ShmRegistry()
+    try:
+        ref = arena.stage(b"hello")
+        a = registry.resolve(ref)
+        b = registry.resolve(ref)
+        assert bytes(a) == bytes(b) == b"hello"
+        assert len(registry._segments) == 1  # one mmap per segment
+        del a, b
+        registry.close()
+        # The client still owns a live segment after server detach.
+        again = ShmRegistry()
+        assert bytes(again.resolve(ref)) == b"hello"
+        again.close()
+    finally:
+        arena.close()
+
+
+# -- end to end -------------------------------------------------------------
+def _served():
+    async def boot():
+        svc = await ReductionService(ServiceConfig(
+            limits=BatchLimits(max_batch=8, max_latency_s=0.002)
+        )).start()
+        server = await serve_tcp(svc)
+        host, port = server.sockets[0].getsockname()[:2]
+        return svc, server, host, port
+
+    return boot
+
+
+def test_shm_channel_is_byte_identical_with_inline_tcp():
+    """Same streams whether the body rides the socket or shared memory,
+    including a payload large enough to force an arena regrow."""
+    spec = CodecSpec("zfp-x", rate=8.0)
+    small = np.random.default_rng(0).standard_normal((16, 16)).astype(np.float32)
+    big = np.random.default_rng(1).standard_normal((64, 64)).astype(np.float32)
+
+    async def run():
+        svc, server, host, port = await _served()()
+        try:
+            inline = await BlastClient.connect(host, port)
+            shm = await BlastClient.connect(host, port, use_shm=True,
+                                            shm_bytes=MIN_ARENA_BYTES)
+            out = []
+            for data in (small, big):  # big (16 KiB) regrows the arena
+                want = await inline.compress(spec, data)
+                got = await shm.compress(spec, data)
+                assert got == want
+                back = await shm.decompress(spec, got)
+                assert np.array_equal(back,
+                                      await inline.decompress(spec, want))
+                out.append(got)
+            await inline.close()
+            await shm.close()
+            return out
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    blobs = asyncio.run(run())
+    assert blobs[0] == spec.build().compress(small)
+    assert blobs[1] == spec.build().compress(big)
+
+
+def test_malformed_shm_reference_drops_connection_only():
+    """A bad shm ref is a protocol violation: hangup for that peer, no
+    damage to the service or other connections."""
+    spec = CodecSpec("zfp-x", rate=8.0)
+
+    async def run():
+        svc, server, host, port = await _served()()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            _write_frame(writer, {
+                "op": "decompress",
+                "spec": dataclasses.asdict(spec),
+                "form": "blob",
+                "shm": {"name": "hpdr-no-such-segment", "offset": 0,
+                        "nbytes": 16},
+            }, b"")
+            await writer.drain()
+            assert await reader.read(64) == b""  # server hung up
+            writer.close()
+
+            # Honest clients are unaffected.
+            client = await BlastClient.connect(host, port, use_shm=True)
+            data = np.ones((8, 8), dtype=np.float32)
+            blob = await client.compress(spec, data)
+            assert blob == spec.build().compress(data)
+            await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    asyncio.run(run())
+
+
+def test_preamble_struct_is_stable():
+    """The wire preamble is a public contract: 17 bytes, little-endian."""
+    assert _PREAMBLE.size == 17
+    assert _PREAMBLE.pack(_MAGIC, _VERSION, 0, 0)[:4] == b"HPDS"
