@@ -1,26 +1,83 @@
 #!/usr/bin/env python
-"""hpdrlint CLI — hot-path allocation / kernel-typing linter.
+"""hpdrlint CLI — HPDR-Statica static analyzer driver.
 
 Usage:
-    PYTHONPATH=src python scripts/hpdrlint.py            # lint src/repro
-    PYTHONPATH=src python scripts/hpdrlint.py path ...   # lint given paths
-    ... --list-rules                                     # show rule table
+    PYTHONPATH=src python scripts/hpdrlint.py              # analyze src/repro
+    PYTHONPATH=src python scripts/hpdrlint.py path ...     # analyze paths
+    ... --packs core,async                                 # subset of packs
+    ... --list-rules                                       # rule table by pack
+    ... --sarif out.sarif                                  # SARIF 2.1.0 report
+    ... --write-baseline                                   # grandfather tree
+    ... --max-seconds 10                                   # perf guard
 
-Exit status: 0 when clean, 1 when any finding is reported (CI gates on
-this), 2 on usage errors.  Suppress a deliberate violation inline with
-``# hpdrlint: disable=HPL001 — reason`` on the offending line.
+Exit status: 0 when clean, 1 when any non-baselined finding is reported
+(CI gates on this), 2 on usage errors.  Suppress a deliberate violation
+inline with ``# hpdrlint: disable=HPL001 — reason`` on the offending
+line; grandfather a backlog with ``--write-baseline`` (the shipped
+baseline is empty and expected to stay that way).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.check.lint import RULES, format_findings, lint_paths  # noqa: E402
+from repro.check.lint import format_findings  # noqa: E402
+from repro.check.static import (  # noqa: E402
+    ALL_PACKS,
+    ALL_RULES,
+    RULE_PACKS,
+    analyze_paths,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+    write_sarif,
+)
+
+DEFAULT_BASELINE = REPO_ROOT / ".hpdrlint-baseline.json"
+
+
+def _usage_error(message: str) -> int:
+    print(f"hpdrlint: {message}", file=sys.stderr)
+    return 2
+
+
+def _validate_paths(raw: list[str]) -> list[Path] | int:
+    """Resolve CLI path arguments, rejecting anything we cannot lint.
+
+    A non-existent path, a dangling symlink, or a file argument that is
+    not ``.py`` is a usage error (exit 2) — silently skipping it would
+    report "clean" without analyzing what the caller asked for.
+    """
+    paths: list[Path] = []
+    for arg in raw:
+        p = Path(arg)
+        if not p.exists():
+            if p.is_symlink():
+                return _usage_error(
+                    f"dangling symlink: {p} -> {p.readlink()}"
+                )
+            return _usage_error(f"no such path: {p}")
+        if p.is_file() and p.suffix != ".py":
+            return _usage_error(
+                f"not a Python file: {p} (only .py files and "
+                f"directories can be analyzed)"
+            )
+        paths.append(p)
+    return paths
+
+
+def _list_rules() -> None:
+    for pack in ALL_PACKS:
+        rules = RULE_PACKS[pack]
+        print(f"[{pack}]")
+        for rule, desc in sorted(rules.items()):
+            print(f"  {rule}  {desc}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,30 +87,107 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "paths", nargs="*", default=None,
-        help="files/directories to lint (default: src/repro)",
+        help="files/directories to analyze (default: src/repro)",
     )
     parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule table",
+        "--packs", default=",".join(ALL_PACKS), metavar="P1,P2",
+        help=f"comma-separated rule packs (default: all = "
+             f"{','.join(ALL_PACKS)})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table grouped by pack",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="also write a SARIF 2.1.0 report to PATH",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file of grandfathered findings (default: "
+             ".hpdrlint-baseline.json at the repo root, if present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="fail (exit 1) if the analysis takes longer than S seconds",
     )
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule, desc in sorted(RULES.items()):
-            print(f"{rule}  {desc}")
+        _list_rules()
         return 0
 
-    paths = [Path(p) for p in (args.paths or [REPO_ROOT / "src" / "repro"])]
-    for p in paths:
-        if not p.exists():
-            print(f"hpdrlint: no such path: {p}", file=sys.stderr)
-            return 2
+    packs = [p for p in args.packs.split(",") if p]
+    unknown = set(packs) - set(RULE_PACKS)
+    if unknown:
+        return _usage_error(
+            f"unknown pack(s) {sorted(unknown)}; choose from "
+            f"{sorted(RULE_PACKS)}"
+        )
 
-    findings = lint_paths(paths)
-    if findings:
-        print(format_findings(findings))
-        return 1
-    print("hpdrlint: clean")
-    return 0
+    if args.paths:
+        validated = _validate_paths(args.paths)
+        if isinstance(validated, int):
+            return validated
+        paths = validated
+    else:
+        paths = [REPO_ROOT / "src" / "repro"]
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+
+    start = time.perf_counter()
+    result = analyze_paths(paths, packs=packs)
+    elapsed = time.perf_counter() - start
+
+    for warning in result.warnings:
+        print(f"hpdrlint: warning: {warning}", file=sys.stderr)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings, REPO_ROOT)
+        print(
+            f"hpdrlint: wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    fresh = result.findings
+    known_count = 0
+    if baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            return _usage_error(f"cannot read baseline: {exc}")
+        fresh, known = partition_findings(result.findings, baseline, REPO_ROOT)
+        known_count = len(known)
+
+    if args.sarif:
+        rules = {
+            rid: desc
+            for pack in packs
+            for rid, desc in RULE_PACKS[pack].items()
+        }
+        write_sarif(Path(args.sarif), fresh, rules, REPO_ROOT)
+
+    status = 0
+    if fresh:
+        print(format_findings(fresh))
+        status = 1
+    else:
+        suffix = f" ({known_count} baselined)" if known_count else ""
+        print(f"hpdrlint: clean{suffix} [{elapsed:.2f}s]")
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(
+            f"hpdrlint: analysis took {elapsed:.2f}s "
+            f"(budget {args.max_seconds:.2f}s)",
+            file=sys.stderr,
+        )
+        status = max(status, 1)
+    return status
 
 
 if __name__ == "__main__":

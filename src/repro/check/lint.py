@@ -39,6 +39,10 @@ RULES: dict[str, str] = {
     "HPL004": "Functor subclass breaks the apply(data) calling convention",
 }
 
+#: the syntactic rules above form the ``core`` pack; the dataflow packs
+#: (HPL1xx/2xx/3xx) live in :mod:`repro.check.static`.
+CORE_PACK = "core"
+
 #: numpy namespace calls that allocate a fresh array.
 _NP_ALLOC = {
     "empty", "zeros", "ones", "full",
@@ -100,6 +104,40 @@ def _suppressions(source: str) -> dict[int, set[str]]:
                 if tok.strip()
             }
             out[lineno] = rules
+    return out
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Public alias of the suppression-comment parser (line → rule ids)."""
+    return _suppressions(source)
+
+
+def is_suppressed(
+    suppress: dict[int, set[str]], rule: str, lines: Iterable[int]
+) -> bool:
+    """True when ``rule`` is disabled on any of ``lines``."""
+    for line in lines:
+        rules = suppress.get(line)
+        if rules and ("ALL" in rules or rule in rules):
+            return True
+    return False
+
+
+def unknown_suppression_ids(
+    source: str, known: Iterable[str]
+) -> list[tuple[int, str]]:
+    """``(line, rule_id)`` for suppression comments naming unknown rules.
+
+    A typo in a suppression (``disable=HPL0001``) silently suppresses
+    nothing while looking like it does — the CLI surfaces these as
+    warnings instead of letting them pass unnoticed.
+    """
+    known_upper = {k.upper() for k in known} | {"ALL"}
+    out: list[tuple[int, str]] = []
+    for lineno, rules in _suppressions(source).items():
+        for rule in sorted(rules):
+            if rule not in known_upper:
+                out.append((lineno, rule))
     return out
 
 

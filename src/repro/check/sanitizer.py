@@ -103,11 +103,11 @@ class SanitizingAdapter(DeviceAdapter):
 
     # -- transparent delegation ------------------------------------------
     @property
-    def spec(self):
+    def spec(self) -> Any:
         return self.inner.spec
 
     @property
-    def trace(self):
+    def trace(self) -> Any:
         return self.inner.trace
 
     def __getattr__(self, name: str) -> Any:

@@ -1,0 +1,92 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline lets a new rule pack land with the tree's pre-existing
+findings acknowledged but not fatal: CI fails only on findings *not* in
+the baseline, and the baseline is expected to shrink monotonically.
+Entries match on ``(rule, repo-relative path, content hash of the
+offending line)`` — renumbering from unrelated edits does not break the
+match, while changing the offending line itself (the fix) retires the
+entry.
+
+The shipped baseline (``.hpdrlint-baseline.json``) is **empty**: every
+finding the current packs raise on the tree is fixed or carries an
+inline suppression with a reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.check.lint import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "baseline_key",
+    "load_baseline",
+    "partition_findings",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def _line_hash(path: Path, line: int) -> str:
+    try:
+        text = path.read_text(encoding="utf-8").splitlines()[line - 1]
+    except (OSError, IndexError):
+        text = ""
+    digest = hashlib.sha256(text.strip().encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def baseline_key(finding: Finding, root: Path) -> dict[str, str]:
+    """Stable identity of one finding for baseline matching."""
+    path = Path(finding.path)
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return {
+        "rule": finding.rule,
+        "path": rel,
+        "hash": _line_hash(path, finding.line),
+    }
+
+
+def _entry_id(entry: dict[str, str]) -> tuple[str, str, str]:
+    return (entry["rule"], entry["path"], entry["hash"])
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """Load a baseline file; returns the set of grandfathered keys."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {path} (expected {BASELINE_VERSION})"
+        )
+    return {_entry_id(e) for e in data.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: list[Finding], root: Path) -> None:
+    """Write the baseline capturing ``findings`` as grandfathered."""
+    entries = [baseline_key(f, root) for f in findings]
+    entries.sort(key=_entry_id)
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition_findings(
+    findings: list[Finding],
+    baseline: set[tuple[str, str, str]],
+    root: Path,
+) -> tuple[list[Finding], list[Finding]]:
+    """Split into (new, grandfathered) against a loaded baseline."""
+    fresh: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        key = _entry_id(baseline_key(finding, root))
+        (known if key in baseline else fresh).append(finding)
+    return fresh, known

@@ -1,0 +1,285 @@
+"""Module index and interprocedural call graph for HPDR-Statica.
+
+:class:`ModuleUnit` wraps one parsed source file with everything the
+rule packs query repeatedly: an import table (local name → dotted
+origin), a parent map (AST node → enclosing node), per-line suppression
+sets, and every function/method definition keyed by qualified name.
+
+:class:`ProjectIndex` spans the analyzed file set and resolves call
+expressions to definitions, conservatively:
+
+* bare names resolve to module-level functions of the same module, or
+  through ``from x import y`` when module ``x`` is in the file set;
+* ``self.m(...)`` resolves to method ``m`` of the enclosing class;
+* ``mod.f(...)`` resolves through ``import repro.x as mod``;
+* ``obj.m(...)`` resolves only when exactly **one** analyzed class
+  defines method ``m`` (used by the executor-binding rule, where the
+  dispatch sites are few and the method names distinctive).
+
+Unresolvable calls resolve to nothing — the analyses stay quiet rather
+than guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.check.lint import parse_suppressions
+
+__all__ = ["FuncInfo", "ModuleUnit", "ProjectIndex", "qualified_call_name"]
+
+
+def _is_hot_decorator(dec: ast.expr) -> bool:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Name):
+        return target.id == "hot_path"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "hot_path"
+    return False
+
+
+@dataclass(eq=False)  # identity semantics: nodes are unique, sets hold them
+class FuncInfo:
+    """One function or method definition inside an analyzed module."""
+
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: "ModuleUnit"
+    class_name: str | None = None
+    is_hot: bool = False
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+class ModuleUnit:
+    """One parsed module plus the lookup tables the rule packs share."""
+
+    def __init__(self, path: Path, source: str,
+                 module_name: str | None = None) -> None:
+        self.path = path
+        self.source = source
+        self.module_name = module_name or _module_name_for(path)
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions = parse_suppressions(source)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        #: local name → dotted origin ("np" → "numpy",
+        #: "sleep" → "time.sleep", "SharedMemory" →
+        #: "multiprocessing.shared_memory.SharedMemory").
+        self.imports: dict[str, str] = {}
+        self.functions: dict[str, FuncInfo] = {}
+        self.classes: dict[str, ast.ClassDef] = {}
+        self._index()
+
+    # ------------------------------------------------------------------
+    def _index(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        info = FuncInfo(
+                            qualname=f"{node.name}.{item.name}",
+                            node=item, module=self,
+                            class_name=node.name,
+                            is_hot=any(_is_hot_decorator(d)
+                                       for d in item.decorator_list),
+                        )
+                        self.functions[info.qualname] = info
+        for item in self.tree.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[item.name] = FuncInfo(
+                    qualname=item.name, node=item, module=self,
+                    is_hot=any(_is_hot_decorator(d)
+                               for d in item.decorator_list),
+                )
+
+    # ------------------------------------------------------------------
+    def enclosing_statement(self, node: ast.AST) -> ast.stmt | None:
+        cur: ast.AST | None = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = self.parents.get(cur)
+        return cur if isinstance(cur, ast.stmt) else None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        cur: ast.AST | None = node
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        cur: ast.AST | None = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def qualified_name(self, expr: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute through the import table.
+
+        ``np.zeros`` → ``numpy.zeros``; bare ``open`` (no local import,
+        no local def) → ``builtins.open``.
+        """
+        parts: list[str] = []
+        cur = expr
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        parts.reverse()
+        head, rest = parts[0], parts[1:]
+        origin = self.imports.get(head)
+        if origin is not None:
+            return ".".join([origin, *rest])
+        if not rest and head not in self.functions and head not in self.classes:
+            return f"builtins.{head}"
+        return ".".join(parts)
+
+
+def _module_name_for(path: Path) -> str:
+    """Best-effort dotted module name (``repro.serve.net``) for a path."""
+    parts = list(path.parts)
+    for anchor in ("src",):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            dotted = parts[idx + 1:]
+            if dotted:
+                return ".".join(dotted)[:-3] if dotted[-1].endswith(".py") \
+                    else ".".join(dotted)
+    return path.stem
+
+
+@dataclass
+class ProjectIndex:
+    """All analyzed modules plus cross-module call resolution."""
+
+    modules: list[ModuleUnit] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name: dict[str, ModuleUnit] = {}
+        #: method name → every (class, FuncInfo) that defines it.
+        self._methods: dict[str, list[FuncInfo]] = {}
+
+    def add(self, unit: ModuleUnit) -> None:
+        self.modules.append(unit)
+        self._by_name[unit.module_name] = unit
+        for info in unit.functions.values():
+            if info.class_name is not None:
+                self._methods.setdefault(info.name, []).append(info)
+
+    def module(self, dotted: str) -> ModuleUnit | None:
+        return self._by_name.get(dotted)
+
+    # ------------------------------------------------------------------
+    def resolve_call(
+        self,
+        call: ast.Call,
+        caller: FuncInfo,
+        unique_methods: bool = False,
+    ) -> FuncInfo | None:
+        func = call.func
+        unit = caller.module
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, unit)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self" \
+                    and caller.class_name is not None:
+                return unit.functions.get(f"{caller.class_name}.{func.attr}")
+            if isinstance(base, ast.Name):
+                origin = unit.imports.get(base.id)
+                if origin is not None:
+                    target = self._by_name.get(origin)
+                    if target is not None:
+                        return target.functions.get(func.attr)
+                    # ``from pkg import mod`` — origin is "pkg.mod".
+                    return self._resolve_dotted(f"{origin}.{func.attr}")
+            if unique_methods:
+                candidates = self._methods.get(func.attr, [])
+                if len(candidates) == 1:
+                    return candidates[0]
+        return None
+
+    def resolve_ref(
+        self,
+        expr: ast.expr,
+        unit: ModuleUnit,
+        class_name: str | None = None,
+    ) -> FuncInfo | None:
+        """Resolve a bare callable *reference* (not a call) — the form
+        executor dispatch sites pass: ``self.m``, ``worker.run_batch``,
+        ``_job``.  Unique-method fallback is always on here: dispatch
+        sites are few and their method names distinctive."""
+        if isinstance(expr, ast.Name):
+            return self._resolve_name(expr.id, unit)
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name) and base.id == "self" \
+                    and class_name is not None:
+                return unit.functions.get(f"{class_name}.{expr.attr}")
+            if isinstance(base, ast.Name):
+                origin = unit.imports.get(base.id)
+                if origin is not None:
+                    target = self._by_name.get(origin)
+                    if target is not None:
+                        return target.functions.get(expr.attr)
+            candidates = self._methods.get(expr.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def _resolve_name(self, name: str, unit: ModuleUnit) -> FuncInfo | None:
+        info = unit.functions.get(name)
+        if info is not None:
+            return info
+        origin = unit.imports.get(name)
+        if origin is not None:
+            return self._resolve_dotted(origin)
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> FuncInfo | None:
+        module_name, _, attr = dotted.rpartition(".")
+        target = self._by_name.get(module_name)
+        if target is not None:
+            return target.functions.get(attr)
+        return None
+
+    # ------------------------------------------------------------------
+    def hot_functions(self) -> list[FuncInfo]:
+        return [
+            info
+            for unit in self.modules
+            for info in unit.functions.values()
+            if info.is_hot
+        ]
+
+
+def qualified_call_name(call: ast.Call, unit: ModuleUnit) -> str | None:
+    """Dotted origin of a call's callee, or None."""
+    return unit.qualified_name(call.func)

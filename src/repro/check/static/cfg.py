@@ -1,0 +1,266 @@
+"""Per-function control-flow graphs over Python AST.
+
+:func:`build_cfg` lowers one ``FunctionDef``/``AsyncFunctionDef`` into
+basic blocks connected by directed edges.  Blocks hold *elements*: a
+simple statement contributes itself, a compound statement contributes
+only its header expression (``If.test``, ``While.test``, ``For.iter``,
+each ``withitem`` …) while its body is lowered into successor blocks.
+Transfer functions therefore never need to descend into compound
+bodies — iterating ``block.elements`` in order visits every evaluated
+expression exactly once per path.
+
+Approximations (all path-adding, so may-analyses stay sound):
+
+* every block built inside a ``try`` body gets an edge to every
+  handler head (any statement may raise);
+* ``return``/``raise``/``break``/``continue`` inside ``try/finally``
+  route through the innermost ``finally`` block, whose exit then leads
+  both to the function exit and to the normal fall-through;
+* nested function/class definitions are single elements (their bodies
+  are separate CFGs).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+class Block:
+    """One basic block: ordered elements plus successor/predecessor edges."""
+
+    __slots__ = ("bid", "elements", "succs", "preds")
+
+    def __init__(self, bid: int) -> None:
+        self.bid = bid
+        self.elements: list[ast.AST] = []
+        self.succs: list["Block"] = []
+        self.preds: list["Block"] = []
+
+    def link(self, succ: "Block") -> None:
+        if succ not in self.succs:
+            self.succs.append(succ)
+            succ.preds.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(e).__name__ for e in self.elements)
+        edges = ",".join(str(s.bid) for s in self.succs)
+        return f"<Block {self.bid} [{kinds}] -> [{edges}]>"
+
+
+class CFG:
+    """Control-flow graph of one function: entry, exit, all blocks."""
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.fn = fn
+        self.blocks: list[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def reachable(self) -> list[Block]:
+        """Blocks reachable from the entry, in discovery order."""
+        seen: list[Block] = []
+        stack = [self.entry]
+        marked = {self.entry.bid}
+        while stack:
+            block = stack.pop()
+            seen.append(block)
+            for succ in block.succs:
+                if succ.bid not in marked:
+                    marked.add(succ.bid)
+                    stack.append(succ)
+        return seen
+
+
+class _Builder:
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG(fn)
+        #: (loop_header, loop_after) for break/continue targets.
+        self.loops: list[tuple[Block, Block]] = []
+        #: innermost-last finally entry blocks for abrupt exits.
+        self.finallies: list[Block] = []
+
+    # ------------------------------------------------------------------
+    def build(self) -> CFG:
+        end = self._stmts(self.cfg.fn.body, self.cfg.entry)
+        if end is not None:
+            end.link(self.cfg.exit)
+        return self.cfg
+
+    def _abrupt_target(self) -> Block:
+        """Where return/raise jump: the innermost finally, else exit."""
+        return self.finallies[-1] if self.finallies else self.cfg.exit
+
+    def _stmts(self, stmts: list[ast.stmt], cur: Block | None) -> Block | None:
+        for stmt in stmts:
+            if cur is None:
+                cur = self.cfg.new_block()  # dead code keeps its own island
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt: ast.stmt, cur: Block) -> Block | None:
+        if isinstance(stmt, ast.If):
+            return self._branch(cur, stmt.test, stmt.body, stmt.orelse)
+        if isinstance(stmt, ast.While):
+            return self._loop(cur, stmt.test, stmt.body, stmt.orelse,
+                              header_elems=[stmt.test])
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._loop(cur, None, stmt.body, stmt.orelse,
+                              header_elems=[stmt.iter, stmt.target])
+        if isinstance(stmt, ast.Try):
+            return self._try(cur, stmt)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                cur.elements.append(item)
+            return self._stmts(stmt.body, cur)
+        if isinstance(stmt, ast.Match):
+            return self._match(cur, stmt)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cur.elements.append(stmt)
+            cur.link(self._abrupt_target())
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                cur.link(self.loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                cur.link(self.loops[-1][0])
+            return None
+        # Simple statements — and nested definitions, kept opaque.
+        cur.elements.append(stmt)
+        return cur
+
+    # ------------------------------------------------------------------
+    def _branch(
+        self,
+        cur: Block,
+        test: ast.expr,
+        body: list[ast.stmt],
+        orelse: list[ast.stmt],
+    ) -> Block | None:
+        cur.elements.append(test)
+        after = self.cfg.new_block()
+        then_block = self.cfg.new_block()
+        cur.link(then_block)
+        then_end = self._stmts(body, then_block)
+        if then_end is not None:
+            then_end.link(after)
+        if orelse:
+            else_block = self.cfg.new_block()
+            cur.link(else_block)
+            else_end = self._stmts(orelse, else_block)
+            if else_end is not None:
+                else_end.link(after)
+        else:
+            cur.link(after)
+        return after if after.preds else None
+
+    def _loop(
+        self,
+        cur: Block,
+        test: ast.expr | None,
+        body: list[ast.stmt],
+        orelse: list[ast.stmt],
+        header_elems: list[ast.AST],
+    ) -> Block:
+        header = self.cfg.new_block()
+        cur.link(header)
+        header.elements.extend(header_elems)
+        after = self.cfg.new_block()
+        body_block = self.cfg.new_block()
+        header.link(body_block)
+        infinite = (
+            isinstance(test, ast.Constant) and bool(test.value) is True
+        )
+        if not infinite:
+            header.link(after)
+        self.loops.append((header, after))
+        body_end = self._stmts(body, body_block)
+        self.loops.pop()
+        if body_end is not None:
+            body_end.link(header)
+        if orelse:
+            # ``else`` runs on normal loop exit; approximate by running
+            # it between header-false and after.
+            else_block = self.cfg.new_block()
+            header.link(else_block)
+            else_end = self._stmts(orelse, else_block)
+            if else_end is not None:
+                else_end.link(after)
+        return after
+
+    def _try(self, cur: Block, stmt: ast.Try) -> Block | None:
+        finally_entry: Block | None = None
+        if stmt.finalbody:
+            finally_entry = self.cfg.new_block()
+            self.finallies.append(finally_entry)
+
+        body_block = self.cfg.new_block()
+        cur.link(body_block)
+        first_body_idx = len(self.cfg.blocks) - 1
+        body_end = self._stmts(stmt.body, body_block)
+        body_blocks = self.cfg.blocks[first_body_idx:]
+
+        join = self.cfg.new_block()
+        handler_heads: list[Block] = []
+        for handler in stmt.handlers:
+            head = self.cfg.new_block()
+            handler_heads.append(head)
+            handler_end = self._stmts(handler.body, head)
+            if handler_end is not None:
+                handler_end.link(join)
+        # Any statement of the try body may raise into any handler.
+        for block in body_blocks:
+            for head in handler_heads:
+                block.link(head)
+
+        if stmt.orelse:
+            if body_end is not None:
+                else_block = self.cfg.new_block()
+                body_end.link(else_block)
+                else_end = self._stmts(stmt.orelse, else_block)
+                if else_end is not None:
+                    else_end.link(join)
+        elif body_end is not None:
+            body_end.link(join)
+
+        if finally_entry is not None:
+            self.finallies.pop()
+            join.link(finally_entry)
+            fin_end = self._stmts(stmt.finalbody, finally_entry)
+            after = self.cfg.new_block()
+            if fin_end is not None:
+                fin_end.link(after)
+                # Abrupt paths (return/raise routed into the finally)
+                # leave the function after it runs.
+                fin_end.link(self._abrupt_target())
+            return after if after.preds else None
+        return join if join.preds else None
+
+    def _match(self, cur: Block, stmt: ast.Match) -> Block | None:
+        cur.elements.append(stmt.subject)
+        after = self.cfg.new_block()
+        for case in stmt.cases:
+            case_block = self.cfg.new_block()
+            cur.link(case_block)
+            case_block.elements.append(case.pattern)
+            if case.guard is not None:
+                case_block.elements.append(case.guard)
+            case_end = self._stmts(case.body, case_block)
+            if case_end is not None:
+                case_end.link(after)
+        cur.link(after)  # no case may match
+        return after
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function definition into a :class:`CFG`."""
+    return _Builder(fn).build()

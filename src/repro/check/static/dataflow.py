@@ -1,0 +1,110 @@
+"""Small forward-dataflow engine over :mod:`repro.check.static.cfg`.
+
+:class:`ForwardAnalysis` is a classic worklist solver for monotone
+frameworks joined by set union (may-analyses): subclasses implement
+``transfer_element`` and the solver iterates to a fixed point.  Two
+concrete analyses ship with it:
+
+* :class:`ReachingDefs` — which ``(name, line)`` definitions reach each
+  block entry; the substrate for alias/origin queries;
+* :func:`may_states_at` — convenience wrapper returning the solved
+  block-entry states keyed by block id.
+
+State values must be hashable frozensets; the engine never interprets
+their members, so analyses choose their own fact encoding (reaching
+defs use ``(name, lineno)``, the lifetime pack uses released root
+names).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet
+
+from repro.check.static.cfg import CFG, Block
+
+__all__ = ["ForwardAnalysis", "ReachingDefs", "assigned_names", "may_states_at"]
+
+State = FrozenSet[object]
+
+
+def assigned_names(node: ast.AST) -> list[str]:
+    """Names bound by an assignment-like element (shallow)."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+        targets = [node.optional_vars]
+    elif isinstance(node, ast.NamedExpr):
+        targets = [node.target]
+    names: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                e.id for e in target.elts if isinstance(e, ast.Name)
+            )
+    return names
+
+
+class ForwardAnalysis:
+    """Union-join forward may-analysis; subclass ``transfer_element``."""
+
+    def initial(self, cfg: CFG) -> State:
+        return frozenset()
+
+    def transfer_element(self, element: ast.AST, state: State) -> State:
+        raise NotImplementedError
+
+    def transfer_block(self, block: Block, state: State) -> State:
+        for element in block.elements:
+            state = self.transfer_element(element, state)
+        return state
+
+    def solve(self, cfg: CFG) -> dict[int, State]:
+        """Fixed point of block-entry states, keyed by block id."""
+        entry_state: dict[int, State] = {cfg.entry.bid: self.initial(cfg)}
+        worklist: list[Block] = [cfg.entry]
+        while worklist:
+            block = worklist.pop()
+            in_state = entry_state.get(block.bid, frozenset())
+            out_state = self.transfer_block(block, in_state)
+            for succ in block.succs:
+                merged = entry_state.get(succ.bid, frozenset()) | out_state
+                if merged != entry_state.get(succ.bid):
+                    entry_state[succ.bid] = merged
+                    worklist.append(succ)
+        return entry_state
+
+
+class ReachingDefs(ForwardAnalysis):
+    """Which ``(name, lineno)`` definitions may reach each block entry."""
+
+    def transfer_element(self, element: ast.AST, state: State) -> State:
+        names = assigned_names(element)
+        if not names:
+            return state
+        lineno = getattr(element, "lineno", 0)
+        killed = {
+            fact for fact in state
+            if isinstance(fact, tuple) and fact[0] in names
+        }
+        gen = {(name, lineno) for name in names}
+        return (state - killed) | frozenset(gen)
+
+    def defs_reaching(self, cfg: CFG, name: str) -> set[int]:
+        """All definition lines of ``name`` that reach the exit block."""
+        solved = self.solve(cfg)
+        state = solved.get(cfg.exit.bid, frozenset())
+        return {
+            fact[1] for fact in state
+            if isinstance(fact, tuple) and fact[0] == name
+        }
+
+
+def may_states_at(analysis: ForwardAnalysis, cfg: CFG) -> dict[int, State]:
+    """Solve ``analysis`` over ``cfg``; block-id → entry state."""
+    return analysis.solve(cfg)

@@ -1,0 +1,45 @@
+"""Finding emission shared by the Statica rule packs.
+
+:class:`Emitter` applies the same suppression contract as the syntactic
+linter: a finding is dropped when ``# hpdrlint: disable=<RULE>``
+appears on any line the offending node spans, on the first line of its
+enclosing statement, or on the comment line directly above either.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.lint import Finding, is_suppressed
+from repro.check.static.callgraph import ModuleUnit
+
+__all__ = ["Emitter"]
+
+
+class Emitter:
+    """Collects suppression-filtered findings for one module."""
+
+    def __init__(self, unit: ModuleUnit) -> None:
+        self.unit = unit
+        self.findings: list[Finding] = []
+
+    def emit(self, node: ast.AST, rule: str, message: str, hint: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        end = getattr(node, "end_lineno", lineno) or lineno
+        lines = set(range(lineno, end + 1))
+        lines.add(lineno - 1)
+        stmt = self.unit.enclosing_statement(node)
+        if stmt is not None:
+            lines.update((stmt.lineno, stmt.lineno - 1))
+        if is_suppressed(self.unit.suppressions, rule, lines):
+            return
+        self.findings.append(
+            Finding(
+                path=str(self.unit.path),
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+                hint=hint,
+            )
+        )

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 emission for hpdrlint/Statica findings.
+
+One run, one tool (``hpdrlint``), one result per finding.  The output
+is the minimal valid subset GitHub code scanning consumes: rule
+metadata on the driver, ``level: error`` results with a physical
+location (repo-relative URI + start line/column) and a stable
+``partialFingerprints`` entry so annotations survive unrelated line
+drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.check.lint import Finding
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _rel_uri(path: str, root: Path) -> str:
+    p = Path(path)
+    try:
+        return p.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def _fingerprint(finding: Finding) -> str:
+    raw = f"{finding.rule}:{finding.path}:{finding.message}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:32]
+
+
+def to_sarif(
+    findings: list[Finding],
+    rules: dict[str, str],
+    root: Path,
+    tool_version: str = "1.0.0",
+) -> dict:
+    """Build the SARIF 2.1.0 log object for ``findings``."""
+    rule_ids = sorted(rules)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    driver_rules = [
+        {
+            "id": rid,
+            "name": rid,
+            "shortDescription": {"text": rules[rid]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rid in rule_ids
+    ]
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index.get(finding.rule, -1),
+                "level": "error",
+                "message": {
+                    "text": f"{finding.message}  [fix: {finding.hint}]"
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _rel_uri(finding.path, root),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "hpdrlint/v1": _fingerprint(finding)
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "hpdrlint",
+                        "informationUri":
+                            "https://github.com/hpdr/repro#hpdr-statica",
+                        "version": tool_version,
+                        "rules": driver_rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": root.resolve().as_uri() + "/"}
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path,
+    findings: list[Finding],
+    rules: dict[str, str],
+    root: Path,
+) -> None:
+    path.write_text(
+        json.dumps(to_sarif(findings, rules, root), indent=2) + "\n",
+        encoding="utf-8",
+    )

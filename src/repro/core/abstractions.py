@@ -43,7 +43,7 @@ class Abstraction(enum.Enum):
     GLOBAL = "global"
 
 
-def _default_adapter():
+def _default_adapter() -> Any:
     from repro.adapters import get_adapter
 
     return get_adapter("serial")

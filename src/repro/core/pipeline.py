@@ -32,13 +32,13 @@ from repro.machine.device import SimDevice
 from repro.machine.engine import Task, TaskKind, Trace
 from repro.perf.models import KernelModel
 from repro.trace.metrics import REGISTRY as _METRICS
-from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
+from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER, _NullSpan
 
 #: metadata embedded/extracted per chunk (bytes) — rides the DMA engines.
 META_BYTES = 4096
 
 
-def _pipeline_span(name: str, **args):
+def _pipeline_span(name: str, **args: object) -> Span | _NullSpan:
     """Span for a pipeline build/run step (shared NULL_SPAN when off)."""
     if not _TRACER.enabled:
         return NULL_SPAN

@@ -307,7 +307,9 @@ async def serve_tcp(service, host: str = "127.0.0.1",
     covers every admitted request.
     """
 
-    async def handler(reader, writer):
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         await _handle_connection(service, reader, writer)
 
     return await asyncio.start_server(handler, host, port)

@@ -71,7 +71,7 @@ _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 _LATENCY_BUCKETS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0)
 
 
-def _span(name: str, **args):
+def _span(name: str, **args: Any) -> Any:
     if not _TRACER.enabled:
         return NULL_SPAN
     return Span(_TRACER, name, "serve", args)

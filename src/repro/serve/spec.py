@@ -21,7 +21,7 @@ two keys:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Any, Hashable
 
 import numpy as np
 
@@ -110,7 +110,7 @@ class CodecSpec:
             return (self.name, self.error_bound, self.error_mode, self.dict_size)
         return (self.name, self.error_bound, self.error_mode)
 
-    def build(self, adapter=None, context_cache=None):
+    def build(self, adapter: Any = None, context_cache: Any = None) -> Any:
         """Instantiate the codec on ``adapter`` sharing ``context_cache``.
 
         Every returned object satisfies ``compress(data) -> bytes`` /

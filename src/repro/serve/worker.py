@@ -52,19 +52,19 @@ from repro.trace.tracer import NULL_SPAN, Span, TRACER as _TRACER
 OK, ERR = "ok", "err"
 
 
-def _span(name: str, **args):
+def _span(name: str, **args: Any) -> Any:
     if not _TRACER.enabled:
         return NULL_SPAN
     return Span(_TRACER, name, "serve", args)
 
 
-def _apply(codec, op: str, payload):
+def _apply(codec: Any, op: str, payload: Any) -> Any:
     if op == "compress":
         return codec.compress(payload)
     return codec.decompress(payload)
 
 
-def _apply_batch(codec, op: str, payloads: list):
+def _apply_batch(codec: Any, op: str, payloads: list[Any]) -> Any:
     """Vectorized batch entry point, or None when the codec lacks one."""
     fn = getattr(codec, f"{op}_batch", None)
     if fn is None:

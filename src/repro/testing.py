@@ -263,46 +263,54 @@ def check_service(
 
     rng = rng if rng is not None else np.random.default_rng(0)
 
-    async def run() -> None:
-        for codec in codecs:
-            spec = CodecSpec(codec)
-            for n in batch_sizes:
-                arrays = [
-                    np.ascontiguousarray(
-                        rng.standard_normal(shape).astype(np.float32)
-                    )
-                    for _ in range(n)
-                ]
-                reference = spec.build()
-                want_blobs = [reference.compress(a) for a in arrays]
-                want_arrays = [reference.decompress(b) for b in want_blobs]
-                cfg = ServiceConfig(
-                    limits=BatchLimits(
-                        max_batch=max(1, min(n, 64)), max_latency_s=0.005
-                    ),
-                    max_pending=max(256, 2 * n),
-                    adapter=adapter,
-                    threads=threads,
-                    workers=workers,
-                    process=process,
+    # Reference streams are computed synchronously *before* the event
+    # loop starts: a direct codec call inside the async driver would
+    # stall the loop (Statica rule HPL101) — and the references do not
+    # depend on the service anyway.
+    cases = []
+    for codec in codecs:
+        spec = CodecSpec(codec)
+        for n in batch_sizes:
+            arrays = [
+                np.ascontiguousarray(
+                    rng.standard_normal(shape).astype(np.float32)
                 )
-                async with ReductionService(cfg) as svc:
-                    got_blobs = await asyncio.gather(
-                        *(svc.compress(spec, a) for a in arrays)
-                    )
+                for _ in range(n)
+            ]
+            reference = spec.build()
+            want_blobs = [reference.compress(a) for a in arrays]
+            want_arrays = [reference.decompress(b) for b in want_blobs]
+            cases.append((codec, spec, n, arrays, want_blobs, want_arrays))
+
+    async def run() -> None:
+        for codec, spec, n, arrays, want_blobs, want_arrays in cases:
+            cfg = ServiceConfig(
+                limits=BatchLimits(
+                    max_batch=max(1, min(n, 64)), max_latency_s=0.005
+                ),
+                max_pending=max(256, 2 * n),
+                adapter=adapter,
+                threads=threads,
+                workers=workers,
+                process=process,
+            )
+            async with ReductionService(cfg) as svc:
+                got_blobs = await asyncio.gather(
+                    *(svc.compress(spec, a) for a in arrays)
+                )
+                _require(
+                    list(got_blobs) == want_blobs,
+                    f"served {codec} stream differs from single-shot "
+                    f"(adapter={adapter}, batch={n})",
+                )
+                got_arrays = await asyncio.gather(
+                    *(svc.decompress(spec, b) for b in got_blobs)
+                )
+                for got, want in zip(got_arrays, want_arrays):
                     _require(
-                        list(got_blobs) == want_blobs,
-                        f"served {codec} stream differs from single-shot "
-                        f"(adapter={adapter}, batch={n})",
+                        np.array_equal(np.asarray(got), want),
+                        f"served {codec} decompression differs from "
+                        f"single-shot (adapter={adapter}, batch={n})",
                     )
-                    got_arrays = await asyncio.gather(
-                        *(svc.decompress(spec, b) for b in got_blobs)
-                    )
-                    for got, want in zip(got_arrays, want_arrays):
-                        _require(
-                            np.array_equal(np.asarray(got), want),
-                            f"served {codec} decompression differs from "
-                            f"single-shot (adapter={adapter}, batch={n})",
-                        )
 
     asyncio.run(run())

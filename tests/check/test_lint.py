@@ -233,4 +233,8 @@ class TestDriver:
         assert "seeded.py:5:" in f.format()
 
     def test_rule_table_complete(self):
+        # Core (syntactic) pack only; dataflow packs live in
+        # repro.check.static and are covered by test_static_driver.py.
         assert set(RULES) == {"HPL001", "HPL002", "HPL003", "HPL004"}
+        from repro.check.static import ALL_RULES
+        assert set(RULES) <= set(ALL_RULES)

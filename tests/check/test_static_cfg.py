@@ -1,0 +1,189 @@
+"""Unit tests for the Statica CFG builder and dataflow engine."""
+
+import ast
+
+import pytest
+
+from repro.check.static import build_cfg
+from repro.check.static.dataflow import ReachingDefs, assigned_names
+
+
+def _fn(src: str):
+    tree = ast.parse(src)
+    return next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+def _cfg(src: str):
+    return build_cfg(_fn(src))
+
+
+class TestCFGShape:
+    def test_straight_line_is_one_path(self):
+        cfg = _cfg("def f(x):\n    a = x\n    b = a\n    return b\n")
+        reachable = cfg.reachable()
+        assert cfg.exit in reachable
+        # Entry holds the two assignments and the return, in order.
+        kinds = [type(e).__name__ for e in cfg.entry.elements]
+        assert kinds == ["Assign", "Assign", "Return"]
+
+    def test_if_else_forms_a_diamond(self):
+        cfg = _cfg(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        # The entry (holding the test) must fan out to two blocks which
+        # re-join before the return.
+        assert len(cfg.entry.succs) == 2
+        joins = {s for b in cfg.entry.succs for s in b.succs}
+        assert len(joins) == 1
+        assert cfg.exit in cfg.reachable()
+
+    def test_while_has_back_edge_and_exit_edge(self):
+        cfg = _cfg(
+            "def f(n):\n"
+            "    i = 0\n"
+            "    while i < n:\n"
+            "        i = i + 1\n"
+            "    return i\n"
+        )
+        header = next(
+            b for b in cfg.reachable()
+            if any(isinstance(e, ast.Compare) for e in b.elements)
+        )
+        assert len(header.succs) == 2  # body + after
+        body = next(
+            s for s in header.succs
+            if any(isinstance(e, ast.Assign) for e in s.elements)
+        )
+        assert header in body.succs  # back edge
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = _cfg("def f(x):\n    return x\n    y = 1\n")
+        reachable_elems = [
+            e for b in cfg.reachable() for e in b.elements
+        ]
+        assert not any(isinstance(e, ast.Assign) for e in reachable_elems)
+        assert cfg.exit in cfg.reachable()
+
+    def test_try_body_edges_into_handler(self):
+        cfg = _cfg(
+            "def f(x):\n"
+            "    try:\n"
+            "        a = g(x)\n"
+            "    except ValueError:\n"
+            "        a = None\n"
+            "    return a\n"
+        )
+        body = next(
+            b for b in cfg.reachable()
+            if any(
+                isinstance(e, ast.Assign)
+                and isinstance(e.value, ast.Call)
+                for e in b.elements
+            )
+        )
+        handler = next(
+            b for b in cfg.reachable()
+            if any(
+                isinstance(e, ast.Assign)
+                and isinstance(e.value, ast.Constant)
+                for e in b.elements
+            )
+        )
+        assert handler in body.succs
+
+    def test_return_routes_through_finally(self):
+        cfg = _cfg(
+            "def f(x):\n"
+            "    try:\n"
+            "        return g(x)\n"
+            "    finally:\n"
+            "        release(x)\n"
+        )
+        fin = next(
+            b for b in cfg.reachable()
+            if any(
+                isinstance(e, ast.Expr)
+                and isinstance(e.value, ast.Call)
+                and isinstance(e.value.func, ast.Name)
+                and e.value.func.id == "release"
+                for e in b.elements
+            )
+        )
+        # The finally block runs on the abrupt (return) path too.
+        assert fin in cfg.reachable()
+        assert cfg.exit in {s for s in fin.succs} | {
+            s for b in fin.succs for s in b.succs
+        }
+
+    def test_break_exits_the_loop(self):
+        cfg = _cfg(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "    return 1\n"
+        )
+        # The return statement stays reachable despite the break.
+        assert any(
+            isinstance(e, ast.Return)
+            for b in cfg.reachable() for e in b.elements
+        )
+
+
+class TestReachingDefs:
+    def test_branch_defs_both_reach_exit(self):
+        cfg = _cfg(
+            "def f(x):\n"
+            "    a = 1\n"
+            "    if x:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        lines = ReachingDefs().defs_reaching(cfg, "a")
+        assert lines == {2, 4}  # may-analysis keeps both
+
+    def test_sequential_redefinition_kills(self):
+        cfg = _cfg("def f():\n    a = 1\n    a = 2\n    return a\n")
+        assert ReachingDefs().defs_reaching(cfg, "a") == {3}
+
+    def test_loop_body_def_reaches_exit(self):
+        cfg = _cfg(
+            "def f(xs):\n"
+            "    out = None\n"
+            "    for x in xs:\n"
+            "        out = x\n"
+            "    return out\n"
+        )
+        assert ReachingDefs().defs_reaching(cfg, "out") == {2, 4}
+
+
+class TestAssignedNames:
+    @pytest.mark.parametrize(
+        "src,want",
+        [
+            ("a = 1", ["a"]),
+            ("a, b = 1, 2", ["a", "b"]),
+            ("a += 1", ["a"]),
+            ("a: int = 1", ["a"]),
+            ("[x, y] = p", ["x", "y"]),
+        ],
+    )
+    def test_statement_targets(self, src, want):
+        stmt = ast.parse(src).body[0]
+        assert assigned_names(stmt) == want
+
+    def test_withitem_target(self):
+        stmt = ast.parse("with open(p) as fh:\n    pass\n").body[0]
+        assert assigned_names(stmt.items[0]) == ["fh"]
+
+    def test_non_assignment_is_empty(self):
+        stmt = ast.parse("f(x)").body[0]
+        assert assigned_names(stmt) == []

@@ -1,0 +1,260 @@
+"""Statica driver tests: suppressions, baseline, SARIF, CLI, perf."""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import (
+    parse_suppressions,
+    unknown_suppression_ids,
+)
+from repro.check.static import (
+    ALL_PACKS,
+    ALL_RULES,
+    RULE_PACKS,
+    analyze_paths,
+    analyze_source,
+    load_baseline,
+    partition_findings,
+    to_sarif,
+    write_baseline,
+)
+from repro.check.static.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "hpdrlint.py"
+
+SEEDED = "import time\nasync def f():\n    time.sleep(1)\n"
+
+
+def _run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True,
+    )
+
+
+class TestSuppressionParsing:
+    def test_multiple_rule_ids_on_one_line(self):
+        src = "x = f()  # hpdrlint: disable=HPL101,HPL201 — both\n"
+        assert parse_suppressions(src)[1] == {"HPL101", "HPL201"}
+
+    def test_suppression_on_continuation_line(self):
+        # The offending statement spans lines 3-5; a disable comment on
+        # its closing line must still suppress the finding.
+        src = (
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(\n"
+            "        1\n"
+            "    )  # hpdrlint: disable=HPL101 — seeded\n"
+        )
+        result = analyze_source("s.py", src, packs=("async",))
+        assert result.findings == []
+
+    def test_suppression_on_line_above(self):
+        src = (
+            "import time\n"
+            "async def f():\n"
+            "    # hpdrlint: disable=HPL101 — seeded\n"
+            "    time.sleep(1)\n"
+        )
+        result = analyze_source("s.py", src, packs=("async",))
+        assert result.findings == []
+
+    def test_unknown_rule_id_warns_not_silently_passes(self):
+        src = "def f():\n    return 1  # hpdrlint: disable=HPL999 — bogus\n"
+        assert unknown_suppression_ids(src, ALL_RULES) == [(2, "HPL999")]
+        result = analyze_source("s.py", src)
+        assert any("HPL999" in w for w in result.warnings)
+
+    def test_known_new_pack_id_does_not_warn(self):
+        src = "x = 1  # hpdrlint: disable=HPL203 — trusted peer\n"
+        assert unknown_suppression_ids(src, ALL_RULES) == []
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_findings(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text(SEEDED)
+        findings = analyze_paths([seeded]).findings
+        assert len(findings) == 1
+
+        bl = tmp_path / "baseline.json"
+        write_baseline(bl, findings, tmp_path)
+        loaded = load_baseline(bl)
+        fresh, known = partition_findings(findings, loaded, tmp_path)
+        assert fresh == [] and known == findings
+
+    def test_changed_line_retires_entry(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text(SEEDED)
+        findings = analyze_paths([seeded]).findings
+        bl = tmp_path / "baseline.json"
+        write_baseline(bl, findings, tmp_path)
+
+        # Editing the offending line invalidates the content hash: the
+        # finding comes back as fresh.
+        seeded.write_text(SEEDED.replace("time.sleep(1)", "time.sleep(2)"))
+        findings2 = analyze_paths([seeded]).findings
+        fresh, known = partition_findings(
+            findings2, load_baseline(bl), tmp_path
+        )
+        assert len(fresh) == 1 and known == []
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        bl = tmp_path / "baseline.json"
+        bl.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(bl)
+
+    def test_shipped_baseline_is_empty(self):
+        assert load_baseline(REPO / ".hpdrlint-baseline.json") == set()
+
+
+class TestSarif:
+    def _log(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text(SEEDED)
+        findings = analyze_paths([seeded]).findings
+        return to_sarif(findings, ALL_RULES, tmp_path), findings
+
+    def test_log_matches_2_1_0_shape(self, tmp_path):
+        log, findings = self._log(tmp_path)
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA_URI
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "hpdrlint"
+        assert {r["id"] for r in driver["rules"]} == set(ALL_RULES)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] == "error"
+
+    def test_results_reference_rules_consistently(self, tmp_path):
+        log, findings = self._log(tmp_path)
+        (run,) = log["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert len(run["results"]) == len(findings)
+        for res in run["results"]:
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+            assert res["level"] == "error"
+            assert res["message"]["text"]
+            (loc,) = res["locations"]
+            phys = loc["physicalLocation"]
+            assert phys["artifactLocation"]["uri"] == "bad.py"
+            assert phys["artifactLocation"]["uriBaseId"] == "SRCROOT"
+            assert phys["region"]["startLine"] >= 1
+            assert res["partialFingerprints"]["hpdrlint/v1"]
+
+    def test_fingerprint_stable_under_line_drift(self, tmp_path):
+        log1, _ = self._log(tmp_path)
+        padded = tmp_path / "bad.py"
+        padded.write_text("# leading comment\n" + SEEDED)
+        findings = analyze_paths([padded]).findings
+        log2 = to_sarif(findings, ALL_RULES, tmp_path)
+        fp = lambda log: log["runs"][0]["results"][0][  # noqa: E731
+            "partialFingerprints"]["hpdrlint/v1"]
+        assert fp(log1) == fp(log2)
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self):
+        proc = _run(str(REPO / "src" / "repro"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_findings_exit_one(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text(SEEDED)
+        proc = _run(str(seeded))
+        assert proc.returncode == 1
+        assert "HPL101" in proc.stdout
+
+    def test_non_python_file_is_usage_error(self, tmp_path):
+        readme = tmp_path / "README.md"
+        readme.write_text("hello\n")
+        proc = _run(str(readme))
+        assert proc.returncode == 2
+        assert "not a Python file" in proc.stderr
+
+    def test_dangling_symlink_is_usage_error(self, tmp_path):
+        link = tmp_path / "gone.py"
+        link.symlink_to(tmp_path / "no-such-target.py")
+        proc = _run(str(link))
+        assert proc.returncode == 2
+        assert "dangling symlink" in proc.stderr
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        proc = _run(str(tmp_path / "nope.py"))
+        assert proc.returncode == 2
+
+    def test_unknown_pack_is_usage_error(self):
+        proc = _run("--packs", "bogus")
+        assert proc.returncode == 2
+        assert "unknown pack" in proc.stderr
+
+    def test_list_rules_grouped_by_pack(self):
+        proc = _run("--list-rules")
+        assert proc.returncode == 0
+        for pack in ALL_PACKS:
+            assert f"[{pack}]" in proc.stdout
+        for rule in ALL_RULES:
+            assert rule in proc.stdout
+
+    def test_sarif_flag_writes_report(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text(SEEDED)
+        out = tmp_path / "out.sarif"
+        proc = _run("--sarif", str(out), str(seeded))
+        assert proc.returncode == 1
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"][0]["results"]) == 1
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text(SEEDED)
+        bl = tmp_path / "bl.json"
+        proc = _run("--baseline", str(bl), "--write-baseline", str(seeded))
+        assert proc.returncode == 0
+        proc = _run("--baseline", str(bl), str(seeded))
+        assert proc.returncode == 0
+        assert "1 baselined" in proc.stdout
+
+    def test_unknown_suppression_warns_on_stderr(self, tmp_path):
+        seeded = tmp_path / "odd.py"
+        seeded.write_text("x = 1  # hpdrlint: disable=HPL999 — typo\n")
+        proc = _run(str(seeded))
+        assert proc.returncode == 0  # warning, not finding
+        assert "HPL999" in proc.stderr
+
+
+class TestTreeGate:
+    def test_full_tree_clean_all_packs_empty_baseline(self):
+        # Acceptance: all packs over the whole tree, no baseline
+        # entries, zero findings and zero suppression warnings.
+        result = analyze_paths([REPO / "src" / "repro"], packs=ALL_PACKS)
+        assert result.findings == [], [f.format() for f in result.findings]
+        assert result.warnings == []
+
+    def test_full_tree_under_ten_seconds(self):
+        start = time.perf_counter()
+        analyze_paths([REPO / "src" / "repro"], packs=ALL_PACKS)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0, f"analysis took {elapsed:.2f}s"
+
+    def test_rule_tables_are_disjoint_and_complete(self):
+        seen: set[str] = set()
+        for pack, rules in RULE_PACKS.items():
+            assert not (seen & set(rules)), f"duplicate ids in {pack}"
+            seen |= set(rules)
+        assert seen == set(ALL_RULES)
+        assert {
+            "HPL001", "HPL101", "HPL102", "HPL103", "HPL104",
+            "HPL201", "HPL202", "HPL203", "HPL301", "HPL302",
+        } <= seen
