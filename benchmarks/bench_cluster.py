@@ -1,0 +1,359 @@
+"""HPDR-Cluster scaling benchmark (real TCP front door, real codecs).
+
+Measures cluster **goodput** — completed round-trips per second through
+the consistent-hash router's TCP front door — at 1/2/4/8 shards under a
+fixed offered load and a fixed *per-shard* admission slice.  The
+workload is the mixed-spec roster (16 distinct route keys), so
+consistent hashing spreads it across every shard; the payload and the
+closed-loop client count are identical in every cell.
+
+What the curve shows: with few shards the offered load exceeds the
+available admission capacity, so a constant fraction of clients sits in
+the reject/back-off/resend loop — every rejected attempt still uploads
+its full payload and burns framing CPU in both client and router before
+being shed.  More shards mean more admission capacity in aggregate, the
+churn disappears, and goodput rises.  On multi-core runners the shards'
+event loops and codec work also spread across cores, adding genuine
+parallel speedup on top; the committed record carries ``cores`` so a
+reader can tell which regime produced it.  ``scripts/perf_gate.py``
+pins ``s4_over_s1`` at >= ``--cluster-scaling-min`` (default 1.6).
+
+Each cell is measured ``--reps`` times and the median-goodput rep is
+kept, and every cell must finish with zero errors and zero mismatches.
+
+``--soak SECONDS`` switches to the nightly soak: one long mixed-codec
+run on 4 shards with a shard death injected a third of the way in,
+archiving the failover-window Chrome trace, the Prometheus metrics
+dump, and a wave-by-wave report into ``--outdir``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py           # full run
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_cluster.py --soak 300 --outdir soak/
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_cluster.json"
+
+SHARD_CELLS = (1, 2, 4, 8)
+SHAPE = (64, 64)
+CLIENTS = 48
+PER_SHARD_CAP = 10
+
+#: soak parameters (the nightly lane).
+SOAK_SHARDS = 4
+SOAK_CLIENTS = 16
+SOAK_WAVE_REQUESTS = 25
+
+
+def _cluster_config(shards: int, cap: int):
+    from repro.cluster import ClusterConfig
+    from repro.serve import BatchLimits, ServiceConfig
+
+    return ClusterConfig(
+        shards=shards,
+        backend="task",
+        service=ServiceConfig(
+            limits=BatchLimits(max_batch=16, max_latency_s=0.002),
+            max_pending=256,
+        ),
+        shard_max_pending=cap,
+    )
+
+
+async def _blast_front_door(cluster, specs, payloads, *, clients: int,
+                            requests: int, verify: bool = False) -> dict:
+    """One closed-loop blast through a TCP front door on the cluster."""
+    from repro.serve import BlastClient, run_blast, serve_tcp
+
+    server = await serve_tcp(cluster, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    try:
+        return await run_blast(
+            lambda i: BlastClient.connect(host, port),
+            clients=clients,
+            requests_per_client=requests,
+            specs=specs,
+            payloads=payloads,
+            roundtrip=True,
+            verify=verify,
+        )
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+def _measure_once(shards: int, *, clients: int, requests: int,
+                  cap: int) -> dict:
+    from repro.cluster import ClusterService, mixed_specs
+    from repro.serve import default_payloads
+
+    specs = mixed_specs()
+    payloads = default_payloads(specs, shape=SHAPE, seed=11)
+
+    async def run() -> dict:
+        async with ClusterService(_cluster_config(shards, cap)) as cluster:
+            # Warm-up: contexts, codec caches, connection pools.
+            await _blast_front_door(cluster, specs, payloads,
+                                    clients=clients, requests=2)
+            report = await _blast_front_door(cluster, specs, payloads,
+                                             clients=clients,
+                                             requests=requests)
+            snap = cluster.stats.snapshot()
+        report["cluster_rejected"] = snap["rejected"]
+        report["per_shard"] = snap["per_shard"]
+        return report
+
+    report = asyncio.run(run())
+    assert report["errors"] == 0, f"bench cell errored: {report}"
+    assert report["mismatches"] == 0, f"bench cell mismatched: {report}"
+    return {
+        "shards": shards,
+        "rps": report["rps"],
+        "p50_ms": report["p50_ms"],
+        "p95_ms": report["p95_ms"],
+        "p99_ms": report["p99_ms"],
+        "completed": report["completed"],
+        "rejected_attempts": report["rejected"],
+        "per_shard": report["per_shard"],
+    }
+
+
+def measure_cell(shards: int, *, clients: int, requests: int, cap: int,
+                 reps: int = 1) -> dict:
+    """One cell: ``reps`` measurements, median-goodput rep kept."""
+    reports = [
+        _measure_once(shards, clients=clients, requests=requests, cap=cap)
+        for _ in range(max(1, reps))
+    ]
+    reports.sort(key=lambda r: r["rps"])
+    return reports[len(reports) // 2]
+
+
+def measure_curve(*, clients: int, requests: int, cap: int,
+                  reps: int) -> dict:
+    cells: dict[str, dict] = {}
+    for shards in SHARD_CELLS:
+        name = f"s{shards}"
+        cells[name] = measure_cell(shards, clients=clients,
+                                   requests=requests, cap=cap, reps=reps)
+        print(f"  {name:<4} {cells[name]['rps']:>9.1f} req/s  "
+              f"p50={cells[name]['p50_ms']:.2f}ms "
+              f"p95={cells[name]['p95_ms']:.2f}ms  "
+              f"rejected_attempts={cells[name]['rejected_attempts']}",
+              flush=True)
+    scaling = {
+        f"s{n}_over_s1": round(cells[f"s{n}"]["rps"] / cells["s1"]["rps"], 2)
+        for n in SHARD_CELLS if n != 1
+    }
+    return {
+        "schema": 1,
+        "kind": "cluster_scaling",
+        "cores": os.cpu_count(),
+        "backend": "task",
+        "workload": "mixed16",
+        "shape": list(SHAPE),
+        "dtype": "float32",
+        "clients": clients,
+        "requests_per_client": requests,
+        "per_shard_cap": cap,
+        "reps": reps,
+        "current": cells,
+        "scaling": scaling,
+    }
+
+
+# ---------------------------------------------------------------------------
+def run_soak(seconds: float, outdir: pathlib.Path, *, shards: int,
+             backend: str) -> int:
+    """The nightly soak: long mixed run, one injected shard death.
+
+    Runs wave after wave of closed-loop blasts against one long-lived
+    cluster for ``seconds``; a third of the way in, the shard owning
+    the first spec's traffic is killed mid-wave.  Tracing covers the
+    kill wave only (the interesting window — a full-length trace would
+    dwarf the artifact budget), and the final Prometheus dump carries
+    the cumulative counters.  Exits non-zero on any error, mismatch, or
+    missing adoption.
+    """
+    import repro.trace as trace
+    from repro.cluster import ClusterConfig, ClusterService, mixed_specs
+    from repro.serve import (
+        BatchLimits,
+        ServiceConfig,
+        default_payloads,
+    )
+
+    outdir.mkdir(parents=True, exist_ok=True)
+    specs = mixed_specs()
+    payloads = default_payloads(specs, shape=SHAPE, seed=11)
+    cfg = ClusterConfig(
+        shards=shards,
+        backend=backend,
+        service=ServiceConfig(
+            limits=BatchLimits(max_batch=16, max_latency_s=0.002),
+            max_pending=256,
+        ),
+    )
+
+    async def run() -> dict:
+        start = time.monotonic()
+        kill_at = start + seconds / 3.0
+        killed: dict = {}
+        waves = []
+        async with ClusterService(cfg) as cluster:
+            while time.monotonic() - start < seconds:
+                inject = not killed and time.monotonic() >= kill_at
+                kill_task = None
+                if inject:
+                    target = cluster.owner("compress", specs[0],
+                                           payloads[specs[0]])
+                    trace.enable(clear=True)
+
+                    async def killer() -> None:
+                        await asyncio.sleep(0.2)
+                        print(f"  killing shard {target} mid-wave",
+                              flush=True)
+                        cluster.kill_shard(target)
+
+                    kill_task = asyncio.get_running_loop().create_task(
+                        killer()
+                    )
+                try:
+                    report = await _blast_front_door(
+                        cluster, specs, payloads,
+                        clients=SOAK_CLIENTS,
+                        requests=SOAK_WAVE_REQUESTS,
+                        verify=True,
+                    )
+                finally:
+                    if kill_task is not None:
+                        kill_task.cancel()
+                        try:
+                            await kill_task
+                        except asyncio.CancelledError:
+                            pass
+                if inject:
+                    path = trace.export_chrome(
+                        str(outdir / "failover_trace.json")
+                    )
+                    trace.disable()
+                    killed = {
+                        "shard": target,
+                        "wave": len(waves),
+                        "trace": str(path),
+                        "spans": len(trace.events()),
+                    }
+                waves.append({
+                    "completed": report["completed"],
+                    "rps": report["rps"],
+                    "p95_ms": report["p95_ms"],
+                    "rejected": report["rejected"],
+                    "errors": report["errors"],
+                    "mismatches": report["mismatches"],
+                })
+                print(f"  wave {len(waves):>3}: {report['rps']:>8.1f} req/s "
+                      f"p95={report['p95_ms']:.2f}ms "
+                      f"errors={report['errors']} "
+                      f"mismatches={report['mismatches']}", flush=True)
+            snap = cluster.stats.snapshot()
+        (outdir / "metrics.prom").write_text(trace.render_prometheus())
+        return {
+            "seconds": round(time.monotonic() - start, 1),
+            "shards": shards,
+            "backend": backend,
+            "workload": "mixed16",
+            "waves": len(waves),
+            "kill": killed,
+            "totals": {
+                "completed": sum(w["completed"] for w in waves),
+                "errors": sum(w["errors"] for w in waves),
+                "mismatches": sum(w["mismatches"] for w in waves),
+            },
+            "cluster": snap,
+            "wave_reports": waves,
+        }
+
+    report = asyncio.run(run())
+    (outdir / "soak_report.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    totals = report["totals"]
+    ok = (
+        totals["errors"] == 0
+        and totals["mismatches"] == 0
+        and report["cluster"]["adoptions"] == 1
+        and bool(report["kill"])
+    )
+    print(f"\nsoak: {report['waves']} waves, "
+          f"{totals['completed']} round-trips, "
+          f"errors={totals['errors']} mismatches={totals['mismatches']} "
+          f"failovers={report['cluster']['failovers']} "
+          f"adoptions={report['cluster']['adoptions']} "
+          f"-> {'OK' if ok else 'FAIL'}")
+    print(f"artifacts in {outdir}/")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="fewer requests per client, 1 rep (fast CI smoke)")
+    ap.add_argument("--requests", type=int, default=20,
+                    help="requests per client per cell (default 20)")
+    ap.add_argument("--clients", type=int, default=CLIENTS,
+                    help=f"closed-loop clients, fixed across cells "
+                         f"(default {CLIENTS})")
+    ap.add_argument("--cap", type=int, default=PER_SHARD_CAP,
+                    help=f"per-shard admission slice "
+                         f"(default {PER_SHARD_CAP})")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="repetitions per cell, median kept (default 3)")
+    ap.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                    help=f"output JSON path (default {DEFAULT_OUT})")
+    ap.add_argument("--soak", type=float, default=None, metavar="SECONDS",
+                    help="run the nightly soak instead of the scaling grid")
+    ap.add_argument("--outdir", type=pathlib.Path,
+                    default=REPO_ROOT / "soak_out",
+                    help="soak artifact directory")
+    ap.add_argument("--backend", default="task",
+                    choices=["task", "process"],
+                    help="(soak) shard backend")
+    args = ap.parse_args(argv)
+
+    if args.soak is not None:
+        return run_soak(args.soak, args.outdir, shards=SOAK_SHARDS,
+                        backend=args.backend)
+
+    requests = 6 if args.smoke else args.requests
+    reps = 1 if args.smoke else args.reps
+    print(f"cluster curve: shards {SHARD_CELLS}, {args.clients} clients, "
+          f"per-shard cap {args.cap}, mixed16 {SHAPE} float32 round-trips, "
+          f"{requests} requests/client, median of {reps} "
+          f"({os.cpu_count()} cores)\n", flush=True)
+    record = measure_curve(clients=args.clients, requests=requests,
+                           cap=args.cap, reps=reps)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    print("\nscaling (goodput over 1 shard):")
+    for name, s in sorted(record["scaling"].items()):
+        print(f"  {name:<12} {s:.2f}x")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,17 @@ Usage::
 ``--fresh`` skips re-measurement and gates a pre-computed record (e.g.
 the one the CI smoke run just produced) against the committed one.
 
+``--cluster-fresh`` gates an HPDR-Cluster scaling record (produced by
+``benchmarks/bench_cluster.py``) against the committed
+``BENCH_cluster.json``: per-cell goodput must stay within tolerance and
+the *fresh* 4-shard-over-1-shard scaling must stay >=
+``--cluster-scaling-min`` (default 1.6x — the cluster's headline
+claim).
+
+A record that is present but missing a gated section or cell (wrong
+schema, truncated write, stale generator) exits 2 with a message naming
+the missing piece — distinct from exit 1, a real measured regression.
+
 ``--serve-fresh`` additionally gates an HPDR-Serve record (produced by
 ``benchmarks/bench_serve.py``) against the committed ``BENCH_serve.json``:
 gated cells' req/s must stay within tolerance, the 64-client
@@ -44,6 +55,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 COMMITTED = REPO_ROOT / "BENCH_wallclock.json"
 SERVE_COMMITTED = REPO_ROOT / "BENCH_serve.json"
+CLUSTER_COMMITTED = REPO_ROOT / "BENCH_cluster.json"
 
 _CODECS = ("huffman", "huffman_openmp", "mgard", "zfp")
 _METRICS = ("compress_MBps", "decompress_MBps")
@@ -52,6 +64,39 @@ _METRICS = ("compress_MBps", "decompress_MBps")
 #: record (the single-shot baseline, the saturated micro-batch cell and
 #: the 8-client sweet spot).
 _SERVE_CELLS = ("c1_b1", "c8_b8", "c64_b64")
+
+#: cluster scaling-curve cells (shard counts).
+_CLUSTER_CELLS = ("s1", "s2", "s4", "s8")
+
+
+class MissingBenchCell(Exception):
+    """A gated record exists but lacks a required section or cell.
+
+    Raised instead of letting a bare ``KeyError`` escape: the gate's
+    job is to say *what* is missing and *which* file to regenerate, and
+    to exit 2 (malformed input) rather than 1 (measured regression).
+    """
+
+
+def _section(record: dict, name: str, source: str) -> dict:
+    """``record[name]`` as a dict, or a diagnosable MissingBenchCell."""
+    value = record.get(name)
+    if not isinstance(value, dict):
+        raise MissingBenchCell(
+            f"{source} has no {name!r} section — regenerate it with the "
+            f"matching benchmarks/ script"
+        )
+    return value
+
+
+def _cell(section: dict, cell: str, source: str) -> dict:
+    value = section.get(cell)
+    if not isinstance(value, dict):
+        raise MissingBenchCell(
+            f"{source} is missing gated cell {cell!r} — regenerate it "
+            f"with the matching benchmarks/ script"
+        )
+    return value
 
 
 def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
@@ -63,9 +108,11 @@ def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     and by how much, without re-deriving anything from the JSON.
     """
     failures = []
+    committed_cur = _section(committed, "current", "committed record")
+    fresh_cur = _section(fresh, "current", "fresh record")
     for codec in _CODECS:
-        ref = committed["current"].get(codec)
-        cur = fresh["current"].get(codec)
+        ref = committed_cur.get(codec)
+        cur = fresh_cur.get(codec)
         if not ref or not cur:
             continue
         for metric in _METRICS:
@@ -97,11 +144,11 @@ def compare_serve(
     ``codec_batch_min`` in both directions.
     """
     failures = []
+    committed_cur = _section(committed, "current", "committed serve record")
+    fresh_cur = _section(fresh, "current", "fresh serve record")
     for cell in _SERVE_CELLS:
-        ref = committed["current"].get(cell)
-        cur = fresh["current"].get(cell)
-        if not ref or not cur:
-            continue
+        ref = _cell(committed_cur, cell, "committed serve record")
+        cur = _cell(fresh_cur, cell, "fresh serve record")
         floor = (1.0 - tolerance) * ref["rps"]
         if cur["rps"] < floor:
             drop = 100.0 * (1.0 - cur["rps"] / ref["rps"])
@@ -127,6 +174,83 @@ def compare_serve(
                 f"(required >= {codec_batch_min:.1f}x)"
             )
     return failures
+
+
+def compare_cluster(
+    committed: dict, fresh: dict, tolerance: float, scaling_min: float,
+) -> list[str]:
+    """Gate the HPDR-Cluster record: per-cell goodput and scaling.
+
+    Two checks: (a) each shard-count cell's goodput must stay within
+    ``tolerance`` of the committed record; (b) the headline claim —
+    4 shards beat 1 shard by at least ``scaling_min`` under the fixed
+    offered load — must hold on the *fresh* measurement.
+    """
+    failures = []
+    committed_cur = _section(committed, "current", "committed cluster record")
+    fresh_cur = _section(fresh, "current", "fresh cluster record")
+    for cell in _CLUSTER_CELLS:
+        ref = _cell(committed_cur, cell, "committed cluster record")
+        cur = _cell(fresh_cur, cell, "fresh cluster record")
+        floor = (1.0 - tolerance) * ref["rps"]
+        if cur["rps"] < floor:
+            drop = 100.0 * (1.0 - cur["rps"] / ref["rps"])
+            failures.append(
+                f"cluster.{cell}.rps: {cur['rps']:.1f} req/s is "
+                f"{drop:.1f}% below the committed {ref['rps']:.1f} "
+                f"(floor {floor:.1f} at {tolerance:.0%} tolerance)"
+            )
+    scaling = _section(fresh, "scaling", "fresh cluster record")
+    headline = scaling.get("s4_over_s1")
+    if headline is None:
+        raise MissingBenchCell(
+            "fresh cluster record has no scaling['s4_over_s1'] — "
+            "regenerate it with benchmarks/bench_cluster.py"
+        )
+    if headline < scaling_min:
+        failures.append(
+            f"cluster.scaling.s4_over_s1: 4 shards deliver only "
+            f"{headline:.2f}x the 1-shard goodput "
+            f"(required >= {scaling_min:.1f}x)"
+        )
+    return failures
+
+
+def write_cluster_step_summary(
+    committed: dict, fresh: dict, failures: list[str], scaling_min: float,
+) -> None:
+    """Append the cluster-gate verdict and scaling table to the summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Cluster gate", ""]
+    if failures:
+        lines.append(f"**REGRESSION** — {len(failures)} cluster metric(s) "
+                     f"out of bounds:")
+        lines.append("")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        scalings = ", ".join(
+            f"{k}={v:.2f}x" for k, v in sorted(
+                fresh.get("scaling", {}).items())
+        )
+        lines.append(f"**OK** — cells within tolerance; shard scaling "
+                     f"{scalings} (s4_over_s1 floor {scaling_min:.1f}x, "
+                     f"{fresh.get('cores', '?')} cores).")
+    lines += ["", "| shards | committed req/s | fresh req/s | fresh p95 ms "
+                  "| fresh rejected attempts |", "|---|---:|---:|---:|---:|"]
+    committed_cur = _section(committed, "current", "committed cluster record")
+    fresh_cur = _section(fresh, "current", "fresh cluster record")
+    for cell in _CLUSTER_CELLS:
+        ref = committed_cur.get(cell)
+        cur = fresh_cur.get(cell)
+        if not ref or not cur:
+            continue
+        lines.append(f"| {cell} | {ref['rps']:.1f} | {cur['rps']:.1f} "
+                     f"| {cur['p95_ms']:.2f} "
+                     f"| {cur.get('rejected_attempts', 0)} |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def write_serve_step_summary(
@@ -229,6 +353,15 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--codec-batch-min", type=float, default=2.0,
                     help="required per-codec direct batch-vs-single "
                          "speedup, both directions (default 2.0)")
+    ap.add_argument("--cluster-fresh", type=pathlib.Path, default=None,
+                    help="fresh BENCH_cluster record to gate (from "
+                         "benchmarks/bench_cluster.py)")
+    ap.add_argument("--cluster-committed", type=pathlib.Path,
+                    default=CLUSTER_COMMITTED,
+                    help="committed cluster reference record")
+    ap.add_argument("--cluster-scaling-min", type=float, default=1.6,
+                    help="required fresh 4-shard-over-1-shard goodput "
+                         "scaling (default 1.6)")
     args = ap.parse_args(argv)
 
     if os.environ.get("HPDR_SAN", "") not in ("", "0"):
@@ -249,52 +382,92 @@ def main(argv: list[str] | None = None) -> int:
 
         fresh = measure_all(reps=1 if args.smoke else 3)
 
-    print(f"{'codec':<16} {'metric':<16} {'committed':>10} {'fresh':>10}")
-    for codec in _CODECS:
-        ref, cur = committed["current"].get(codec), fresh["current"].get(codec)
-        if not ref or not cur:
-            continue
-        for metric in _METRICS:
-            print(f"{codec:<16} {metric:<16} {ref[metric]:>10.2f} "
-                  f"{cur[metric]:>10.2f}")
-
-    failures = compare(committed, fresh, args.tolerance)
-    write_step_summary(committed, fresh, failures, args.tolerance)
-
-    if args.serve_fresh is not None:
-        if not args.serve_committed.exists():
-            print(f"perf_gate: no committed serve record at "
-                  f"{args.serve_committed}; run benchmarks/bench_serve.py "
-                  f"first", file=sys.stderr)
-            return 0 if args.report_only else 2
-        serve_committed = json.loads(args.serve_committed.read_text())
-        serve_fresh = json.loads(args.serve_fresh.read_text())
-        print(f"\n{'serve cell':<16} {'committed rps':>14} {'fresh rps':>10}")
-        for cell in _SERVE_CELLS:
-            ref = serve_committed["current"].get(cell)
-            cur = serve_fresh["current"].get(cell)
+    try:
+        print(f"{'codec':<16} {'metric':<16} {'committed':>10} {'fresh':>10}")
+        for codec in _CODECS:
+            ref = _section(committed, "current",
+                           "committed record").get(codec)
+            cur = _section(fresh, "current", "fresh record").get(codec)
             if not ref or not cur:
                 continue
-            print(f"{cell:<16} {ref['rps']:>14.1f} {cur['rps']:>10.1f}")
-        for name, s in sorted(serve_fresh.get("speedup_c64", {}).items()):
-            print(f"speedup_c64.{name:<4} {s:>10.2f}x "
-                  f"(floor {args.serve_min_speedup:.1f}x)")
-        for codec, cell in sorted(serve_fresh.get("codec_batch", {}).items()):
-            print(f"codec_batch.{codec:<12} "
-                  f"compress {cell.get('compress_speedup', 0.0):>7.2f}x  "
-                  f"decompress {cell.get('decompress_speedup', 0.0):>7.2f}x  "
-                  f"roundtrip {cell.get('roundtrip_speedup', 0.0):>7.2f}x "
-                  f"(floor {args.codec_batch_min:.1f}x on roundtrip, "
-                  f"n={cell.get('batch')})")
-        serve_failures = compare_serve(
-            serve_committed, serve_fresh, args.tolerance,
-            args.serve_min_speedup, args.codec_batch_min,
-        )
-        write_serve_step_summary(
-            serve_committed, serve_fresh, serve_failures,
-            args.serve_min_speedup,
-        )
-        failures += serve_failures
+            for metric in _METRICS:
+                print(f"{codec:<16} {metric:<16} {ref[metric]:>10.2f} "
+                      f"{cur[metric]:>10.2f}")
+
+        failures = compare(committed, fresh, args.tolerance)
+        write_step_summary(committed, fresh, failures, args.tolerance)
+
+        if args.serve_fresh is not None:
+            if not args.serve_committed.exists():
+                print(f"perf_gate: no committed serve record at "
+                      f"{args.serve_committed}; run benchmarks/bench_serve.py "
+                      f"first", file=sys.stderr)
+                return 0 if args.report_only else 2
+            serve_committed = json.loads(args.serve_committed.read_text())
+            serve_fresh = json.loads(args.serve_fresh.read_text())
+            serve_failures = compare_serve(
+                serve_committed, serve_fresh, args.tolerance,
+                args.serve_min_speedup, args.codec_batch_min,
+            )
+            print(f"\n{'serve cell':<16} {'committed rps':>14} "
+                  f"{'fresh rps':>10}")
+            for cell in _SERVE_CELLS:
+                ref = serve_committed["current"].get(cell)
+                cur = serve_fresh["current"].get(cell)
+                if not ref or not cur:
+                    continue
+                print(f"{cell:<16} {ref['rps']:>14.1f} {cur['rps']:>10.1f}")
+            for name, s in sorted(serve_fresh.get("speedup_c64", {}).items()):
+                print(f"speedup_c64.{name:<4} {s:>10.2f}x "
+                      f"(floor {args.serve_min_speedup:.1f}x)")
+            for codec, cell in sorted(
+                    serve_fresh.get("codec_batch", {}).items()):
+                print(f"codec_batch.{codec:<12} "
+                      f"compress {cell.get('compress_speedup', 0.0):>7.2f}x  "
+                      f"decompress "
+                      f"{cell.get('decompress_speedup', 0.0):>7.2f}x  "
+                      f"roundtrip {cell.get('roundtrip_speedup', 0.0):>7.2f}x "
+                      f"(floor {args.codec_batch_min:.1f}x on roundtrip, "
+                      f"n={cell.get('batch')})")
+            write_serve_step_summary(
+                serve_committed, serve_fresh, serve_failures,
+                args.serve_min_speedup,
+            )
+            failures += serve_failures
+
+        if args.cluster_fresh is not None:
+            if not args.cluster_committed.exists():
+                print(f"perf_gate: no committed cluster record at "
+                      f"{args.cluster_committed}; run "
+                      f"benchmarks/bench_cluster.py first", file=sys.stderr)
+                return 0 if args.report_only else 2
+            cluster_committed = json.loads(args.cluster_committed.read_text())
+            cluster_fresh = json.loads(args.cluster_fresh.read_text())
+            cluster_failures = compare_cluster(
+                cluster_committed, cluster_fresh, args.tolerance,
+                args.cluster_scaling_min,
+            )
+            print(f"\n{'cluster cell':<16} {'committed rps':>14} "
+                  f"{'fresh rps':>10}")
+            for cell in _CLUSTER_CELLS:
+                ref = cluster_committed["current"].get(cell)
+                cur = cluster_fresh["current"].get(cell)
+                if not ref or not cur:
+                    continue
+                print(f"{cell:<16} {ref['rps']:>14.1f} {cur['rps']:>10.1f}")
+            for name, s in sorted(
+                    cluster_fresh.get("scaling", {}).items()):
+                floor = (f" (floor {args.cluster_scaling_min:.1f}x)"
+                         if name == "s4_over_s1" else "")
+                print(f"scaling.{name:<12} {s:>8.2f}x{floor}")
+            write_cluster_step_summary(
+                cluster_committed, cluster_fresh, cluster_failures,
+                args.cluster_scaling_min,
+            )
+            failures += cluster_failures
+    except MissingBenchCell as exc:
+        print(f"perf_gate: MALFORMED RECORD — {exc}", file=sys.stderr)
+        return 0 if args.report_only else 2
 
     if failures:
         print("\nperf_gate: REGRESSION" + (" (report-only)" if args.report_only else ""))

@@ -13,6 +13,8 @@ from the shell:
     python -m repro faultplan plan.json --system frontier --nodes 1024
     python -m repro campaign field.npy out/ --ranks 8 --faults plan.json
     python -m repro campaign field.npy out/ --ranks 8 --resume
+    python -m repro cluster --shards 4 --replicas 1 --backend process
+    python -m repro blast --cluster --shards 4 --codec mixed --kill-one --verify
     python -m repro datasets
 """
 
@@ -316,9 +318,71 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Run the sharded cluster behind its consistent-hash router (TCP)."""
+    import asyncio
+    import signal
+
+    from repro.cluster import ClusterConfig, ClusterService
+    from repro.serve import BatchLimits, ServiceConfig, serve_tcp
+
+    tracing = _trace_begin(args)
+    cfg = ClusterConfig(
+        shards=args.shards,
+        replicas=args.replicas,
+        backend=args.backend,
+        service=ServiceConfig(
+            limits=BatchLimits(
+                max_batch=args.max_batch,
+                max_latency_s=args.max_latency_ms / 1e3,
+            ),
+            max_pending=args.max_pending,
+            workers=args.workers,
+            adapter=args.adapter or "serial",
+            threads=args.threads,
+        ),
+        shard_max_pending=args.shard_max_pending,
+        vnodes=args.vnodes,
+    )
+
+    async def run() -> dict:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix loops
+            pass
+        async with ClusterService(cfg) as cluster:
+            server = await serve_tcp(cluster, args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(
+                f"cluster on {host}:{port} shards={cfg.shards} "
+                f"replicas={cfg.replicas} backend={cfg.backend} "
+                f"per-shard-limit={cfg.per_shard_limit}; "
+                f"Ctrl-C drains and exits",
+                flush=True,
+            )
+            await stop.wait()
+            print("draining…", flush=True)
+            server.close()
+            await server.wait_closed()
+        return cluster.stats.snapshot()
+
+    snapshot = asyncio.run(run())
+    per_shard = snapshot.pop("per_shard", {})
+    print("drained: " + " ".join(f"{k}={v}" for k, v in snapshot.items()))
+    if per_shard:
+        print("per-shard: "
+              + " ".join(f"{k}={v}" for k, v in sorted(per_shard.items())))
+    _trace_end(args, tracing)
+    return 0
+
+
 def cmd_blast(args) -> int:
     """Closed-loop load generator against a served reduction service."""
     import asyncio
+    import contextlib
 
     from repro.serve import (
         BatchLimits,
@@ -331,19 +395,50 @@ def cmd_blast(args) -> int:
         serve_tcp,
     )
 
-    if not args.selfhost and args.port is None:
-        raise SystemExit("--port is required (or use --selfhost)")
-    spec = CodecSpec(args.codec, error_bound=args.eb, rate=args.rate)
+    if not (args.selfhost or args.cluster) and args.port is None:
+        raise SystemExit("--port is required (or use --selfhost/--cluster)")
+    if args.kill_one and not args.cluster:
+        raise SystemExit("--kill-one requires --cluster (the failover drill)")
+    if args.codec == "mixed":
+        from repro.cluster import mixed_specs
+
+        specs = mixed_specs()
+    else:
+        specs = [CodecSpec(args.codec, error_bound=args.eb, rate=args.rate)]
     try:
         shape = tuple(int(s) for s in args.shape.split("x"))
     except ValueError:
         raise SystemExit(f"--shape must look like 16x16, got {args.shape!r}")
+    payloads = default_payloads(specs, shape=shape, seed=args.seed)
 
     async def run() -> dict:
         server = None
         svc = None
+        cluster = None
+        kill_task = None
         host, port = args.host, args.port
-        if args.selfhost:
+        if args.cluster:
+            from repro.cluster import ClusterConfig, ClusterService
+
+            cluster_cfg = ClusterConfig(
+                shards=args.shards,
+                replicas=args.replicas,
+                backend=args.backend,
+                service=ServiceConfig(
+                    limits=BatchLimits(
+                        max_batch=args.max_batch,
+                        max_latency_s=args.max_latency_ms / 1e3,
+                    ),
+                    workers=args.workers,
+                    adapter=args.adapter or "serial",
+                    threads=args.threads,
+                ),
+                shard_max_pending=args.shard_max_pending,
+            )
+            svc = cluster = await ClusterService(cluster_cfg).start()
+            server = await serve_tcp(svc, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+        elif args.selfhost:
             cfg = ServiceConfig(
                 limits=BatchLimits(
                     max_batch=args.max_batch,
@@ -357,22 +452,42 @@ def cmd_blast(args) -> int:
             svc = await ReductionService(cfg).start()
             server = await serve_tcp(svc, "127.0.0.1", 0)
             host, port = server.sockets[0].getsockname()[:2]
+        if args.kill_one and cluster is not None:
+            # The drill targets the shard that actually owns the first
+            # spec's traffic, so the kill always hits live requests.
+            target = cluster.owner("compress", specs[0], payloads[specs[0]])
+
+            async def killer() -> None:
+                await asyncio.sleep(args.kill_after_ms / 1e3)
+                print(f"killing shard {target} mid-run", flush=True)
+                cluster.kill_shard(target)
+
+            kill_task = asyncio.get_running_loop().create_task(killer())
         try:
             report = await run_blast(
                 lambda i: BlastClient.connect(host, port, use_shm=args.shm),
                 clients=args.clients,
                 requests_per_client=args.requests,
-                specs=[spec],
-                payloads=default_payloads([spec], shape=shape, seed=args.seed),
+                specs=specs,
+                payloads=payloads,
                 roundtrip=not args.compress_only,
                 verify=args.verify,
             )
         finally:
+            if kill_task is not None:
+                kill_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await kill_task
             if server is not None:
                 server.close()
                 await server.wait_closed()
             if svc is not None:
                 await svc.close()
+        if cluster is not None:
+            snap = cluster.stats.snapshot()
+            report["failovers"] = snap["failovers"]
+            report["adoptions"] = snap["adoptions"]
+            report["per_shard"] = snap["per_shard"]
         return report
 
     report = asyncio.run(run())
@@ -383,6 +498,12 @@ def cmd_blast(args) -> int:
         f"p99={report['p99_ms']:.2f}ms  rejected={report['rejected']} "
         f"errors={report['errors']} mismatches={report['mismatches']}"
     )
+    if "per_shard" in report:
+        shares = " ".join(
+            f"{k}={v}" for k, v in sorted(report["per_shard"].items())
+        )
+        print(f"cluster: failovers={report['failovers']} "
+              f"adoptions={report['adoptions']}  {shares}")
     return 1 if (report["errors"] or report["mismatches"]) else 0
 
 
@@ -543,6 +664,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the stage/metrics summary after draining")
     sv.set_defaults(func=cmd_serve)
 
+    cl = sub.add_parser(
+        "cluster",
+        help="run N service shards behind the consistent-hash router (TCP)",
+    )
+    cl.add_argument("--host", default="127.0.0.1")
+    cl.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral, printed at startup)")
+    cl.add_argument("--shards", type=int, default=2,
+                    help="shard count (hash-range owners)")
+    cl.add_argument("--replicas", type=int, default=1,
+                    help="replicas per shard (least-backlog balanced)")
+    cl.add_argument("--backend", default="process",
+                    choices=["task", "process"],
+                    help="shard backend: in-loop tasks or real subprocesses")
+    cl.add_argument("--adapter", default=None,
+                    choices=["serial", "openmp", "cuda", "hip"])
+    cl.add_argument("--threads", type=int, default=None,
+                    help="worker threads per shard (openmp adapter)")
+    cl.add_argument("--workers", type=int, default=1,
+                    help="batch-execution workers per shard")
+    cl.add_argument("--max-batch", type=int, default=16,
+                    help="per-shard batch flush size")
+    cl.add_argument("--max-latency-ms", type=float, default=2.0,
+                    help="per-shard batch flush deadline")
+    cl.add_argument("--max-pending", type=int, default=256,
+                    help="per-shard service admission limit")
+    cl.add_argument("--shard-max-pending", type=int, default=None,
+                    help="router-side admission slice per shard "
+                         "(default: --max-pending)")
+    cl.add_argument("--vnodes", type=int, default=64,
+                    help="virtual nodes per shard on the hash ring")
+    cl.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="record spans and write Chrome trace-event JSON")
+    cl.add_argument("--metrics", action="store_true",
+                    help="print the stage/metrics summary after draining")
+    cl.set_defaults(func=cmd_cluster)
+
     bl = sub.add_parser(
         "blast", help="closed-loop load generator for a served service"
     )
@@ -557,7 +715,10 @@ def build_parser() -> argparse.ArgumentParser:
     bl.add_argument("--requests", type=int, default=50,
                     help="round-trips per client")
     bl.add_argument("--codec", default="zfp-x",
-                    choices=["mgard-x", "zfp-x", "huffman-x", "lz4", "sz"])
+                    choices=["mgard-x", "zfp-x", "huffman-x", "lz4", "sz",
+                             "mixed"],
+                    help="codec under load; 'mixed' drives the full "
+                         "mixed-spec roster (spreads over cluster shards)")
     bl.add_argument("--rate", type=float, default=8.0,
                     help="bits/value (zfp-x)")
     bl.add_argument("--eb", type=float, default=1e-3,
@@ -586,6 +747,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="(selfhost) service flush size")
     bl.add_argument("--max-latency-ms", type=float, default=2.0,
                     help="(selfhost) service flush deadline")
+    bl.add_argument("--cluster", action="store_true",
+                    help="selfhost a sharded cluster front door and blast it")
+    bl.add_argument("--shards", type=int, default=4,
+                    help="(cluster) shard count")
+    bl.add_argument("--replicas", type=int, default=1,
+                    help="(cluster) replicas per shard")
+    bl.add_argument("--backend", default="task",
+                    choices=["task", "process"],
+                    help="(cluster) shard backend")
+    bl.add_argument("--shard-max-pending", type=int, default=None,
+                    help="(cluster) router-side admission slice per shard")
+    bl.add_argument("--kill-one", action="store_true",
+                    help="(cluster) kill one shard mid-run — the failover "
+                         "drill; the blast must still finish error-free")
+    bl.add_argument("--kill-after-ms", type=float, default=150.0,
+                    help="(cluster) delay before the --kill-one kill")
     bl.set_defaults(func=cmd_blast)
 
     ds = sub.add_parser("datasets", help="print the Table III inventory")

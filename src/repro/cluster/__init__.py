@@ -1,0 +1,49 @@
+"""HPDR-Cluster: sharded serving behind a consistent-hash router.
+
+One :class:`ClusterService` fronts N shards — each a full
+:class:`~repro.serve.service.ReductionService` (in-loop task or real
+subprocess) — and exposes the *exact* single-service request surface,
+so the TCP transport, the blast load generator, and the service
+conformance checker all run against the cluster front door unchanged.
+
+Requests shard by ``(codec, dtype, shape-class)`` over a consistent
+hash ring with virtual nodes; replicas balance by least backlog;
+per-shard admission slices shed load with a typed
+:class:`ShardOverloaded`; and a dead shard's hash range is adopted by
+the survivors while the failed requests retry there — deterministic
+codecs make the retried responses byte-identical, so clients never
+observe the death.
+
+See ``docs/architecture.md`` (cluster data path) and
+``docs/operations.md`` (shard sizing and failover runbook).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.errors import NoHealthyShards, ShardDied, ShardOverloaded
+from repro.cluster.hashring import DEFAULT_VNODES, HashRing, route_key
+from repro.cluster.router import (
+    BACKENDS,
+    ClusterConfig,
+    ClusterService,
+    ClusterStats,
+)
+from repro.cluster.shard import InProcShard, ProcessShard, ShardClient
+from repro.cluster.workload import mixed_specs
+
+__all__ = [
+    "BACKENDS",
+    "ClusterConfig",
+    "ClusterService",
+    "ClusterStats",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "InProcShard",
+    "NoHealthyShards",
+    "ProcessShard",
+    "ShardClient",
+    "ShardDied",
+    "ShardOverloaded",
+    "mixed_specs",
+    "route_key",
+]

@@ -1,0 +1,43 @@
+"""Typed failure modes of the HPDR-Cluster router.
+
+The router keeps the serve layer's error discipline: clients always see
+a *typed* condition they can act on.  :class:`ShardOverloaded`
+(re-exported from :mod:`repro.serve.errors`, where the transport can
+reach it) means back off — one shard's admission slice is full.
+:class:`ShardDied` is internal to the router's failover loop: any
+transport- or lifecycle-level failure of a shard maps to it, the
+circuit breaker counts it, and the request is retried on a survivor —
+callers only ever see it wrapped in a
+:class:`~repro.resilience.errors.ResilienceExhausted` when every
+attempt ran dry.  :class:`NoHealthyShards` is the cluster-down terminal
+state.
+"""
+
+from __future__ import annotations
+
+from repro.serve.errors import ServeError, ShardOverloaded
+
+__all__ = ["NoHealthyShards", "ShardDied", "ShardOverloaded"]
+
+
+class ShardDied(ServeError):
+    """A shard stopped answering (process death, connection loss, drain).
+
+    Retry-safe by construction: every HPDR backend produces
+    bit-identical streams, so re-executing the request on a surviving
+    shard returns exactly the bytes the dead shard would have produced.
+    """
+
+    def __init__(self, shard: str, why: str = "stopped answering") -> None:
+        self.shard = shard
+        super().__init__(f"shard {shard} {why}")
+
+
+class NoHealthyShards(ServeError):
+    """Every shard of the cluster is dead; the request cannot be placed."""
+
+    def __init__(self, total: int) -> None:
+        self.total = total
+        super().__init__(
+            f"no healthy shards ({total} configured, all circuit-open)"
+        )

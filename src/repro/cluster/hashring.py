@@ -1,0 +1,131 @@
+"""Consistent hashing with virtual nodes — the cluster's routing core.
+
+The router shards requests by ``(codec, dtype, shape-class)``
+(:func:`route_key`, derived from the same spec keying the serve layer
+batches by) over a :class:`HashRing`.  Consistent hashing is what makes
+failover *minimally disruptive*: when a shard dies and its hash range is
+adopted by the survivors, only the keys that mapped to the dead shard
+move — every other key keeps its owner, so the survivors' pinned CMM
+contexts and warmed codec caches stay hot (the property suite pins this
+at 2/4/8 shards).
+
+Design points:
+
+* **Deterministic placement.**  Ring points are SHA-256 digests of
+  stable token strings, never Python ``hash()`` — placement is
+  identical across processes and runs regardless of
+  ``PYTHONHASHSEED``, which the router relies on when it re-resolves a
+  key mid-failover.
+* **Virtual nodes.**  Each shard contributes ``vnodes`` points
+  (default 64), smoothing the per-shard key share and spreading an
+  adopted range across *all* survivors instead of dumping it on the
+  dead shard's single successor.
+* **Pure data structure.**  No I/O, no clocks, no locks — mutation
+  happens only on the router's event loop.  Lookup is a binary search
+  over the sorted point array.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.serve.spec import CodecSpec, shape_class, size_class
+
+#: default virtual nodes per shard.
+DEFAULT_VNODES = 64
+
+
+def _point(token: str) -> int:
+    """Stable 64-bit ring position for ``token`` (SHA-256 prefix)."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def route_key(spec: CodecSpec, op: str, payload: Any) -> tuple[Hashable, ...]:
+    """The ``(codec, dtype, shape-class)`` tuple a request shards by.
+
+    Compress requests key on the array's dtype and shape class — every
+    request of one reduction configuration and working-set size lands
+    on the same shard, where the serve layer batches them together and
+    reuses one pinned context.  Decompress requests carry an opaque
+    stream, so the byte-size class stands in for the shape class.
+    """
+    if op == "compress":
+        arr = np.asarray(payload)
+        return spec.key() + (arr.dtype.str, shape_class(arr.shape))
+    return spec.key() + ("blob", size_class(max(1, len(payload))))
+
+
+class HashRing:
+    """Consistent-hash ring over named shards with virtual nodes."""
+
+    def __init__(self, nodes: tuple[str, ...] | list[str] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        """Insert ``node``'s virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for v in range(self._vnodes):
+            point = _point(f"{node}#{v}")
+            idx = bisect.bisect_left(self._points, point)
+            # SHA-256 collisions between distinct tokens are not a
+            # practical concern; ties break toward the earlier insert.
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+
+    def remove(self, node: str) -> None:
+        """Drop ``node``; its ranges fall to the ring successors.
+
+        This is the *adoption* primitive: every key that mapped to
+        ``node`` now maps to the next point on the ring (a survivor),
+        and no other key moves.
+        """
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def lookup(self, key: Hashable) -> str:
+        """Owner of ``key``: the first ring point at or after its hash."""
+        if not self._points:
+            raise LookupError("hash ring is empty (no shards alive)")
+        h = _point(repr(key))
+        idx = bisect.bisect_left(self._points, h)
+        if idx == len(self._points):
+            idx = 0  # wrap around
+        return self._owners[idx]
+
+    def share(self, keys: list[Hashable]) -> dict[str, int]:
+        """Key count per owner — balance diagnostics for tests/docs."""
+        out: dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            out[self.lookup(key)] += 1
+        return out

@@ -1,0 +1,269 @@
+"""Shard backends: the processes (or in-loop tasks) behind the router.
+
+A *shard* is one :class:`~repro.serve.service.ReductionService` owning
+a slice of the cluster's hash ranges.  Two backends implement the same
+small contract (``start`` / ``submit`` / ``ping`` / ``kill`` /
+``close``):
+
+* :class:`InProcShard` — the service runs as tasks on the router's own
+  event loop.  Zero spawn cost and fully deterministic, so the
+  conformance and hypothesis failover suites use it; ``kill()``
+  simulates abrupt death by discarding every answer from the moment of
+  the kill (exactly what a crashed process does to its in-flight
+  requests).
+* :class:`ProcessShard` — a real subprocess (``spawn``) running the
+  service behind its own TCP socket, reached through a
+  :class:`ShardClient` connection pool speaking the unchanged
+  :mod:`repro.serve.net` framing.  This is the production shape: codec
+  work escapes the GIL, and ``kill()`` is a genuine ``SIGKILL``.
+
+Both backends translate every transport- or lifecycle-level failure
+into a typed :class:`~repro.cluster.errors.ShardDied`, the single
+signal the router's failover loop retries on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from typing import Any
+
+from repro.cluster.errors import ShardDied
+from repro.serve.errors import ProtocolError, ServeError, ServiceClosed
+from repro.serve.net import BlastClient
+from repro.serve.service import ReductionService, ServiceConfig
+from repro.serve.spec import CodecSpec
+
+#: transport failures a ShardClient maps to ShardDied.
+_TRANSPORT_ERRORS = (
+    ProtocolError,
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    EOFError,
+    OSError,
+)
+
+#: seconds a spawning shard process gets to report its port.
+SPAWN_TIMEOUT_S = 60.0
+
+
+class InProcShard:
+    """A shard hosted on the router's event loop (test/dev backend)."""
+
+    def __init__(self, name: str, config: ServiceConfig) -> None:
+        self.name = name
+        self._service = ReductionService(config)
+        self._dead = False
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    async def start(self) -> None:
+        await self._service.start()
+
+    async def submit(self, op: str, spec: CodecSpec, payload: Any) -> Any:
+        if self._dead:
+            raise ShardDied(self.name)
+        try:
+            value = await self._service.submit(op, spec, payload)
+        except ServiceClosed as exc:
+            raise ShardDied(self.name, "is draining") from exc
+        if self._dead:
+            # The shard "crashed" while this request was in flight: the
+            # computed answer is lost exactly as a killed process loses
+            # its response buffers.  The router re-executes elsewhere.
+            raise ShardDied(self.name, "died mid-request")
+        return value
+
+    async def ping(self) -> None:
+        if self._dead:
+            raise ShardDied(self.name)
+
+    def kill(self) -> None:
+        """Abrupt simulated death: every unanswered request is lost."""
+        self._dead = True
+
+    async def close(self) -> None:
+        await self._service.close()
+
+
+# ---------------------------------------------------------------------------
+def _shard_main(config: ServiceConfig, conn: Any) -> None:  # pragma: no cover
+    """Subprocess entry point: serve one shard on an ephemeral TCP port.
+
+    Runs in the spawned child (not measured by coverage).  Reports the
+    bound port through ``conn``, then serves until SIGTERM (graceful
+    drain) or SIGKILL (the router's failover drill).
+    """
+    import signal
+
+    from repro.serve.net import serve_tcp
+
+    async def run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+        except NotImplementedError:
+            pass
+        async with ReductionService(config) as svc:
+            server = await serve_tcp(svc, "127.0.0.1", 0)
+            conn.send(int(server.sockets[0].getsockname()[1]))
+            conn.close()
+            await stop.wait()
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(run())
+
+
+def _await_port(conn: Any, proc: Any, timeout_s: float) -> int:
+    """Blocking port read (runs on an executor thread, never the loop)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if conn.poll(0.05):
+            return int(conn.recv())
+        if not proc.is_alive():
+            raise ShardDied(proc.name, "died during startup")
+    raise ShardDied(proc.name, f"did not report a port in {timeout_s:.0f}s")
+
+
+class ShardClient:
+    """Bounded connection pool to one shard's TCP endpoint.
+
+    Each :mod:`repro.serve.net` connection carries one request at a
+    time (the framing is sequential per connection), so per-shard
+    concurrency equals pool size; ``limit`` bounds it and extra callers
+    queue on the semaphore.  Connections are created lazily and reused;
+    a connection that suffers a transport error is discarded and the
+    failure surfaces as :class:`ShardDied`.
+    """
+
+    def __init__(self, host: str, port: int, limit: int = 8) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self._host = host
+        self._port = port
+        self._sem = asyncio.Semaphore(limit)
+        self._free: list[BlastClient] = []
+
+    async def _call(self, fn_name: str, *args: Any) -> Any:
+        async with self._sem:
+            client = self._free.pop() if self._free else None
+            try:
+                if client is None:
+                    client = await BlastClient.connect(self._host, self._port)
+                value = await getattr(client, fn_name)(*args)
+            except _TRANSPORT_ERRORS as exc:
+                if client is not None:
+                    await _close_quietly(client)
+                raise ShardDied(f"{self._host}:{self._port}",
+                                f"transport failed ({exc})") from exc
+            except ServeError:
+                # Typed service errors (overload, remote request
+                # failures) are decoded from a fully consumed response
+                # frame — the connection is still frame-aligned, reuse
+                # it.  (ProtocolError took the transport path above.)
+                self._free.append(client)
+                raise
+            except BaseException:
+                # Cancellation (or anything else) may abandon a
+                # response mid-wire; drop the connection to stay
+                # frame-aligned.
+                if client is not None:
+                    await _close_quietly(client)
+                raise
+            else:
+                self._free.append(client)
+                return value
+
+    async def request(self, op: str, spec: CodecSpec, payload: Any) -> Any:
+        return await self._call("request", op, spec, payload)
+
+    async def ping(self) -> None:
+        await self._call("ping")
+
+    async def close(self) -> None:
+        free, self._free = self._free, []
+        for client in free:
+            await _close_quietly(client)
+
+
+async def _close_quietly(client: BlastClient) -> None:
+    try:
+        await client.close()
+    except _TRANSPORT_ERRORS:
+        pass
+
+
+class ProcessShard:
+    """A shard in its own spawned process, reached over loopback TCP."""
+
+    def __init__(self, name: str, config: ServiceConfig,
+                 connections: int = 8) -> None:
+        if config.retry_sleep is not None:
+            raise ValueError(
+                "retry_sleep is not injectable across shard processes "
+                "(callables do not pickle); use the in-process backend"
+            )
+        self.name = name
+        self._config = config
+        self._connections = connections
+        self._proc: Any = None
+        self._client: ShardClient | None = None
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self._proc = ctx.Process(
+            target=_shard_main, args=(self._config, child_conn),
+            name=self.name, daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+        loop = asyncio.get_running_loop()
+        self.port = await loop.run_in_executor(
+            None, _await_port, parent_conn, self._proc, SPAWN_TIMEOUT_S
+        )
+        parent_conn.close()
+        self._client = ShardClient("127.0.0.1", self.port,
+                                   limit=self._connections)
+
+    @property
+    def dead(self) -> bool:
+        return self._proc is None or not self._proc.is_alive()
+
+    async def submit(self, op: str, spec: CodecSpec, payload: Any) -> Any:
+        if self._client is None or self.dead:
+            raise ShardDied(self.name, "is not running")
+        return await self._client.request(op, spec, payload)
+
+    async def ping(self) -> None:
+        if self._client is None or self.dead:
+            raise ShardDied(self.name, "is not running")
+        await self._client.ping()
+
+    def kill(self) -> None:
+        """SIGKILL — abrupt death, in-flight requests are lost."""
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.kill()
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+        if self._proc is None:
+            return
+        proc = self._proc
+        self._proc = None
+        if proc.is_alive():
+            proc.terminate()  # SIGTERM: the shard drains gracefully
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, proc.join, 10.0)
+        if proc.is_alive():  # pragma: no cover - drain never hangs
+            proc.kill()
+            await loop.run_in_executor(None, proc.join, 5.0)

@@ -20,7 +20,12 @@ contexts keep the steady state zero-alloc under load.  See
 """
 
 from repro.serve.batcher import BatchLimits, Flush, MicroBatchPlanner
-from repro.serve.errors import ServeError, ServiceClosed, ServiceOverloaded
+from repro.serve.errors import (
+    ServeError,
+    ServiceClosed,
+    ServiceOverloaded,
+    ShardOverloaded,
+)
 from repro.serve.loadgen import ServiceClient, default_payloads, percentile, run_blast
 from repro.serve.net import (
     BlastClient,
@@ -56,6 +61,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceOverloaded",
     "ServiceStats",
+    "ShardOverloaded",
     "Worker",
     "default_payloads",
     "payload_nbytes",

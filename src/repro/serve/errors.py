@@ -33,6 +33,28 @@ class ServiceOverloaded(ServeError):
         )
 
 
+class ShardOverloaded(ServiceOverloaded):
+    """A cluster shard's admission slice is full (per-shard backpressure).
+
+    Subclasses :class:`ServiceOverloaded` so every existing
+    admission-control path — client backoff loops, the blast
+    generator's retry, the TCP error framing — handles it unchanged;
+    the extra ``shard`` field tells operators *which* hash range is
+    saturated (the scale-up signal, see ``docs/operations.md``).
+
+    Defined here rather than in :mod:`repro.cluster` so the transport
+    layer can reconstruct it without importing the cluster package.
+    """
+
+    def __init__(self, shard: str, depth: int, limit: int) -> None:
+        super().__init__(depth, limit)
+        self.shard = shard
+        self.args = (
+            f"shard {shard} overloaded: {depth} requests in flight "
+            f"(per-shard limit {limit}); retry with backoff",
+        )
+
+
 class ServiceClosed(ServeError):
     """The service is draining or closed; no new requests are admitted."""
 

@@ -56,6 +56,7 @@ from repro.serve.errors import (
     ServeError,
     ServiceClosed,
     ServiceOverloaded,
+    ShardOverloaded,
 )
 from repro.serve.shm import ShmArena, ShmRegistry
 from repro.serve.spec import CodecSpec
@@ -234,6 +235,10 @@ def _decode_payload(header: dict, raw, shm: ShmRegistry | None = None) -> Any:
 def _raise_remote(header: dict) -> None:
     kind = header.get("kind", "ServeError")
     message = header.get("message", "")
+    if kind == "ShardOverloaded":
+        raise ShardOverloaded(str(header.get("shard", "?")),
+                              int(header.get("depth", 0)),
+                              int(header.get("limit", 0)))
     if kind == "ServiceOverloaded":
         raise ServiceOverloaded(int(header.get("depth", 0)),
                                 int(header.get("limit", 0)))
@@ -261,18 +266,28 @@ async def _handle_connection(service, reader: asyncio.StreamReader,
             header, raw = frame
             try:
                 op = header["op"]
-                spec = CodecSpec(**header["spec"])
-                payload = _decode_payload(header, raw, shm=shm)
-                value = await service.submit(op, spec, payload)
+                if op == "ping":
+                    # Liveness probe: answered before spec parsing, so
+                    # it costs no codec work and needs no payload (the
+                    # cluster health checker's one round-trip).
+                    value = b""
+                else:
+                    spec = CodecSpec(**header["spec"])
+                    payload = _decode_payload(header, raw, shm=shm)
+                    value = await service.submit(op, spec, payload)
             except asyncio.CancelledError:
                 raise
             except ProtocolError:
                 raise  # malformed peer: drop the connection, not just the request
             except ServiceOverloaded as exc:
-                _write_frame(writer, {
-                    "status": "err", "kind": "ServiceOverloaded",
+                err = {
+                    "status": "err", "kind": type(exc).__name__,
                     "message": str(exc), "depth": exc.depth, "limit": exc.limit,
-                }, b"")
+                }
+                shard = getattr(exc, "shard", None)
+                if shard is not None:
+                    err["shard"] = shard
+                _write_frame(writer, err, b"")
             except Exception as exc:
                 _write_frame(writer, {
                     "status": "err", "kind": type(exc).__name__,
@@ -354,6 +369,17 @@ class BlastClient:
         if resp.get("status") != "ok":
             _raise_remote(resp)
         return _decode_payload(resp, out)
+
+    async def ping(self) -> None:
+        """One liveness round-trip (no spec, no payload, no codec work)."""
+        _write_frame(self._writer, {"op": "ping"}, b"")
+        await self._writer.drain()
+        frame = await _read_frame(self._reader)
+        if frame is None:
+            raise ProtocolError("server closed the connection mid-request")
+        resp, _ = frame
+        if resp.get("status") != "ok":
+            _raise_remote(resp)
 
     async def compress(self, spec: CodecSpec, data: np.ndarray) -> bytes:
         return await self.request("compress", spec, data)

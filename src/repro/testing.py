@@ -15,6 +15,8 @@ Usage (e.g. in a downstream package's test suite)::
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.core.functor import FnDomain, FnLocality
@@ -237,6 +239,7 @@ def check_service(
     rng: np.random.Generator | None = None,
     workers: int = 1,
     process: bool = False,
+    service_factory: Any | None = None,
 ) -> None:
     """Differential conformance of the HPDR-Serve request path.
 
@@ -248,6 +251,14 @@ def check_service(
     and its pickle boundary — must never change a stream.  Decompressing the served
     streams through the service must likewise reproduce the single-shot
     arrays exactly.
+
+    ``service_factory`` swaps the service under test: it receives each
+    case's :class:`~repro.serve.service.ServiceConfig` and must return
+    an unstarted async-context-manager service with the same request
+    surface.  The cluster suite passes a factory wrapping the config in
+    a :class:`~repro.cluster.router.ClusterService`, which makes this
+    one checker the byte-identity oracle for the cluster front door
+    too.
 
     Runs its own event loop; call from synchronous test code.  Raises
     :class:`AdapterConformanceError` on the first divergence.
@@ -261,6 +272,7 @@ def check_service(
         ServiceConfig,
     )
 
+    factory = ReductionService if service_factory is None else service_factory
     rng = rng if rng is not None else np.random.default_rng(0)
 
     # Reference streams are computed synchronously *before* the event
@@ -294,7 +306,7 @@ def check_service(
                 workers=workers,
                 process=process,
             )
-            async with ReductionService(cfg) as svc:
+            async with factory(cfg) as svc:
                 got_blobs = await asyncio.gather(
                     *(svc.compress(spec, a) for a in arrays)
                 )

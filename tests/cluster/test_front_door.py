@@ -1,0 +1,141 @@
+"""The cluster front door speaks the serve protocol unchanged.
+
+``serve_tcp`` takes the router exactly as it takes a single service,
+existing clients round-trip byte-identically, ``check_service`` passes
+against the cluster via its ``service_factory`` hook, and the typed
+per-shard backpressure error crosses the wire intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterService, mixed_specs
+from repro.serve import (
+    BatchLimits,
+    BlastClient,
+    CodecSpec,
+    ReductionService,
+    ServiceConfig,
+    ShardOverloaded,
+    serve_tcp,
+)
+from repro.serve.net import _raise_remote
+from repro.testing import check_service
+
+SPEC = CodecSpec("zfp-x", rate=8.0)
+DATA = np.arange(1024, dtype=np.float32).reshape(32, 32)
+
+
+def _quick_config(**kw) -> ClusterConfig:
+    kw.setdefault("service", ServiceConfig(
+        limits=BatchLimits(max_batch=8, max_latency_s=0.002)
+    ))
+    kw.setdefault("health_interval_s", 0.0)
+    return ClusterConfig(**kw)
+
+
+def test_check_service_passes_against_cluster_front_door():
+    """The serve conformance oracle, unchanged, against the cluster."""
+    check_service(
+        codecs=("zfp-x", "huffman-x"),
+        batch_sizes=(1, 7),
+        service_factory=lambda cfg: ClusterService(
+            ClusterConfig(shards=3, health_interval_s=0.0, service=cfg)
+        ),
+    )
+
+
+def test_tcp_roundtrip_through_cluster_is_byte_identical():
+    async def run():
+        async with ClusterService(_quick_config(shards=3)) as cs:
+            server = await serve_tcp(cs, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = await BlastClient.connect(host, port)
+            try:
+                for spec in mixed_specs(5):
+                    want = spec.build().compress(DATA)
+                    blob = await client.compress(spec, DATA)
+                    assert bytes(blob) == bytes(want)
+                    back = await client.decompress(spec, bytes(blob))
+                    assert np.array_equal(
+                        np.asarray(back), spec.build().decompress(want)
+                    )
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+    asyncio.run(run())
+
+
+def test_ping_roundtrip_against_service_and_cluster():
+    async def run():
+        async with ReductionService(ServiceConfig()) as svc:
+            server = await serve_tcp(svc, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = await BlastClient.connect(host, port)
+            await client.ping()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+        async with ClusterService(_quick_config(shards=2)) as cs:
+            server = await serve_tcp(cs, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = await BlastClient.connect(host, port)
+            await client.ping()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(run())
+
+
+def test_shard_overloaded_crosses_the_wire_typed():
+    """A shed request surfaces client-side as ShardOverloaded with the
+    shard name — through the unchanged framing."""
+
+    async def run():
+        cfg = _quick_config(
+            shards=1, shard_max_pending=1,
+            service=ServiceConfig(
+                limits=BatchLimits(max_batch=1, max_latency_s=0.02)
+            ),
+        )
+        async with ClusterService(cfg) as cs:
+            server = await serve_tcp(cs, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            clients = [await BlastClient.connect(host, port)
+                       for _ in range(6)]
+            try:
+                results = await asyncio.gather(
+                    *(c.request("compress", SPEC, DATA) for c in clients),
+                    return_exceptions=True,
+                )
+            finally:
+                for c in clients:
+                    await c.close()
+                server.close()
+                await server.wait_closed()
+            rejected = [r for r in results
+                        if isinstance(r, ShardOverloaded)]
+            completed = [r for r in results
+                         if not isinstance(r, BaseException)]
+            assert completed and rejected
+            assert rejected[0].shard == "s0"
+            assert rejected[0].limit == 1
+
+    asyncio.run(run())
+
+
+def test_raise_remote_reconstructs_shard_overloaded():
+    with pytest.raises(ShardOverloaded) as ei:
+        _raise_remote({"kind": "ShardOverloaded", "shard": "s3",
+                       "depth": 9, "limit": 4})
+    assert ei.value.shard == "s3"
+    assert ei.value.depth == 9
+    assert ei.value.limit == 4
+    assert "s3" in str(ei.value)

@@ -86,6 +86,7 @@ def test_remote_errors_are_typed():
     asyncio.run(run())
 
 
+@pytest.mark.timing_sensitive
 def test_remote_overload_maps_to_service_overloaded(monkeypatch):
     import threading
 

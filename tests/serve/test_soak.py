@@ -14,6 +14,7 @@ import asyncio
 import time
 
 import numpy as np
+import pytest
 
 from repro.check import assert_steady_state
 from repro.serve import BatchLimits, CodecSpec, ReductionService, ServiceConfig
@@ -29,6 +30,7 @@ SPECS = [CodecSpec("zfp-x", rate=8.0), CodecSpec("huffman-x"),
          CodecSpec("lz4")]
 
 
+@pytest.mark.timing_sensitive
 def test_soak_mixed_traffic_zero_alloc_steady_state():
     rng = np.random.default_rng(5)
     payloads = {
