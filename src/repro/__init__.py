@@ -50,6 +50,12 @@ from repro.compressors.baselines.sz import SZ
 from repro.compressors.baselines.lz4 import LZ4
 from repro.compressors.baselines.mgard_gpu import MGARDGPU
 from repro.compressors.baselines.zfp_cuda import ZFPCUDA
+from repro.progressive import (
+    ProgressiveMGARD,
+    ProgressiveRetriever,
+    RetrievalReport,
+    SegmentIndex,
+)
 
 __version__ = "1.0.0"
 
@@ -79,5 +85,9 @@ __all__ = [
     "LZ4",
     "MGARDGPU",
     "ZFPCUDA",
+    "ProgressiveMGARD",
+    "ProgressiveRetriever",
+    "RetrievalReport",
+    "SegmentIndex",
     "__version__",
 ]

@@ -166,6 +166,8 @@ def cmd_info(args) -> int:
 
 
 def cmd_refactor(args) -> int:
+    if getattr(args, "progressive", False):
+        return _refactor_progressive(args)
     from repro.compressors.mgard.refactor import MGARDRefactor
 
     data = np.load(args.input)
@@ -183,7 +185,60 @@ def cmd_refactor(args) -> int:
     return 0
 
 
+def _refactor_progressive(args) -> int:
+    """``refactor --progressive``: write an HPGX archive or BP store."""
+    from repro import Config, ErrorMode
+    from repro.progressive import ProgressiveMGARD, archive_bytes, write_store
+
+    data = np.load(args.input)
+    mode = ErrorMode.ABS if args.mode == "abs" else ErrorMode.REL
+    codec = ProgressiveMGARD(
+        Config(error_bound=args.eb, error_mode=mode),
+        bits_per_plane=args.bits_per_plane,
+        max_planes=args.max_planes,
+    )
+    tracing = _trace_begin(args)
+    index, segments = codec.refactor(data)
+    if args.store == "bp":
+        write_store(args.output, index, segments,
+                    num_aggregators=args.aggregators)
+        where = f"BP store {args.output} ({args.aggregators} aggregators)"
+    else:
+        from repro.util import atomic_write_bytes
+
+        atomic_write_bytes(args.output, archive_bytes(index, segments))
+        where = f"HPGX archive {args.output}"
+    print(f"{args.input}: {data.nbytes} B -> {index.total_bytes} B "
+          f"segment stream in {len(index.records)} segments "
+          f"({index.ngroups} groups) -> {where}")
+    print(f"  abs bound {index.abs_eb:.6e}, floor {index.floor:.6e}")
+    print("  retrievable frontier (cumulative bytes -> achieved error):")
+    for rec in index.frontier():
+        prefix = sum(r.nbytes for r in index.records[: rec.seq + 1])
+        print(f"    seg {rec.seq:3d} (group {rec.group}): "
+              f"{prefix:8d} B -> {rec.error_bound:.6e}")
+    _trace_end(args, tracing)
+    return 0
+
+
 def cmd_retrieve(args) -> int:
+    from pathlib import Path
+
+    src = Path(args.input)
+    if src.is_dir():
+        return _retrieve_progressive(args)
+    with open(args.input, "rb") as f:
+        head = f.read(4)
+    from repro.progressive import ARCHIVE_MAGIC
+
+    if head == ARCHIVE_MAGIC:
+        return _retrieve_progressive(args)
+    if args.error_bound is not None or args.resolution is not None:
+        raise SystemExit(
+            "--error-bound/--resolution need a progressive source "
+            "(HPGX archive or BP store); this input is a legacy "
+            "refactored stream — use --levels"
+        )
     from repro.compressors.mgard.refactor import MGARDRefactor, RefactoredData
 
     with open(args.input, "rb") as f:
@@ -194,6 +249,34 @@ def cmd_retrieve(args) -> int:
     touched = refactored.prefix_bytes(args.levels or refactored.num_levels)
     print(f"retrieved {data.shape} from {touched/1e6:.3f} MB "
           f"of {refactored.total_bytes/1e6:.3f} MB")
+    return 0
+
+
+def _retrieve_progressive(args) -> int:
+    """Bounded retrieval from an HPGX archive / BP store."""
+    from repro.progressive import BoundUnreachableError, ProgressiveRetriever
+
+    if args.levels is not None:
+        raise SystemExit("--levels is for legacy streams; progressive "
+                         "sources take --error-bound or --resolution")
+    tracing = _trace_begin(args)
+    retriever = ProgressiveRetriever()
+    try:
+        data, report = retriever.retrieve(
+            args.input, eps=args.error_bound, resolution=args.resolution
+        )
+    except BoundUnreachableError as exc:
+        raise SystemExit(f"retrieve: {exc}")
+    np.save(args.output, data)
+    want = (f"eps={report.eps:g}" if report.eps is not None
+            else f"resolution={report.resolution}"
+            if report.resolution is not None else "full prefix")
+    print(f"retrieved {data.shape} {data.dtype} ({want}) from "
+          f"{report.source}: {report.segments_fetched}/"
+          f"{report.total_segments} segments, {report.bytes_fetched}/"
+          f"{report.total_bytes} B ({report.fraction_fetched:.1%}), "
+          f"achieved error {report.error_bound:.6e}")
+    _trace_end(args, tracing)
     return 0
 
 
@@ -575,13 +658,45 @@ def build_parser() -> argparse.ArgumentParser:
     r = sub.add_parser("refactor", help="refactor into progressive substreams")
     r.add_argument("input")
     r.add_argument("output")
-    r.add_argument("--precision", type=float, default=1e-6)
+    r.add_argument("--precision", type=float, default=1e-6,
+                   help="(legacy stream) substream precision")
+    r.add_argument("--progressive", action="store_true",
+                   help="emit the segmented HPGX/BP form with a per-segment "
+                        "error-bound index (repro.progressive)")
+    r.add_argument("--eb", type=float, default=1e-3,
+                   help="(--progressive) error bound of the full stream")
+    r.add_argument("--mode", default="rel", choices=["rel", "abs"],
+                   help="(--progressive) error-bound mode")
+    r.add_argument("--bits-per-plane", type=int, default=8,
+                   help="(--progressive) residual bitplane width")
+    r.add_argument("--max-planes", type=int, default=3,
+                   help="(--progressive) max bitplanes per group")
+    r.add_argument("--store", default="blob", choices=["blob", "bp"],
+                   help="(--progressive) output form: single HPGX file "
+                        "or BP store directory")
+    r.add_argument("--aggregators", type=int, default=1,
+                   help="(--progressive --store bp) aggregator subfiles")
+    r.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record spans and write Chrome trace-event JSON")
+    r.add_argument("--metrics", action="store_true",
+                   help="print the stage/metrics summary after the run")
     r.set_defaults(func=cmd_refactor)
 
     g = sub.add_parser("retrieve", help="retrieve a refactored prefix")
-    g.add_argument("input")
+    g.add_argument("input",
+                   help=".mgrf stream, HPGX archive, or BP store directory")
     g.add_argument("output")
-    g.add_argument("--levels", type=int, default=None)
+    g.add_argument("--levels", type=int, default=None,
+                   help="(legacy stream) substream prefix length")
+    g.add_argument("--error-bound", type=float, default=None, metavar="EPS",
+                   help="(progressive) fetch the minimal prefix achieving "
+                        "this absolute error")
+    g.add_argument("--resolution", type=int, default=None, metavar="L",
+                   help="(progressive) fetch the first L resolution groups")
+    g.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record spans and write Chrome trace-event JSON")
+    g.add_argument("--metrics", action="store_true",
+                   help="print the stage/metrics summary after the run")
     g.set_defaults(func=cmd_retrieve)
 
     cp = sub.add_parser(

@@ -419,6 +419,20 @@ class ClusterService:
     async def decompress(self, spec: CodecSpec, blob: bytes) -> np.ndarray:
         return np.asarray(await self.submit("decompress", spec, blob))
 
+    async def retrieve(
+        self,
+        spec: CodecSpec,
+        archive: bytes,
+        *,
+        eps: float | None = None,
+        resolution: int | None = None,
+    ) -> np.ndarray:
+        """Bounded retrieval from an ``HPGX`` progressive archive."""
+        from repro.progressive import make_retrieve_request
+
+        payload = make_retrieve_request(archive, eps=eps, resolution=resolution)
+        return np.asarray(await self.submit("retrieve", spec, payload))
+
     # -- drain / shutdown -----------------------------------------------
     async def drain(self) -> None:
         """Wait until no request is in flight at the router."""

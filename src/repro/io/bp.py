@@ -140,6 +140,27 @@ class BPFile:
         out = comp.decompress(var.payload)
         return np.asarray(out).reshape(var.shape)
 
+    def payload_spans(self) -> dict[str, tuple[int, int]]:
+        """Byte span ``(offset, nbytes)`` of each payload in :meth:`tobytes`.
+
+        Computed from the serialization layout without materializing the
+        stream — the writer records these in its index so readers can
+        fetch a single variable's payload with one ranged read instead
+        of loading the whole subfile (the progressive-retrieval path).
+        """
+        spans: dict[str, tuple[int, int]] = {}
+        off = 4 + struct.calcsize("<BI")
+        for var in self.variables.values():
+            name_b = var.name.encode("utf-8")
+            off += struct.calcsize("<HBBB")
+            off += len(name_b) + len(var.dtype.encode("ascii"))
+            off += len(var.operator.encode("ascii"))
+            off += 8 * len(var.shape)
+            off += struct.calcsize("<QI")
+            spans[var.name] = (off, len(var.payload))
+            off += len(var.payload)
+        return spans
+
     # -- (de)serialization ---------------------------------------------------
     def tobytes(self) -> bytes:
         parts = [_MAGIC, struct.pack("<BI", _VERSION, len(self.variables))]

@@ -102,6 +102,12 @@ class BPWriter:
             raise RuntimeError("writer already closed")
         self.path.mkdir(parents=True, exist_ok=True)
         stored = 0
+        # Pin each payload's byte span inside its subfile so readers can
+        # fetch one variable with a single ranged read (progressive
+        # retrieval never loads subfile bytes it does not need).
+        for i, bp in enumerate(self._files):
+            for key, span in bp.payload_spans().items():
+                self._index[key]["span"] = list(span)
         with _span("io.flush", subfiles=self.num_aggregators):
             # Subfiles first, index last, each via fsync-and-rename: the
             # index only ever names subfiles that were durably written,
@@ -175,3 +181,32 @@ class BPReader:
                 f"selection rank {len(selection)} > variable rank {data.ndim}"
             )
         return np.ascontiguousarray(data[selection])
+
+    def read_payload(self, name: str, rank: int = 0) -> bytes:
+        """Read one variable's raw payload with a ranged subfile read.
+
+        Uses the byte span the writer pinned in ``index.json`` —
+        seek + read of exactly the payload's bytes, no whole-subfile
+        load and no operator inversion.  Stores written before spans
+        existed fall back to the cached full-subfile path.  This is the
+        fetch primitive progressive retrieval builds on: a bounded
+        request touches only the byte ranges its segment plan names.
+        """
+        key = f"{name}@{rank}"
+        entry = self._index["variables"].get(key)
+        if entry is None:
+            raise KeyError(f"no variable {key!r} in {self.path}")
+        span = entry.get("span")
+        if span is None:
+            return bytes(self._subfile(entry["subfile"]).variables[key].payload)
+        offset, nbytes = int(span[0]), int(span[1])
+        with _span("io.read_payload", var=name, rank=rank, nbytes=nbytes):
+            with open(self.path / f"data.{entry['subfile']}", "rb") as f:
+                f.seek(offset)
+                payload = f.read(nbytes)
+        if _TRACER.enabled:
+            _METRICS.counter(
+                "hpdr_io_range_read_bytes_total",
+                "bytes fetched via ranged payload reads",
+            ).inc(len(payload))
+        return payload

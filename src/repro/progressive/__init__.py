@@ -1,0 +1,81 @@
+"""Progressive retrieval: bytes-for-accuracy reads of MGARD streams.
+
+The HP-MDR extension of HPDR's one-shot pipeline: MGARD-X multilevel
+coefficients become an ordered list of (resolution level x bitplane)
+segments, each independently decodable and pinned by a byte range,
+cumulative error bound, and CRC in a :class:`SegmentIndex`.  A reader
+asks for ``eps`` (error bound) or ``L`` (resolution) and fetches only
+the minimal segment prefix — through an in-memory ``HPGX`` archive, a
+ranged-read ``HPGX`` file, or a BP store directory
+(:mod:`repro.io.engine` byte-range reads).
+
+>>> import numpy as np
+>>> from repro.progressive import ProgressiveMGARD, ProgressiveRetriever
+>>> from repro.progressive import archive_bytes
+>>> data = np.linspace(0, 1, 512, dtype=np.float32).reshape(16, 32)
+>>> index, segments = ProgressiveMGARD().refactor(data)
+>>> blob = archive_bytes(index, segments)
+>>> coarse, report = ProgressiveRetriever().retrieve(blob, eps=1e-2)
+>>> report.bytes_fetched < report.total_bytes
+True
+>>> exact, _ = ProgressiveRetriever().retrieve(blob)
+>>> bool(np.max(np.abs(exact - data)) <= index.abs_eb)
+True
+"""
+
+from repro.progressive.archive import (
+    ARCHIVE_MAGIC,
+    REQUEST_MAGIC,
+    archive_bytes,
+    is_archive,
+    make_retrieve_request,
+    parse_archive_index,
+    parse_retrieve_request,
+    read_archive_prefix,
+)
+from repro.progressive.codec import ProgressiveMGARD
+from repro.progressive.errors import (
+    BoundUnreachableError,
+    MalformedIndexError,
+    ProgressiveError,
+    SegmentCRCError,
+    TruncatedSegmentError,
+)
+from repro.progressive.retrieve import (
+    ProgressiveRetriever,
+    RetrievalReport,
+    retrieve_request,
+)
+from repro.progressive.segments import (
+    SegmentIndex,
+    SegmentRecord,
+    merge_planes,
+    split_planes,
+)
+from repro.progressive.store import is_store, write_store
+
+__all__ = [
+    "ARCHIVE_MAGIC",
+    "BoundUnreachableError",
+    "MalformedIndexError",
+    "ProgressiveError",
+    "ProgressiveMGARD",
+    "ProgressiveRetriever",
+    "REQUEST_MAGIC",
+    "RetrievalReport",
+    "SegmentCRCError",
+    "SegmentIndex",
+    "SegmentRecord",
+    "TruncatedSegmentError",
+    "archive_bytes",
+    "is_archive",
+    "is_store",
+    "make_retrieve_request",
+    "merge_planes",
+    "parse_archive_index",
+    "parse_retrieve_request",
+    "read_archive_prefix",
+    "retrieve_request",
+    "split_planes",
+    "write_store",
+]

@@ -1,0 +1,95 @@
+"""Progressive segment store inside the BP5-like container.
+
+``write_store`` lays one refactored stream into a
+:class:`~repro.io.engine.BPWriter` directory: every segment is its own
+variable (``seg.00000`` ... spread round-robin over the aggregator
+subfiles via its sequence number as the rank) plus a ``pindex``
+variable holding the JSON :class:`~repro.progressive.segments.SegmentIndex`.
+The writer pins each payload's byte span in ``index.json``, so
+``read_store`` fetches a bounded request with *ranged reads only* —
+the index payload plus exactly the planned segments' byte ranges,
+through :meth:`~repro.io.engine.BPReader.read_payload`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.io.engine import BPReader, BPWriter
+from repro.progressive.errors import MalformedIndexError
+from repro.progressive.segments import SegmentIndex, SegmentRecord
+
+#: variable name of the JSON segment index inside the store.
+INDEX_VARIABLE = "pindex"
+
+
+def _segment_variable(seq: int) -> str:
+    return f"seg.{seq:05d}"
+
+
+def write_store(
+    path: Any,
+    index: SegmentIndex,
+    segments: list[bytes],
+    num_aggregators: int = 1,
+) -> dict[str, Any]:
+    """Write ``(index, segments)`` as a BP store; returns flush stats."""
+    if len(segments) != len(index.records):
+        raise ValueError(
+            f"{len(segments)} segments but {len(index.records)} records"
+        )
+    writer = BPWriter(path, num_aggregators=num_aggregators)
+    raw_index = json.dumps(index.to_json(), separators=(",", ":")).encode("utf-8")
+    writer.put_reduced(
+        INDEX_VARIABLE, raw_index, shape=(len(raw_index),),
+        dtype=np.uint8, operator="none",
+    )
+    for rec, seg in zip(index.records, segments):
+        writer.put_reduced(
+            _segment_variable(rec.seq), bytes(seg), shape=(len(seg),),
+            dtype=np.uint8, operator="none", rank=rec.seq,
+        )
+    return writer.close()
+
+
+def is_store(path: Any) -> bool:
+    """True when ``path`` looks like a BP directory with a ``pindex``."""
+    from pathlib import Path
+
+    p = Path(path)
+    return p.is_dir() and (p / "index.json").exists()
+
+
+def read_store_index(reader: BPReader) -> SegmentIndex:
+    """Load and validate the store's segment index (ranged read)."""
+    try:
+        raw = reader.read_payload(INDEX_VARIABLE)
+    except KeyError as exc:
+        raise MalformedIndexError(
+            f"BP store has no {INDEX_VARIABLE!r} variable: {exc}"
+        ) from exc
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MalformedIndexError(f"unparseable store index: {exc}") from exc
+    return SegmentIndex.from_json(obj)
+
+
+def read_store_segments(
+    reader: BPReader, plan: list[SegmentRecord]
+) -> list[bytes]:
+    """Fetch the planned segments' byte ranges (CRC-checked)."""
+    out = []
+    for rec in plan:
+        try:
+            blob = reader.read_payload(_segment_variable(rec.seq), rank=rec.seq)
+        except KeyError as exc:
+            raise MalformedIndexError(
+                f"store is missing segment {rec.seq}: {exc}"
+            ) from exc
+        rec.check_crc(blob)
+        out.append(blob)
+    return out

@@ -387,6 +387,16 @@ class BlastClient:
     async def decompress(self, spec: CodecSpec, blob: bytes) -> np.ndarray:
         return await self.request("decompress", spec, blob)
 
+    async def retrieve(self, spec: CodecSpec, archive: bytes,
+                       eps: float | None = None,
+                       resolution: int | None = None) -> np.ndarray:
+        """Bounded progressive retrieval of an HPGX archive."""
+        from repro.progressive import make_retrieve_request
+
+        return await self.request(
+            "retrieve", spec, make_retrieve_request(archive, eps, resolution)
+        )
+
     async def close(self) -> None:
         if self._arena is not None:
             self._arena.close()

@@ -368,6 +368,20 @@ class ReductionService:
     async def decompress(self, spec: CodecSpec, blob: bytes) -> np.ndarray:
         return await self.submit("decompress", spec, blob)
 
+    async def retrieve(
+        self,
+        spec: CodecSpec,
+        archive: bytes,
+        *,
+        eps: float | None = None,
+        resolution: int | None = None,
+    ) -> np.ndarray:
+        """Bounded retrieval from an ``HPGX`` progressive archive."""
+        from repro.progressive import make_retrieve_request
+
+        payload = make_retrieve_request(archive, eps=eps, resolution=resolution)
+        return await self.submit("retrieve", spec, payload)
+
     # -- batching machinery ---------------------------------------------
     def _arm_timer(self) -> None:
         deadline = self._planner.next_deadline()

@@ -28,8 +28,11 @@ import numpy as np
 #: codec names the service accepts (the CLI envelope vocabulary).
 SERVABLE_CODECS = ("mgard-x", "zfp-x", "huffman-x", "lz4", "sz")
 
-#: request operations.
-OPS = ("compress", "decompress")
+#: request operations.  ``retrieve`` takes an ``HPRQ`` envelope (see
+#: :mod:`repro.progressive.archive`) and answers with the bounded
+#: reconstruction; like ``decompress`` it batches and routes by blob
+#: size class, so it rides the cluster router unchanged.
+OPS = ("compress", "decompress", "retrieve")
 
 
 def _ceil_pow2(n: int) -> int:

@@ -61,6 +61,18 @@ def _span(name: str, **args: Any) -> Any:
 def _apply(codec: Any, op: str, payload: Any) -> Any:
     if op == "compress":
         return codec.compress(payload)
+    if op == "retrieve":
+        # Progressive bounded retrieval: the payload is a self-contained
+        # HPRQ envelope (parameters + HPGX archive), so the codec only
+        # contributes its adapter + CMM cache; codecs without either
+        # still serve the request on the defaults.
+        from repro.progressive import retrieve_request
+
+        return retrieve_request(
+            payload,
+            adapter=getattr(codec, "adapter", None),
+            context_cache=getattr(codec, "cache", None),
+        )
     return codec.decompress(payload)
 
 

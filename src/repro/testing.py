@@ -240,6 +240,7 @@ def check_service(
     workers: int = 1,
     process: bool = False,
     service_factory: Any | None = None,
+    include_retrieve: bool = True,
 ) -> None:
     """Differential conformance of the HPDR-Serve request path.
 
@@ -259,6 +260,12 @@ def check_service(
     a :class:`~repro.cluster.router.ClusterService`, which makes this
     one checker the byte-identity oracle for the cluster front door
     too.
+
+    With ``include_retrieve=True`` the suite also drives the
+    ``retrieve`` op: a progressive archive is refactored up front and
+    full-prefix, bounded-eps and bounded-resolution requests must each
+    reproduce the direct :class:`~repro.progressive.ProgressiveRetriever`
+    answer byte for byte through the same front door.
 
     Runs its own event loop; call from synchronous test code.  Raises
     :class:`AdapterConformanceError` on the first divergence.
@@ -294,6 +301,33 @@ def check_service(
             want_arrays = [reference.decompress(b) for b in want_blobs]
             cases.append((codec, spec, n, arrays, want_blobs, want_arrays))
 
+    retrieve_case = None
+    if include_retrieve:
+        # Like the compress references, the archive and the expected
+        # reconstructions are computed synchronously before the loop
+        # starts (Statica rule HPL101).
+        from repro import Config, ProgressiveMGARD
+        from repro.progressive import ProgressiveRetriever, archive_bytes
+
+        field = np.ascontiguousarray(
+            rng.standard_normal((12, 16)).astype(np.float32)
+        )
+        index, segments = ProgressiveMGARD(
+            Config(error_bound=1e-3)
+        ).refactor(field)
+        archive = archive_bytes(index, segments)
+        eps = float(index.frontier()[0].error_bound) * 1.0001
+        oracle = ProgressiveRetriever()
+        requests = [
+            {},                    # full prefix
+            {"eps": eps},          # bounded error
+            {"resolution": 2},     # bounded resolution
+        ]
+        wants = [
+            oracle.retrieve(archive, **kwargs)[0] for kwargs in requests
+        ]
+        retrieve_case = (archive, requests, wants)
+
     async def run() -> None:
         for codec, spec, n, arrays, want_blobs, want_arrays in cases:
             cfg = ServiceConfig(
@@ -324,5 +358,148 @@ def check_service(
                         f"served {codec} decompression differs from "
                         f"single-shot (adapter={adapter}, batch={n})",
                     )
+        if retrieve_case is not None:
+            archive, requests, wants = retrieve_case
+            spec = CodecSpec("mgard-x")
+            cfg = ServiceConfig(
+                limits=BatchLimits(max_batch=4, max_latency_s=0.005),
+                adapter=adapter,
+                threads=threads,
+                workers=workers,
+                process=process,
+            )
+            async with factory(cfg) as svc:
+                got = await asyncio.gather(
+                    *(svc.retrieve(spec, archive, **kw) for kw in requests)
+                )
+                for kw, g, want in zip(requests, got, wants):
+                    _require(
+                        np.asarray(g).dtype == want.dtype
+                        and np.array_equal(np.asarray(g), want),
+                        f"served retrieve ({kw or 'full'}) differs from "
+                        f"direct retrieval (adapter={adapter})",
+                    )
 
     asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Progressive-retrieval conformance
+# ----------------------------------------------------------------------
+def default_progressive_datasets() -> list[tuple[str, np.ndarray]]:
+    """The dtype/shape matrix :func:`check_progressive` runs by default.
+
+    One array per class the retrieval engine must handle: the three
+    Table III synthetic stand-ins (3-D FP32 x2, 4-D FP64) plus plain
+    1-D FP32 and 2-D FP64 fields.
+    """
+    from repro.data import e3sm_like, nyx_like, xgc_like
+
+    rng = np.random.default_rng(11)
+    wave = np.sin(np.linspace(0, 9, 257, dtype=np.float32))
+    return [
+        ("nyx-f32-3d", nyx_like((12, 14, 16), seed=1)),
+        ("xgc-f64-4d", xgc_like((2, 6, 24, 6), seed=2)),
+        ("e3sm-f32-3d", e3sm_like((10, 12, 18), seed=3)),
+        ("wave-f32-1d",
+         wave + rng.normal(0, 0.05, wave.shape).astype(np.float32)),
+        ("noise-f64-2d", rng.normal(size=(21, 17))),
+    ]
+
+
+def check_progressive(
+    datasets: list[tuple[str, np.ndarray]] | None = None,
+    error_bound: float = 1e-3,
+    eps_count: int = 3,
+    adapter: Any = None,
+) -> None:
+    """Conformance suite for the progressive-retrieval contract.
+
+    For every named dataset:
+
+    1. **byte identity** — retrieving the full segment prefix must
+       equal ``MGARDX(config).decompress(compress(data))`` byte for
+       byte (same config, same dict size);
+    2. **frontier monotonicity** — the recorded bounds of the
+       retrievable frontier strictly decrease; a group-complete
+       (``--resolution L``) prefix achieves exactly its recorded bound
+       and stays within a few percent of the best earlier prefix (the
+       recompose is linear, so a freshly added group's coarse planes
+       can cancel a hair before its fine planes land), with the full
+       resolution reaching the stream floor;
+    3. **error-bound satisfaction** — for at least ``eps_count``
+       eps values spanning the frontier, the achieved max error is
+       ``<= eps`` while **strictly fewer** bytes than the full stream
+       are fetched;
+    4. the full stream's recorded floor satisfies the configured
+       absolute bound.
+
+    Raises :class:`AdapterConformanceError` on the first violation.
+    """
+    from repro import Config, MGARDX, ProgressiveMGARD
+    from repro.progressive import ProgressiveRetriever, archive_bytes
+
+    if datasets is None:
+        datasets = default_progressive_datasets()
+    config = Config(error_bound=error_bound)
+    codec = ProgressiveMGARD(config, adapter=adapter)
+    retriever = ProgressiveRetriever(adapter=adapter)
+    for name, data in datasets:
+        index, segments = codec.refactor(data)
+        archive = archive_bytes(index, segments)
+
+        # 1. Full prefix == one-shot decompression, byte for byte.
+        oneshot = MGARDX(config, adapter=adapter, dict_size=codec.dict_size)
+        want = oneshot.decompress(oneshot.compress(data))
+        got, report = retriever.retrieve(archive)
+        _require(got.dtype == want.dtype and got.tobytes() == want.tobytes(),
+                 f"{name}: full-prefix retrieval is not byte-identical "
+                 "to one-shot decompression")
+        _require(report.bytes_fetched == index.total_bytes,
+                 f"{name}: full retrieval did not fetch the whole stream")
+
+        # 2. Monotone refinement.
+        frontier = index.frontier()
+        bounds = [r.error_bound for r in frontier]
+        _require(all(b < a for a, b in zip(bounds, bounds[1:])),
+                 f"{name}: frontier bounds are not strictly decreasing")
+        data64 = np.asarray(data, dtype=np.float64)
+        best = float("inf")
+        last_err = float("inf")
+        for level in range(1, index.ngroups + 1):
+            coarse, rep = retriever.retrieve(archive, resolution=level)
+            err = float(np.max(np.abs(
+                np.asarray(coarse, dtype=np.float64) - data64
+            )))
+            _require(err <= rep.error_bound + 1e-12 * max(1.0, err),
+                     f"{name}: resolution-{level} error {err:.3e} exceeds "
+                     f"its recorded bound {rep.error_bound:.3e}")
+            _require(err <= best * 1.05,
+                     f"{name}: resolution-{level} error {err:.3e} regressed "
+                     f"past the best earlier prefix ({best:.3e})")
+            best = min(best, err)
+            last_err = err
+        _require(abs(last_err - index.floor) <= 1e-12 * max(1.0, index.floor),
+                 f"{name}: full-resolution error {last_err:.3e} does not "
+                 f"reach the stream floor {index.floor:.3e}")
+
+        # 3. eps sweep: bound satisfied with strictly fewer bytes.
+        targets = [b for b in bounds if b > 0][:-1] or bounds[:1]
+        while len(targets) < eps_count:
+            targets.append(targets[-1] * 2)
+        for eps in [t * 1.0001 for t in targets[:max(eps_count, 3)]]:
+            coarse, rep = retriever.retrieve(archive, eps=eps)
+            err = float(np.max(np.abs(
+                np.asarray(coarse, dtype=np.float64) - data64
+            )))
+            _require(err <= eps,
+                     f"{name}: eps={eps:.3e} retrieval achieved {err:.3e}")
+            _require(rep.bytes_fetched < rep.total_bytes,
+                     f"{name}: eps={eps:.3e} fetched the whole stream "
+                     f"({rep.bytes_fetched}/{rep.total_bytes} B)")
+
+        # 4. The stream's floor honors the configured bound.
+        abs_eb = config.absolute_bound(data)
+        _require(index.floor <= abs_eb,
+                 f"{name}: stream floor {index.floor:.3e} exceeds the "
+                 f"configured absolute bound {abs_eb:.3e}")

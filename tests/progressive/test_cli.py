@@ -1,0 +1,100 @@
+"""CLI: ``repro refactor --progressive`` and bounded ``repro retrieve``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def field_file(tmp_path):
+    rng = np.random.default_rng(4)
+    data = (np.linspace(0, 1, 18 * 22).reshape(18, 22)
+            + rng.normal(0, 0.05, (18, 22))).astype(np.float32)
+    path = tmp_path / "field.npy"
+    np.save(path, data)
+    return path, data
+
+
+def test_progressive_blob_roundtrip(field_file, tmp_path, capsys):
+    src, data = field_file
+    hpgx = tmp_path / "field.hpgx"
+    out = tmp_path / "full.npy"
+    assert main(["refactor", str(src), str(hpgx), "--progressive",
+                 "--eb", "1e-3"]) == 0
+    report = capsys.readouterr().out
+    assert "retrievable frontier" in report
+    assert hpgx.read_bytes()[:4] == b"HPGX"
+
+    from repro import Config, MGARDX
+
+    oneshot = MGARDX(Config(error_bound=1e-3))
+    want = oneshot.decompress(oneshot.compress(data))
+    assert main(["retrieve", str(hpgx), str(out)]) == 0
+    assert np.load(out).tobytes() == want.tobytes()
+
+
+def test_progressive_bounded_retrieve(field_file, tmp_path, capsys):
+    src, data = field_file
+    hpgx = tmp_path / "field.hpgx"
+    coarse = tmp_path / "coarse.npy"
+    main(["refactor", str(src), str(hpgx), "--progressive", "--eb", "1e-3"])
+    capsys.readouterr()
+    assert main(["retrieve", str(hpgx), str(coarse),
+                 "--error-bound", "0.05"]) == 0
+    report = capsys.readouterr().out
+    assert "achieved error" in report
+    restored = np.load(coarse)
+    assert np.max(np.abs(restored.astype(np.float64)
+                         - data.astype(np.float64))) <= 0.05
+
+
+def test_progressive_bp_store_roundtrip(field_file, tmp_path):
+    src, data = field_file
+    store = tmp_path / "field.bp"
+    out = tmp_path / "level.npy"
+    assert main(["refactor", str(src), str(store), "--progressive",
+                 "--store", "bp", "--aggregators", "2"]) == 0
+    assert (store / "index.json").exists()
+    assert main(["retrieve", str(store), str(out), "--resolution", "2"]) == 0
+    assert np.load(out).shape == data.shape
+
+
+def test_retrieve_flag_validation(field_file, tmp_path):
+    src, _data = field_file
+    hpgx = tmp_path / "field.hpgx"
+    mgrf = tmp_path / "field.mgrf"
+    out = tmp_path / "out.npy"
+    main(["refactor", str(src), str(hpgx), "--progressive"])
+    main(["refactor", str(src), str(mgrf)])
+    # Progressive source rejects the legacy --levels flag.
+    with pytest.raises(SystemExit):
+        main(["retrieve", str(hpgx), str(out), "--levels", "2"])
+    # Legacy source rejects the progressive flags.
+    with pytest.raises(SystemExit):
+        main(["retrieve", str(mgrf), str(out), "--error-bound", "1e-2"])
+    with pytest.raises(SystemExit):
+        main(["retrieve", str(mgrf), str(out), "--resolution", "1"])
+    assert not out.exists()
+
+
+def test_unreachable_bound_exits_with_guidance(field_file, tmp_path, capsys):
+    src, _data = field_file
+    hpgx = tmp_path / "field.hpgx"
+    out = tmp_path / "out.npy"
+    main(["refactor", str(src), str(hpgx), "--progressive"])
+    with pytest.raises(SystemExit) as exc:
+        main(["retrieve", str(hpgx), str(out), "--error-bound", "1e-300"])
+    assert "retry with eps >=" in str(exc.value)
+    assert not out.exists()
+
+
+def test_legacy_refactor_retrieve_still_works(field_file, tmp_path, capsys):
+    src, data = field_file
+    mgrf = tmp_path / "field.mgrf"
+    out = tmp_path / "out.npy"
+    assert main(["refactor", str(src), str(mgrf)]) == 0
+    assert main(["retrieve", str(mgrf), str(out), "--levels", "2"]) == 0
+    assert np.load(out).shape == data.shape

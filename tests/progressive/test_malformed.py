@@ -1,0 +1,163 @@
+"""Malformed inputs: typed rejection, no partial outputs."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Config, ProgressiveMGARD, ProgressiveRetriever
+from repro.progressive import (
+    ARCHIVE_MAGIC,
+    archive_bytes,
+    make_retrieve_request,
+    parse_archive_index,
+    parse_retrieve_request,
+    MalformedIndexError,
+    SegmentCRCError,
+    SegmentIndex,
+    TruncatedSegmentError,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(5)
+    data = rng.normal(size=(14, 18)).astype(np.float32)
+    index, segments = ProgressiveMGARD(Config(error_bound=1e-3)).refactor(data)
+    return data, index, segments
+
+
+def test_truncated_archive_header(stream):
+    _data, index, segments = stream
+    blob = archive_bytes(index, segments)
+    for cut in (0, 3, 8):
+        with pytest.raises(TruncatedSegmentError):
+            parse_archive_index(blob[:cut])
+
+
+def test_bad_archive_magic(stream):
+    _data, index, segments = stream
+    blob = archive_bytes(index, segments)
+    with pytest.raises(MalformedIndexError):
+        parse_archive_index(b"NOPE" + blob[4:])
+
+
+def test_truncated_index_json(stream):
+    _data, index, segments = stream
+    blob = archive_bytes(index, segments)
+    header_len = blob.index(b"{")
+    with pytest.raises(TruncatedSegmentError):
+        parse_archive_index(blob[: header_len + 10])
+
+
+def test_truncated_segment_region(stream):
+    """An index that promises more bytes than the blob holds."""
+    _data, index, segments = stream
+    blob = archive_bytes(index, segments)
+    with pytest.raises(TruncatedSegmentError):
+        ProgressiveRetriever().retrieve(blob[:-5])
+
+
+def test_crc_flip_detected(stream):
+    _data, index, segments = stream
+    blob = bytearray(archive_bytes(index, segments))
+    blob[-3] ^= 0xFF  # flip a bit inside the last segment's bytes
+    with pytest.raises(SegmentCRCError):
+        ProgressiveRetriever().retrieve(bytes(blob))
+
+
+def test_index_wrong_format_or_version(stream):
+    _data, index, _segments = stream
+    obj = index.to_json()
+    bad = dict(obj, format="something-else")
+    with pytest.raises(MalformedIndexError):
+        SegmentIndex.from_json(bad)
+    bad = dict(obj, version=99)
+    with pytest.raises(MalformedIndexError):
+        SegmentIndex.from_json(bad)
+    with pytest.raises(MalformedIndexError):
+        SegmentIndex.from_json([1, 2, 3])
+
+
+def test_index_structural_violations(stream):
+    _data, index, _segments = stream
+    obj = index.to_json()
+
+    gap = json.loads(json.dumps(obj))
+    gap["segments"][1]["offset"] += 4  # non-contiguous byte ranges
+    with pytest.raises(MalformedIndexError):
+        SegmentIndex.from_json(gap)
+
+    regress = json.loads(json.dumps(obj))
+    regress["segments"][-1]["group"] = 0  # breaks group-major order
+    with pytest.raises(MalformedIndexError):
+        SegmentIndex.from_json(regress)
+
+    bins = json.loads(json.dumps(obj))
+    bins["bins"] = bins["bins"][:-1]  # bins/groups mismatch
+    with pytest.raises(MalformedIndexError):
+        SegmentIndex.from_json(bins)
+
+
+def test_retrieve_request_roundtrip_and_rejection(stream):
+    _data, index, segments = stream
+    blob = archive_bytes(index, segments)
+    eps, resolution, back = parse_retrieve_request(
+        make_retrieve_request(blob, eps=0.5)
+    )
+    assert (eps, resolution) == (0.5, None)
+    assert back == blob
+    eps, resolution, back = parse_retrieve_request(
+        make_retrieve_request(blob, resolution=2)
+    )
+    assert (eps, resolution) == (None, 2)
+    with pytest.raises(ValueError):
+        make_retrieve_request(blob, eps=0.5, resolution=2)
+    with pytest.raises(MalformedIndexError):
+        parse_retrieve_request(b"JUNK" + blob)
+    with pytest.raises(MalformedIndexError):
+        parse_retrieve_request(b"HP")
+
+
+def test_failed_retrieve_writes_nothing(tmp_path, stream):
+    """The CLI must not leave a partial .npy behind a failed retrieval."""
+    from repro.cli import main
+
+    _data, index, segments = stream
+    blob = archive_bytes(index, segments)
+    src = tmp_path / "field.hpgx"
+    src.write_bytes(blob[:-5])  # truncated mid-segment
+    out = tmp_path / "out.npy"
+    with pytest.raises(TruncatedSegmentError):
+        main(["retrieve", str(src), str(out)])
+    assert not out.exists()
+
+    # An unreachable bound exits with a message, also without output.
+    src.write_bytes(blob)
+    floor = index.floor
+    with pytest.raises(SystemExit):
+        main(["retrieve", str(src), str(out),
+              "--error-bound", str(floor / 10 if floor else 1e-300)])
+    assert not out.exists()
+
+
+def test_store_missing_segment_rejected(tmp_path, stream):
+    from repro.io.engine import BPReader
+    from repro.progressive import write_store
+    from repro.progressive.store import read_store_index, read_store_segments
+
+    _data, index, segments = stream
+    write_store(tmp_path / "s.bp", index, segments)
+    reader = BPReader(tmp_path / "s.bp")
+    got = read_store_index(reader)
+    # Drop one planned segment from the store's index.json view.
+    victim = got.records[1]
+    idx_path = tmp_path / "s.bp" / "index.json"
+    meta = json.loads(idx_path.read_text())
+    del meta["variables"][f"seg.{victim.seq:05d}@{victim.seq}"]
+    idx_path.write_text(json.dumps(meta))
+    reader = BPReader(tmp_path / "s.bp")
+    with pytest.raises(MalformedIndexError):
+        read_store_segments(reader, got.records[:3])

@@ -1,0 +1,140 @@
+"""Property tests: prefix planning and index (de)serialization laws."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.progressive import BoundUnreachableError, SegmentIndex, SegmentRecord
+
+
+def _index(bounds: list[float], groups: list[int] | None = None) -> SegmentIndex:
+    """A synthetic index with the given per-record bounds."""
+    n = len(bounds)
+    groups = groups if groups is not None else [0] * n
+    ngroups = max(groups) + 1
+    records = []
+    offset = 0
+    for k, (b, g) in enumerate(zip(bounds, groups)):
+        nbytes = 16 + k
+        records.append(SegmentRecord(
+            seq=k, group=g, shift=0, offset=offset, nbytes=nbytes,
+            crc=zlib.crc32(bytes([k])), error_bound=b,
+        ))
+        offset += nbytes
+    return SegmentIndex(
+        dtype="<f4", shape=(4, 4), ngroups=ngroups, abs_eb=max(bounds),
+        kappa=1.0, s=0.0, dict_size=4096, bins=[1.0] * ngroups,
+        records=records,
+    )
+
+
+bounds_lists = st.lists(
+    st.floats(1e-9, 1e3, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=20,
+)
+
+
+@given(bounds=bounds_lists, frac=st.floats(0.0, 1.0))
+@settings(max_examples=150, deadline=None)
+def test_plan_returns_minimal_satisfying_prefix(bounds, frac):
+    index = _index(bounds)
+    lo, hi = min(bounds), max(bounds)
+    eps = lo + frac * (hi - lo) or lo
+    plan = index.plan(eps=eps)
+    # The prefix satisfies the bound...
+    assert plan[-1].error_bound <= eps
+    # ...and is minimal: no shorter prefix does.
+    assert all(r.error_bound > eps for r in plan[:-1])
+    # Records are an exact stream prefix.
+    assert [r.seq for r in plan] == list(range(len(plan)))
+
+
+@given(bounds=bounds_lists, f1=st.floats(0.0, 1.0), f2=st.floats(0.0, 1.0))
+@settings(max_examples=150, deadline=None)
+def test_plan_monotone_in_eps(bounds, f1, f2):
+    """Tightening eps never shrinks the prefix nor worsens the error."""
+    index = _index(bounds)
+    lo, hi = min(bounds), max(bounds)
+    e1 = lo + f1 * (hi - lo) or lo
+    e2 = lo + f2 * (hi - lo) or lo
+    tight, loose = min(e1, e2), max(e1, e2)
+    p_tight = index.plan(eps=tight)
+    p_loose = index.plan(eps=loose)
+    assert len(p_tight) >= len(p_loose)
+    assert p_tight[-1].error_bound <= p_loose[-1].error_bound
+
+
+@given(bounds=bounds_lists)
+@settings(max_examples=100, deadline=None)
+def test_plan_endpoints_lie_on_frontier(bounds):
+    index = _index(bounds)
+    frontier = {r.seq for r in index.frontier()}
+    for target in sorted(set(bounds)):
+        plan = index.plan(eps=target)
+        assert plan[-1].seq in frontier
+
+
+@given(bounds=bounds_lists)
+@settings(max_examples=100, deadline=None)
+def test_frontier_strictly_decreases(bounds):
+    frontier = [r.error_bound for r in _index(bounds).frontier()]
+    assert all(b < a for a, b in zip(frontier, frontier[1:]))
+    assert frontier[0] == bounds[0]
+    assert frontier[-1] == min(bounds)
+
+
+@given(
+    ngroups=st.integers(1, 6),
+    planes=st.integers(1, 4),
+    level=st.integers(1, 6),
+)
+@settings(max_examples=100, deadline=None)
+def test_plan_resolution_selects_group_prefix(ngroups, planes, level):
+    groups = [g for g in range(ngroups) for _ in range(planes)]
+    index = _index([1.0 / (k + 1) for k in range(len(groups))], groups)
+    if level > ngroups:
+        with pytest.raises(ValueError):
+            index.plan(resolution=level)
+        return
+    plan = index.plan(resolution=level)
+    assert len(plan) == level * planes
+    assert {r.group for r in plan} == set(range(level))
+
+
+@given(bounds=bounds_lists)
+@settings(max_examples=100, deadline=None)
+def test_plan_unreachable_eps_raises(bounds):
+    index = _index(bounds)
+    eps = min(bounds) / 2
+    if eps <= 0:
+        return
+    with pytest.raises(BoundUnreachableError) as exc:
+        index.plan(eps=eps)
+    assert exc.value.requested == eps
+    assert exc.value.floor == index.floor
+    # Non-strict mode degrades to the full stream instead.
+    assert index.plan(eps=eps, strict=False) == index.records
+
+
+@given(bounds=bounds_lists)
+@settings(max_examples=60, deadline=None)
+def test_index_json_roundtrip(bounds):
+    index = _index(bounds)
+    back = SegmentIndex.from_json(index.to_json())
+    assert back == index
+
+
+def test_plan_argument_validation():
+    index = _index([1.0, 0.5])
+    with pytest.raises(ValueError):
+        index.plan(eps=0.6, resolution=1)
+    with pytest.raises(ValueError):
+        index.plan(eps=0.0)
+    with pytest.raises(ValueError):
+        index.plan(eps=-1.0)
+    with pytest.raises(ValueError):
+        index.plan(resolution=0)

@@ -1,0 +1,140 @@
+"""Segment model: exact plane arithmetic + self-describing payloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HuffmanX
+from repro.progressive import merge_planes, split_planes
+from repro.progressive.errors import MalformedIndexError, TruncatedSegmentError
+from repro.progressive.segments import (
+    decode_segment,
+    encode_segment,
+    plane_shifts,
+    SegmentRecord,
+)
+
+
+# ----------------------------------------------------------------------
+# plane_shifts
+# ----------------------------------------------------------------------
+def test_shifts_descend_to_zero():
+    for max_abs in (0, 1, 7, 255, 1 << 20, (1 << 62) - 1):
+        for bits, planes in ((4, 3), (8, 3), (1, 8), (16, 2)):
+            shifts = plane_shifts(max_abs, bits, planes)
+            assert shifts[-1] == 0
+            assert shifts == sorted(shifts, reverse=True)
+            assert len(shifts) <= planes
+
+
+def test_shifts_cover_all_bits():
+    shifts = plane_shifts((1 << 24) - 1, 8, 8)
+    assert shifts == [16, 8, 0]
+
+
+# ----------------------------------------------------------------------
+# split/merge round-trip
+# ----------------------------------------------------------------------
+def test_split_merge_exact_roundtrip():
+    rng = np.random.default_rng(0)
+    q = rng.integers(-(1 << 40), 1 << 40, size=500, dtype=np.int64)
+    planes = split_planes(q, 8, 3)
+    assert np.array_equal(merge_planes(planes), q)
+
+
+def test_prefix_sums_refine():
+    """Every plane prefix is a coarser rounding of the exact codes."""
+    rng = np.random.default_rng(1)
+    q = rng.integers(-100000, 100000, size=300, dtype=np.int64)
+    planes = split_planes(q, 4, 4)
+    prev = np.abs(q).astype(np.float64).max() + 1
+    for k in range(1, len(planes) + 1):
+        err = int(np.abs(merge_planes(planes[:k]) - q).max())
+        assert err <= prev
+        prev = err
+    assert err == 0
+
+
+def test_zero_codes_single_plane():
+    planes = split_planes(np.zeros(10, dtype=np.int64), 8, 3)
+    assert len(planes) == 1 and planes[0][0] == 0
+    assert np.array_equal(merge_planes(planes), np.zeros(10, dtype=np.int64))
+
+
+def test_merge_requires_planes():
+    with pytest.raises(ValueError):
+        merge_planes([])
+
+
+@given(
+    codes=st.lists(st.integers(-(1 << 55), 1 << 55), min_size=1, max_size=64),
+    bits=st.integers(1, 16),
+    nplanes=st.integers(1, 6),
+)
+@settings(max_examples=120, deadline=None)
+def test_split_merge_roundtrip_property(codes, bits, nplanes):
+    q = np.array(codes, dtype=np.int64)
+    planes = split_planes(q, bits, nplanes)
+    assert len(planes) <= nplanes
+    assert planes[-1][0] == 0
+    assert np.array_equal(merge_planes(planes), q)
+
+
+# ----------------------------------------------------------------------
+# segment encode/decode
+# ----------------------------------------------------------------------
+def test_segment_roundtrip():
+    rng = np.random.default_rng(2)
+    huffman = HuffmanX()
+    plane = rng.integers(-5000, 5000, size=400, dtype=np.int64)
+    blob = encode_segment(3, 8, plane, huffman, 4096)
+    group, shift, back = decode_segment(blob, huffman)
+    assert (group, shift) == (3, 8)
+    assert np.array_equal(back, plane)
+
+
+def test_segment_truncation_raises_typed_error():
+    huffman = HuffmanX()
+    blob = encode_segment(0, 0, np.arange(64, dtype=np.int64), huffman, 4096)
+    for cut in (0, 5, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(TruncatedSegmentError):
+            decode_segment(blob[:cut], huffman)
+
+
+def test_segment_bad_magic_raises():
+    huffman = HuffmanX()
+    blob = encode_segment(0, 0, np.arange(8, dtype=np.int64), huffman, 4096)
+    with pytest.raises(MalformedIndexError):
+        decode_segment(b"XXXX" + blob[4:], huffman)
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+def test_record_json_roundtrip():
+    rec = SegmentRecord(seq=2, group=1, shift=8, offset=100, nbytes=40,
+                        crc=123456, error_bound=0.25)
+    assert SegmentRecord.from_json(rec.to_json()) == rec
+
+
+def test_record_json_missing_field():
+    with pytest.raises(MalformedIndexError):
+        SegmentRecord.from_json({"seq": 0})
+
+
+def test_record_crc_check():
+    import zlib
+
+    blob = b"payload-bytes"
+    rec = SegmentRecord(seq=0, group=0, shift=0, offset=0, nbytes=len(blob),
+                        crc=zlib.crc32(blob), error_bound=0.0)
+    rec.check_crc(blob)  # exact bytes pass
+    from repro.progressive.errors import SegmentCRCError
+
+    with pytest.raises(TruncatedSegmentError):
+        rec.check_crc(blob[:-1])
+    with pytest.raises(SegmentCRCError):
+        rec.check_crc(b"payload-bytez")

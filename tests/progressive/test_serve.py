@@ -1,0 +1,161 @@
+"""The ``retrieve`` op through the service, the cluster, and TCP."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import Config, ProgressiveMGARD, ProgressiveRetriever
+from repro.cluster import ClusterConfig, ClusterService
+from repro.progressive import archive_bytes
+from repro.serve import (
+    BatchLimits,
+    BlastClient,
+    CodecSpec,
+    ReductionService,
+    RemoteRequestError,
+    ServiceConfig,
+    serve_tcp,
+)
+from repro.testing import check_service
+
+
+@pytest.fixture(scope="module")
+def case():
+    rng = np.random.default_rng(3)
+    data = rng.normal(size=(12, 16)).astype(np.float32)
+    index, segments = ProgressiveMGARD(Config(error_bound=1e-3)).refactor(data)
+    archive = archive_bytes(index, segments)
+    eps = float(index.frontier()[0].error_bound) * 1.0001
+    oracle = ProgressiveRetriever()
+    wants = {
+        "full": oracle.retrieve(archive)[0],
+        "eps": oracle.retrieve(archive, eps=eps)[0],
+        "resolution": oracle.retrieve(archive, resolution=2)[0],
+    }
+    return archive, eps, wants
+
+
+def test_service_conformance_includes_retrieve():
+    check_service(codecs=("mgard-x",), batch_sizes=(1, 5))
+
+
+def test_cluster_conformance_includes_retrieve():
+    def factory(cfg):
+        return ClusterService(
+            ClusterConfig(shards=2, backend="task", service=cfg)
+        )
+
+    check_service(codecs=("mgard-x",), batch_sizes=(1, 5),
+                  service_factory=factory)
+
+
+def test_service_retrieve_matches_direct(case):
+    archive, eps, wants = case
+    spec = CodecSpec("mgard-x")
+
+    async def run():
+        cfg = ServiceConfig(limits=BatchLimits(max_batch=4,
+                                               max_latency_s=0.002))
+        async with ReductionService(cfg) as svc:
+            return {
+                "full": await svc.retrieve(spec, archive),
+                "eps": await svc.retrieve(spec, archive, eps=eps),
+                "resolution": await svc.retrieve(spec, archive, resolution=2),
+            }
+
+    got = asyncio.run(run())
+    for key, want in wants.items():
+        assert np.asarray(got[key]).tobytes() == want.tobytes(), key
+
+
+def test_retrieve_batches_with_same_size_class(case):
+    """Concurrent retrieves batch like decompress (blob size class)."""
+    archive, eps, wants = case
+    spec = CodecSpec("mgard-x")
+
+    async def run():
+        cfg = ServiceConfig(limits=BatchLimits(max_batch=8,
+                                               max_latency_s=0.02))
+        async with ReductionService(cfg) as svc:
+            outs = await asyncio.gather(
+                *(svc.retrieve(spec, archive, eps=eps) for _ in range(6))
+            )
+            return outs, svc.stats.snapshot()
+
+    outs, stats = asyncio.run(run())
+    for out in outs:
+        assert np.asarray(out).tobytes() == wants["eps"].tobytes()
+    assert stats["batches"] < stats["completed"]
+
+
+def test_tcp_retrieve_roundtrip(case):
+    archive, eps, wants = case
+    spec = CodecSpec("mgard-x")
+
+    async def run():
+        svc = await ReductionService(
+            ServiceConfig(limits=BatchLimits(max_batch=4,
+                                             max_latency_s=0.002))
+        ).start()
+        server = await serve_tcp(svc)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            client = await BlastClient.connect(host, port)
+            full = await client.retrieve(spec, archive)
+            coarse = await client.retrieve(spec, archive, eps=eps)
+            level = await client.retrieve(spec, archive, resolution=2)
+            await client.close()
+            return full, coarse, level
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    full, coarse, level = asyncio.run(run())
+    assert np.asarray(full).tobytes() == wants["full"].tobytes()
+    assert np.asarray(coarse).tobytes() == wants["eps"].tobytes()
+    assert np.asarray(level).tobytes() == wants["resolution"].tobytes()
+
+
+def test_tcp_retrieve_unreachable_bound_maps_to_remote_error(case):
+    archive, _eps, _wants = case
+    spec = CodecSpec("mgard-x")
+
+    async def run():
+        svc = await ReductionService(ServiceConfig()).start()
+        server = await serve_tcp(svc)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            client = await BlastClient.connect(host, port)
+            try:
+                with pytest.raises(RemoteRequestError) as exc:
+                    await client.retrieve(spec, archive, eps=1e-300)
+                return str(exc.value)
+            finally:
+                await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await svc.close()
+
+    message = asyncio.run(run())
+    assert "unreachable" in message
+
+
+def test_cluster_retrieve_through_front_door(case):
+    archive, eps, wants = case
+    spec = CodecSpec("mgard-x")
+
+    async def run():
+        cfg = ClusterConfig(shards=3, backend="task")
+        async with ClusterService(cfg) as cluster:
+            outs = await asyncio.gather(
+                *(cluster.retrieve(spec, archive, eps=eps) for _ in range(4))
+            )
+            return outs
+
+    for out in asyncio.run(run()):
+        assert np.asarray(out).tobytes() == wants["eps"].tobytes()

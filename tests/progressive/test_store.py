@@ -1,0 +1,102 @@
+"""BP-store form: byte-range reads through the engine's span index."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Config, ProgressiveMGARD, ProgressiveRetriever
+from repro.io.engine import BPReader
+from repro.progressive import archive_bytes, is_store, write_store
+from repro.progressive.store import read_store_index
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(9)
+    data = (np.linspace(0, 2, 16 * 20).reshape(16, 20)
+            + rng.normal(0, 0.1, (16, 20))).astype(np.float32)
+    index, segments = ProgressiveMGARD(Config(error_bound=1e-3)).refactor(data)
+    return data, index, segments
+
+
+@pytest.mark.parametrize("aggregators", [1, 3])
+def test_store_roundtrip(tmp_path, stream, aggregators):
+    data, index, segments = stream
+    path = tmp_path / "field.bp"
+    write_store(path, index, segments, num_aggregators=aggregators)
+    assert is_store(path)
+    full, report = ProgressiveRetriever().retrieve(path)
+    assert report.source == "store"
+    blob_full, _ = ProgressiveRetriever().retrieve(archive_bytes(index, segments))
+    assert full.tobytes() == blob_full.tobytes()
+
+
+def test_store_index_spans_pin_every_segment(tmp_path, stream):
+    _data, index, segments = stream
+    path = tmp_path / "field.bp"
+    write_store(path, index, segments, num_aggregators=2)
+    meta = json.loads((path / "index.json").read_text())
+    for rec in index.records:
+        entry = meta["variables"][f"seg.{rec.seq:05d}@{rec.seq}"]
+        assert entry["span"][1] == rec.nbytes
+
+
+def test_store_bounded_read_counts_ranged_bytes(tmp_path, stream):
+    """A bounded request reads only the planned segments' ranges."""
+    import repro.trace as trace
+    from repro.trace.metrics import REGISTRY
+
+    data, index, segments = stream
+    path = tmp_path / "field.bp"
+    write_store(path, index, segments, num_aggregators=2)
+    eps = index.frontier()[0].error_bound * 1.0001
+    trace.enable(clear=True)
+    try:
+        coarse, report = ProgressiveRetriever().retrieve(path, eps=eps)
+    finally:
+        counter = REGISTRY.counter(
+            "hpdr_io_range_read_bytes_total",
+            "bytes fetched by BPReader ranged payload reads",
+        )
+        ranged = counter.total()
+        trace.disable()
+    assert report.bytes_fetched < report.total_bytes
+    # Ranged reads cover the index payload + exactly the planned bytes.
+    assert ranged >= report.bytes_fetched
+    assert ranged < report.total_bytes + len(
+        json.dumps(index.to_json()).encode()
+    )
+    err = float(np.max(np.abs(coarse.astype(np.float64)
+                              - data.astype(np.float64))))
+    assert err <= eps
+
+
+def test_store_matches_blob_for_bounded_requests(tmp_path, stream):
+    from repro.progressive import archive_bytes
+
+    _data, index, segments = stream
+    path = tmp_path / "field.bp"
+    write_store(path, index, segments)
+    blob = archive_bytes(index, segments)
+    for kwargs in ({"eps": index.frontier()[0].error_bound * 1.0001},
+                   {"resolution": 2}, {}):
+        via_store, _ = ProgressiveRetriever().retrieve(path, **kwargs)
+        via_blob, _ = ProgressiveRetriever().retrieve(blob, **kwargs)
+        assert via_store.tobytes() == via_blob.tobytes()
+
+
+def test_store_index_survives_reader_roundtrip(tmp_path, stream):
+    _data, index, segments = stream
+    path = tmp_path / "field.bp"
+    write_store(path, index, segments)
+    back = read_store_index(BPReader(path))
+    assert back == index
+
+
+def test_write_store_validates_lengths(tmp_path, stream):
+    _data, index, segments = stream
+    with pytest.raises(ValueError):
+        write_store(tmp_path / "bad.bp", index, segments[:-1])
