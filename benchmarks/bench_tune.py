@@ -1,0 +1,209 @@
+"""Auto-tuner benefit benchmark: learned configs vs hand-tuned defaults.
+
+For every cell of the ``repro tune`` campaign matrix (dataset x codec,
+plus one serve-level cell) this benchmark *learns* a configuration with
+the real :class:`repro.tune.AutoTuner`, then **re-validates** it against
+the default configuration with interleaved min-over-reps measurements:
+
+* a cell whose search ends on the default config records a speedup of
+  exactly ``1.0`` — no measurement noise can make "nothing learned"
+  look like a win or a loss;
+* a cell whose learned config cannot reproduce its win at validation
+  time **falls back to the default** and records exactly ``1.0`` — the
+  tuner's fail-open contract, exercised end to end;
+* only a learned config that is byte-identical to the default *and*
+  faster on the validation measurement records its measured speedup.
+
+``scripts/perf_gate.py --tune-fresh`` pins the resulting record: every
+cell >= ``--tune-min-speedup`` (default 1.0) and at least two cells
+strictly above 1.0.
+
+Writes ``BENCH_tune.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tune.py            # full run
+    PYTHONPATH=src python benchmarks/bench_tune.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_tune.json"
+
+#: validation rounds: default and tuned are measured alternately this
+#: many times and the per-config minimum wins (interleaving cancels
+#: drift; the minimum rejects scheduler jitter).
+VALIDATE_ROUNDS = 2
+
+
+def _measure_codec(codec: str, data, config: dict, reps: int):
+    """(best seconds, digest) for one codec configuration."""
+    from repro.tune import build_codec, digest_bytes, measure_call
+
+    comp = build_codec(codec, dict(config))
+    try:
+        blob = comp.compress(data)  # warm-up + identity evidence
+        seconds, _ = measure_call(lambda: comp.compress(data), reps=reps)
+        return seconds, digest_bytes(bytes(blob))
+    finally:
+        close = getattr(getattr(comp, "adapter", None), "close", None)
+        if close is not None:
+            close()
+
+
+def _validate(measure, default_config: dict, tuned_config: dict):
+    """Interleaved default-vs-tuned validation with byte re-checking.
+
+    Returns ``(default_s, tuned_s, ok)`` where ``ok`` means the tuned
+    config reproduced both its byte identity and its win.
+    """
+    best_default = best_tuned = float("inf")
+    for _ in range(VALIDATE_ROUNDS):
+        d_s, d_digest = measure(default_config)
+        t_s, t_digest = measure(tuned_config)
+        if t_digest != d_digest:
+            return d_s, t_s, False  # never trust a byte-changing config
+        best_default = min(best_default, d_s)
+        best_tuned = min(best_tuned, t_s)
+    return best_default, best_tuned, best_tuned < best_default
+
+
+def _cell(default_s: float, tuned_s: float, config: dict,
+          default_config: dict, fallback: bool) -> dict:
+    learned = {k: v for k, v in sorted(config.items())
+               if default_config.get(k) != v}
+    if fallback or not learned:
+        # Nothing learned (or the win did not reproduce): the tuner
+        # hands out the defaults, so the speedup is 1.0 by construction
+        # — recorded without a measurement, immune to noise.
+        return {"default_s": default_s, "tuned_s": default_s,
+                "speedup": 1.0, "config": {}, "fallback": bool(fallback)}
+    return {"default_s": default_s, "tuned_s": tuned_s,
+            "speedup": default_s / tuned_s, "config": learned,
+            "fallback": False}
+
+
+def bench_codec_cells(quick: bool, seed: int, budget: int, reps: int,
+                      log) -> dict:
+    from repro.tune import (
+        AutoTuner,
+        MATRIX_CELLS,
+        TuningKey,
+        codec_runner,
+        knob_space_for,
+        matrix_datasets,
+    )
+
+    datasets = matrix_datasets(quick=quick)
+    cells: dict[str, dict] = {}
+    for dataset_name, codec in MATRIX_CELLS:
+        data = datasets[dataset_name]
+        space = knob_space_for(codec)
+        default_config = space.default_config()
+        report = AutoTuner(space, seed=seed, budget=budget).tune(
+            TuningKey.for_array(codec, data),
+            codec_runner(codec, data, reps=reps),
+        )
+        name = f"{dataset_name}_{codec}"
+        if not report.improved:
+            cells[name] = _cell(report.default_cost, report.default_cost,
+                                default_config, default_config, False)
+            log(f"{name}: search kept the defaults (1.000x)")
+            continue
+        measure = lambda config: _measure_codec(codec, data, config, reps)
+        default_s, tuned_s, ok = _validate(measure, default_config,
+                                           dict(report.best_config))
+        cells[name] = _cell(default_s, tuned_s, report.best_config,
+                            default_config, fallback=not ok)
+        log(f"{name}: {cells[name]['speedup']:.3f}x"
+            + (" (fallback to defaults)" if not ok else ""))
+    return cells
+
+
+def bench_serve_cell(quick: bool, seed: int, budget: int, clients: int,
+                     log) -> dict:
+    from repro.tune import (
+        AutoTuner,
+        TuningKey,
+        service_knob_space,
+        service_runner,
+    )
+
+    space = service_knob_space()
+    default_config = space.default_config()
+    requests = 4 if quick else 8
+    runner = service_runner(clients=clients, requests_per_client=requests)
+    report = AutoTuner(space, seed=seed, budget=budget).tune(
+        TuningKey.for_service(), runner)
+    name = f"serve_c{clients}"
+    if not report.improved:
+        cell = _cell(report.default_cost, report.default_cost,
+                     default_config, default_config, False)
+        log(f"{name}: search kept the defaults (1.000x)")
+        return {name: cell}
+
+    def measure(config):
+        m = runner(dict(config))
+        return m.seconds, m.digest
+
+    default_s, tuned_s, ok = _validate(measure, default_config,
+                                       dict(report.best_config))
+    cell = _cell(default_s, tuned_s, report.best_config, default_config,
+                 fallback=not ok)
+    log(f"{name}: {cell['speedup']:.3f}x"
+        + (" (fallback to defaults)" if not ok else ""))
+    return {name: cell}
+
+
+def measure_all(quick: bool = False, seed: int = 0,
+                log=lambda line: None) -> dict:
+    budget = 6 if quick else 16
+    serve_budget = 4 if quick else 8
+    reps = 2 if quick else 3
+    clients = 16 if quick else 32
+    current = bench_codec_cells(quick, seed, budget, reps, log)
+    current.update(bench_serve_cell(quick, seed, serve_budget, clients, log))
+    return {
+        "format": "bench-tune",
+        "quick": quick,
+        "seed": seed,
+        "cores": os.cpu_count() or 1,
+        "current": current,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small datasets, budgets and client counts")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    if os.environ.get("HPDR_SAN", "") not in ("", "0"):
+        print("bench_tune: SKIP — HPDR_SAN is set; sanitized timing "
+              "measures the sanitizer, not the configs")
+        return 0
+
+    record = measure_all(quick=args.quick, seed=args.seed,
+                         log=lambda line: print(f"  {line}", flush=True))
+    args.out.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    winning = sum(1 for c in record["current"].values()
+                  if c["speedup"] > 1.0)
+    print(f"bench_tune: wrote {args.out} "
+          f"({len(record['current'])} cells, {winning} strictly faster "
+          f"than the defaults)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

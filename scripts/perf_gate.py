@@ -36,6 +36,12 @@ single-shot round trips) must stay >= ``--codec-batch-min`` (default
 2x).  Per-direction speedups are recorded and reported but not gated —
 they differ in how much per-item work the batch path can amortize.
 
+``--tune-fresh`` gates an auto-tuner record (produced by
+``benchmarks/bench_tune.py``) against ``BENCH_tune.json``: every cell's
+tuned-over-default speedup must stay >= ``--tune-min-speedup`` (default
+1.0 — learned configs must never lose to the defaults) and at least
+``--tune-min-winning`` cells (default 2) must be strictly faster.
+
 Sanitized runs are exempt: ``HPDR_SAN`` deliberately re-executes every
 GEM batch in shadow, so throughput under it measures the sanitizer, not
 the codecs — the gate refuses to produce (or judge) such numbers and
@@ -56,6 +62,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 COMMITTED = REPO_ROOT / "BENCH_wallclock.json"
 SERVE_COMMITTED = REPO_ROOT / "BENCH_serve.json"
 CLUSTER_COMMITTED = REPO_ROOT / "BENCH_cluster.json"
+TUNE_COMMITTED = REPO_ROOT / "BENCH_tune.json"
 
 _CODECS = ("huffman", "huffman_openmp", "mgard", "zfp")
 _METRICS = ("compress_MBps", "decompress_MBps")
@@ -99,6 +106,36 @@ def _cell(section: dict, cell: str, source: str) -> dict:
     return value
 
 
+def _fmt(cell: dict, name: str, prec: int = 2) -> str:
+    """Display form of a cell value; non-numbers print as-is.
+
+    The diagnostic tables must render even for the malformed records
+    the compare functions are about to reject with exit 2 — a ``null``
+    in the printout is the evidence, not a crash site.
+    """
+    value = cell.get(name)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    return f"{value:.{prec}f}"
+
+
+def _metric(cell: dict, name: str, source: str) -> float:
+    """``cell[name]`` as a finite number, or a diagnosable MissingBenchCell.
+
+    ``null`` (a generator that recorded a failed measurement), a missing
+    key, and a non-numeric value are all schema faults, not regressions:
+    they must exit 2 with the offending field named, never surface as a
+    raw ``KeyError``/``TypeError`` comparing ``None`` to a float.
+    """
+    value = cell.get(name)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise MissingBenchCell(
+            f"{source} has no numeric {name!r} (got {value!r}) — "
+            f"regenerate it with the matching benchmarks/ script"
+        )
+    return float(value)
+
+
 def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     """Return one failure line per metric below ``(1 - tolerance) * ref``.
 
@@ -113,16 +150,18 @@ def compare(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     for codec in _CODECS:
         ref = committed_cur.get(codec)
         cur = fresh_cur.get(codec)
-        if not ref or not cur:
+        if not isinstance(ref, dict) or not isinstance(cur, dict):
             continue
         for metric in _METRICS:
-            floor = (1.0 - tolerance) * ref[metric]
-            if cur[metric] < floor:
-                drop = 100.0 * (1.0 - cur[metric] / ref[metric])
-                below = 100.0 * (1.0 - cur[metric] / floor)
+            ref_v = _metric(ref, metric, f"committed record [{codec}]")
+            cur_v = _metric(cur, metric, f"fresh record [{codec}]")
+            floor = (1.0 - tolerance) * ref_v
+            if cur_v < floor:
+                drop = 100.0 * (1.0 - cur_v / ref_v)
+                below = 100.0 * (1.0 - cur_v / floor)
                 failures.append(
-                    f"{codec}.{metric}: {cur[metric]:.2f} MB/s is "
-                    f"{drop:.1f}% below the committed {ref[metric]:.2f} "
+                    f"{codec}.{metric}: {cur_v:.2f} MB/s is "
+                    f"{drop:.1f}% below the committed {ref_v:.2f} "
                     f"({below:.1f}% under the {tolerance:.0%}-tolerance "
                     f"floor of {floor:.2f})"
                 )
@@ -149,15 +188,19 @@ def compare_serve(
     for cell in _SERVE_CELLS:
         ref = _cell(committed_cur, cell, "committed serve record")
         cur = _cell(fresh_cur, cell, "fresh serve record")
-        floor = (1.0 - tolerance) * ref["rps"]
-        if cur["rps"] < floor:
-            drop = 100.0 * (1.0 - cur["rps"] / ref["rps"])
+        ref_rps = _metric(ref, "rps", f"committed serve record [{cell}]")
+        cur_rps = _metric(cur, "rps", f"fresh serve record [{cell}]")
+        floor = (1.0 - tolerance) * ref_rps
+        if cur_rps < floor:
+            drop = 100.0 * (1.0 - cur_rps / ref_rps)
             failures.append(
-                f"serve.{cell}.rps: {cur['rps']:.1f} req/s is "
-                f"{drop:.1f}% below the committed {ref['rps']:.1f} "
+                f"serve.{cell}.rps: {cur_rps:.1f} req/s is "
+                f"{drop:.1f}% below the committed {ref_rps:.1f} "
                 f"(floor {floor:.1f} at {tolerance:.0%} tolerance)"
             )
-    for name, speedup in sorted(fresh.get("speedup_c64", {}).items()):
+    speedups = fresh.get("speedup_c64", {})
+    for name in sorted(speedups):
+        speedup = _metric(speedups, name, "fresh serve record [speedup_c64]")
         if speedup < min_speedup:
             failures.append(
                 f"serve.speedup_c64.{name}: micro-batching is only "
@@ -165,7 +208,8 @@ def compare_serve(
                 f"(required >= {min_speedup:.1f}x)"
             )
     for codec, cell in sorted(fresh.get("codec_batch", {}).items()):
-        speedup = cell.get("roundtrip_speedup", 0.0)
+        speedup = _metric(cell, "roundtrip_speedup",
+                          f"fresh serve record [codec_batch.{codec}]")
         if speedup < codec_batch_min:
             failures.append(
                 f"serve.codec_batch.{codec}.roundtrip_speedup: "
@@ -192,21 +236,19 @@ def compare_cluster(
     for cell in _CLUSTER_CELLS:
         ref = _cell(committed_cur, cell, "committed cluster record")
         cur = _cell(fresh_cur, cell, "fresh cluster record")
-        floor = (1.0 - tolerance) * ref["rps"]
-        if cur["rps"] < floor:
-            drop = 100.0 * (1.0 - cur["rps"] / ref["rps"])
+        ref_rps = _metric(ref, "rps", f"committed cluster record [{cell}]")
+        cur_rps = _metric(cur, "rps", f"fresh cluster record [{cell}]")
+        floor = (1.0 - tolerance) * ref_rps
+        if cur_rps < floor:
+            drop = 100.0 * (1.0 - cur_rps / ref_rps)
             failures.append(
-                f"cluster.{cell}.rps: {cur['rps']:.1f} req/s is "
-                f"{drop:.1f}% below the committed {ref['rps']:.1f} "
+                f"cluster.{cell}.rps: {cur_rps:.1f} req/s is "
+                f"{drop:.1f}% below the committed {ref_rps:.1f} "
                 f"(floor {floor:.1f} at {tolerance:.0%} tolerance)"
             )
     scaling = _section(fresh, "scaling", "fresh cluster record")
-    headline = scaling.get("s4_over_s1")
-    if headline is None:
-        raise MissingBenchCell(
-            "fresh cluster record has no scaling['s4_over_s1'] — "
-            "regenerate it with benchmarks/bench_cluster.py"
-        )
+    headline = _metric(scaling, "s4_over_s1",
+                       "fresh cluster record [scaling]")
     if headline < scaling_min:
         failures.append(
             f"cluster.scaling.s4_over_s1: 4 shards deliver only "
@@ -214,6 +256,85 @@ def compare_cluster(
             f"(required >= {scaling_min:.1f}x)"
         )
     return failures
+
+
+def compare_tune(
+    committed: dict, fresh: dict, min_speedup: float = 1.0,
+    min_winning_cells: int = 2,
+) -> list[str]:
+    """Gate the auto-tuner record: tuned must never lose, and must win.
+
+    Two checks on the *fresh* record (produced by
+    ``benchmarks/bench_tune.py``): (a) every cell's tuned-over-default
+    speedup must be >= ``min_speedup`` (default 1.0 — the tuner's
+    fail-open contract: a learned config that cannot beat the defaults
+    is discarded at bench time and recorded as exactly 1.0, so anything
+    below the floor means the fallback itself broke); (b) at least
+    ``min_winning_cells`` cells must be strictly faster than the
+    defaults, or the tuner has stopped finding anything at all.  The
+    committed record only anchors the cell roster: every committed cell
+    must still be measured fresh.
+    """
+    failures = []
+    committed_cur = _section(committed, "current", "committed tune record")
+    fresh_cur = _section(fresh, "current", "fresh tune record")
+    for cell in sorted(committed_cur):
+        _cell(fresh_cur, cell, "fresh tune record")
+    winning = 0
+    for cell in sorted(fresh_cur):
+        speedup = _metric(_cell(fresh_cur, cell, "fresh tune record"),
+                          "speedup", f"fresh tune record [{cell}]")
+        if speedup >= min_speedup:
+            if speedup > 1.0:
+                winning += 1
+        else:
+            failures.append(
+                f"tune.{cell}.speedup: tuned config is {speedup:.3f}x the "
+                f"defaults (required >= {min_speedup:.2f}x — the tuner must "
+                f"fall back to defaults rather than regress)"
+            )
+    if winning < min_winning_cells:
+        failures.append(
+            f"tune: only {winning} cell(s) beat the defaults "
+            f"(required >= {min_winning_cells} strictly-winning cells)"
+        )
+    return failures
+
+
+def write_tune_step_summary(
+    fresh: dict, failures: list[str], min_speedup: float
+) -> None:
+    """Append the tune-gate verdict and per-cell table to the summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Tune gate", ""]
+    if failures:
+        lines.append(f"**REGRESSION** — {len(failures)} tuning cell(s) "
+                     f"out of bounds:")
+        lines.append("")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        winning = sum(
+            1 for cell in fresh.get("current", {}).values()
+            if isinstance(cell, dict)
+            and isinstance(cell.get("speedup"), (int, float))
+            and cell["speedup"] > 1.0
+        )
+        lines.append(f"**OK** — tuned >= {min_speedup:.2f}x defaults on "
+                     f"every cell, {winning} cell(s) strictly faster.")
+    lines += ["", "| cell | default s | tuned s | speedup | tuned config |",
+              "|---|---:|---:|---:|---|"]
+    for cell, row in sorted(fresh.get("current", {}).items()):
+        if not isinstance(row, dict):
+            continue
+        knobs = " ".join(f"{k}={v}"
+                         for k, v in sorted(row.get("config", {}).items()))
+        lines.append(f"| {cell} | {_fmt(row, 'default_s', 4)} "
+                     f"| {_fmt(row, 'tuned_s', 4)} "
+                     f"| {_fmt(row, 'speedup', 3)}x | {knobs or '-'} |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def write_cluster_step_summary(
@@ -362,6 +483,18 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--cluster-scaling-min", type=float, default=1.6,
                     help="required fresh 4-shard-over-1-shard goodput "
                          "scaling (default 1.6)")
+    ap.add_argument("--tune-fresh", type=pathlib.Path, default=None,
+                    help="fresh BENCH_tune record to gate (from "
+                         "benchmarks/bench_tune.py)")
+    ap.add_argument("--tune-committed", type=pathlib.Path,
+                    default=TUNE_COMMITTED,
+                    help="committed tune reference record")
+    ap.add_argument("--tune-min-speedup", type=float, default=1.0,
+                    help="required tuned-over-default speedup on every "
+                         "tuning cell (default 1.0: never lose)")
+    ap.add_argument("--tune-min-winning", type=int, default=2,
+                    help="required count of cells strictly faster than "
+                         "the defaults (default 2)")
     args = ap.parse_args(argv)
 
     if os.environ.get("HPDR_SAN", "") not in ("", "0"):
@@ -391,8 +524,8 @@ def main(argv: list[str] | None = None) -> int:
             if not ref or not cur:
                 continue
             for metric in _METRICS:
-                print(f"{codec:<16} {metric:<16} {ref[metric]:>10.2f} "
-                      f"{cur[metric]:>10.2f}")
+                print(f"{codec:<16} {metric:<16} "
+                      f"{_fmt(ref, metric):>10} {_fmt(cur, metric):>10}")
 
         failures = compare(committed, fresh, args.tolerance)
         write_step_summary(committed, fresh, failures, args.tolerance)
@@ -416,7 +549,8 @@ def main(argv: list[str] | None = None) -> int:
                 cur = serve_fresh["current"].get(cell)
                 if not ref or not cur:
                     continue
-                print(f"{cell:<16} {ref['rps']:>14.1f} {cur['rps']:>10.1f}")
+                print(f"{cell:<16} {_fmt(ref, 'rps', 1):>14} "
+                      f"{_fmt(cur, 'rps', 1):>10}")
             for name, s in sorted(serve_fresh.get("speedup_c64", {}).items()):
                 print(f"speedup_c64.{name:<4} {s:>10.2f}x "
                       f"(floor {args.serve_min_speedup:.1f}x)")
@@ -454,7 +588,8 @@ def main(argv: list[str] | None = None) -> int:
                 cur = cluster_fresh["current"].get(cell)
                 if not ref or not cur:
                     continue
-                print(f"{cell:<16} {ref['rps']:>14.1f} {cur['rps']:>10.1f}")
+                print(f"{cell:<16} {_fmt(ref, 'rps', 1):>14} "
+                      f"{_fmt(cur, 'rps', 1):>10}")
             for name, s in sorted(
                     cluster_fresh.get("scaling", {}).items()):
                 floor = (f" (floor {args.cluster_scaling_min:.1f}x)"
@@ -465,6 +600,31 @@ def main(argv: list[str] | None = None) -> int:
                 args.cluster_scaling_min,
             )
             failures += cluster_failures
+
+        if args.tune_fresh is not None:
+            if not args.tune_committed.exists():
+                print(f"perf_gate: no committed tune record at "
+                      f"{args.tune_committed}; run benchmarks/bench_tune.py "
+                      f"first", file=sys.stderr)
+                return 0 if args.report_only else 2
+            tune_committed = json.loads(args.tune_committed.read_text())
+            tune_fresh = json.loads(args.tune_fresh.read_text())
+            tune_failures = compare_tune(
+                tune_committed, tune_fresh, args.tune_min_speedup,
+                args.tune_min_winning,
+            )
+            print(f"\n{'tune cell':<20} {'default s':>10} {'tuned s':>10} "
+                  f"{'speedup':>8}")
+            for cell, row in sorted(tune_fresh.get("current", {}).items()):
+                if not isinstance(row, dict):
+                    continue
+                print(f"{cell:<20} {_fmt(row, 'default_s', 4):>10} "
+                      f"{_fmt(row, 'tuned_s', 4):>10} "
+                      f"{_fmt(row, 'speedup', 3):>7}x")
+            write_tune_step_summary(
+                tune_fresh, tune_failures, args.tune_min_speedup,
+            )
+            failures += tune_failures
     except MissingBenchCell as exc:
         print(f"perf_gate: MALFORMED RECORD — {exc}", file=sys.stderr)
         return 0 if args.report_only else 2

@@ -55,10 +55,12 @@ from repro.trace.tracer import (
     SpanEvent,
     TRACER,
     Tracer,
+    add_sink,
     clear,
     disable,
     enable,
     enabled,
+    remove_sink,
     span,
     traced,
 )
@@ -158,6 +160,7 @@ __all__ = [
     "TIME_BUCKETS",
     "TRACER",
     "Tracer",
+    "add_sink",
     "chrome_events",
     "clear",
     "counter",
@@ -170,6 +173,7 @@ __all__ = [
     "histogram",
     "load_chrome",
     "metrics",
+    "remove_sink",
     "render_prometheus",
     "render_spans",
     "reset",

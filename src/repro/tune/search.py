@@ -1,0 +1,194 @@
+"""Deterministic, seedable search strategies over a :class:`KnobSpace`.
+
+The protocol is **ask/tell** (the standard optimizer-as-a-service
+shape): the strategy proposes one configuration at a time via
+:meth:`ask`, the caller measures it however it likes (real wall clock,
+trace spans, a synthetic surface in tests) and reports the cost via
+:meth:`tell`.  The strategy never runs anything itself, which is what
+makes it trivially testable and lets one implementation drive codec
+runs, serve campaigns and unit tests alike.
+
+The shipped strategy is :class:`CoordinateDescent` — the discrete-grid
+classic: sweep one knob at a time around the incumbent, adopt any
+improvement, repeat until a full round yields none.  An ε-greedy twist
+(in the spirit of DaCe's transformation search) occasionally proposes a
+uniformly random grid point so the search can escape a locally-flat
+coordinate profile.  Everything is driven by one ``random.Random(seed)``
+— the same seed and the same cost function reproduce the exact proposal
+sequence (pinned by ``repro.testing.check_tuner``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator, Protocol, runtime_checkable
+
+from repro.tune.knobs import KnobSpace
+
+ConfigKey = tuple[tuple[str, Any], ...]
+
+
+def config_key(config: dict[str, Any]) -> ConfigKey:
+    """Hashable identity of a configuration (order-insensitive)."""
+    return tuple(sorted(config.items()))
+
+
+@runtime_checkable
+class TuningStrategy(Protocol):
+    """What the tuner (and ``check_tuner``) require of a strategy."""
+
+    def ask(self) -> dict[str, Any] | None:
+        """Next configuration to measure; ``None`` when converged."""
+
+    def tell(self, config: dict[str, Any], cost: float) -> None:
+        """Report the measured cost of the last :meth:`ask` proposal."""
+
+    def best(self) -> tuple[dict[str, Any], float]:
+        """Best (config, cost) observed so far."""
+
+
+class CoordinateDescent:
+    """Coordinate descent + ε-greedy exploration over a discrete grid.
+
+    Parameters
+    ----------
+    space:
+        The knob grid to search.
+    seed:
+        Seeds the single ``random.Random`` behind ε-exploration; equal
+        seeds reproduce equal proposal sequences.
+    epsilon:
+        Per-coordinate-sweep probability of one extra uniformly random
+        proposal (0 disables exploration).
+    max_rounds:
+        Upper bound on full coordinate rounds; the search also stops as
+        soon as a complete round fails to improve the incumbent.
+    """
+
+    def __init__(
+        self,
+        space: KnobSpace,
+        *,
+        seed: int = 0,
+        epsilon: float = 0.1,
+        max_rounds: int = 4,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.space = space
+        self.epsilon = float(epsilon)
+        self.max_rounds = int(max_rounds)
+        self._rng = random.Random(seed)
+        self._seen: dict[ConfigKey, float] = {}
+        self._best_config = space.default_config()
+        self._best_cost = float("inf")
+        self._outstanding: dict[str, Any] | None = None
+        self._done = False
+        self._gen = self._drive()
+        self._advance(None)
+
+    # -- protocol ------------------------------------------------------
+    def ask(self) -> dict[str, Any] | None:
+        if self._done:
+            return None
+        if self._outstanding is not None:
+            raise RuntimeError("tell() the previous proposal before ask()")
+        self._outstanding = dict(self._next)
+        return dict(self._next)
+
+    def tell(self, config: dict[str, Any], cost: float) -> None:
+        if self._outstanding is None:
+            raise RuntimeError("tell() without a pending ask()")
+        if config_key(config) != config_key(self._outstanding):
+            raise ValueError(
+                f"tell() got {config!r}, expected the asked proposal "
+                f"{self._outstanding!r}"
+            )
+        self._outstanding = None
+        self._advance(float(cost))
+
+    def best(self) -> tuple[dict[str, Any], float]:
+        return dict(self._best_config), self._best_cost
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def evaluations(self) -> int:
+        return len(self._seen)
+
+    # -- engine --------------------------------------------------------
+    def _advance(self, cost: float | None) -> None:
+        try:
+            if cost is None:
+                self._next = next(self._gen)
+            else:
+                self._next = self._gen.send(cost)
+        except StopIteration:
+            self._done = True
+
+    def _record(self, config: dict[str, Any], cost: float) -> None:
+        self._seen[config_key(config)] = cost
+        if cost < self._best_cost:
+            self._best_cost = cost
+            self._best_config = dict(config)
+
+    def _random_config(self) -> dict[str, Any]:
+        return {
+            knob.name: knob.values[self._rng.randrange(len(knob.values))]
+            for knob in self.space
+        }
+
+    def _drive(self) -> Generator[dict[str, Any], float, None]:
+        """The search program; ``yield config`` receives its cost."""
+
+        def evaluate(
+            config: dict[str, Any],
+        ) -> Generator[dict[str, Any], float, float]:
+            # Cache hits are free: re-proposing a measured point would
+            # waste a real run, so replay the recorded cost instead.
+            key = config_key(config)
+            if key in self._seen:
+                return self._seen[key]
+            cost = yield dict(config)
+            self._record(config, cost)
+            return cost
+
+        yield from evaluate(self.space.default_config())
+        for _ in range(self.max_rounds):
+            round_start_cost = self._best_cost
+            for knob in self.space:
+                for value in knob.values:
+                    if value == self._best_config[knob.name]:
+                        continue
+                    candidate = dict(self._best_config)
+                    candidate[knob.name] = value
+                    yield from evaluate(candidate)
+                if self.epsilon > 0 and self._rng.random() < self.epsilon:
+                    yield from evaluate(self._random_config())
+            if self._best_cost >= round_start_cost:
+                return  # a full round without improvement: converged
+
+
+def run_search(
+    strategy: TuningStrategy,
+    evaluate: Callable[[dict[str, Any]], float],
+    *,
+    budget: int | None = None,
+) -> tuple[dict[str, Any], float]:
+    """Drive ``strategy`` with ``evaluate`` until done (or ``budget``).
+
+    ``budget`` bounds the number of *evaluations* — a tuning campaign
+    over real codec runs wants a hard ceiling on wall-clock spent.
+    """
+    evaluations = 0
+    while budget is None or evaluations < budget:
+        config = strategy.ask()
+        if config is None:
+            break
+        strategy.tell(config, evaluate(config))
+        evaluations += 1
+    return strategy.best()

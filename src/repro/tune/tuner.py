@@ -1,0 +1,474 @@
+"""The auto-tuner: search orchestration + the byte-identity guard.
+
+:class:`AutoTuner` wires a :class:`~repro.tune.search.TuningStrategy`
+to a *runner* — any callable mapping a configuration dict to a
+:class:`~repro.tune.measure.Measurement` — and enforces the one rule a
+learning component must never break: **tuning never changes bytes**.
+The default configuration is measured first; every candidate whose
+output digest differs from the default's is rejected (told an infinite
+cost, counted in ``hpdr_tune_rejected_total``) no matter how fast it
+ran.  Only byte-identical winners are persisted.
+
+:func:`tune_matrix` is the campaign behind ``repro tune``: it sweeps
+the synthetic-dataset matrix (NYX/XGC/E3SM × codecs), learns one entry
+per :class:`~repro.tune.knobs.TuningKey`, and persists the table.
+:func:`apply_service_tuning` is the serve/cluster startup hook: it
+resolves a service-level entry (micro-batch limits + worker device)
+from the cache and rewrites the :class:`~repro.serve.service.ServiceConfig`
+before any worker is built.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.trace.metrics import REGISTRY as _METRICS
+from repro.tune.cache import TuneEntry, TuningCache
+from repro.tune.knobs import (
+    KnobSpace,
+    TuningKey,
+    knob_space_for,
+    service_knob_space,
+)
+from repro.tune.measure import Measurement, digest_bytes, measure_call
+from repro.tune.search import CoordinateDescent, config_key
+
+#: ``--tune`` modes accepted everywhere.
+TUNE_MODES = ("off", "auto", "force")
+
+
+@dataclass
+class TuneReport:
+    """Everything one tuning run learned (and proved)."""
+
+    key: TuningKey
+    space: KnobSpace
+    best_config: dict[str, Any]
+    best_cost: float
+    default_cost: float
+    digest: str
+    evaluations: int = 0
+    rejected: int = 0
+    history: list[Measurement] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return (config_key(self.best_config)
+                != config_key(self.space.default_config())
+                and self.best_cost < self.default_cost)
+
+    @property
+    def speedup(self) -> float:
+        if self.best_cost <= 0 or self.default_cost <= 0:
+            return 1.0
+        return self.default_cost / self.best_cost
+
+    def entry(self, source: str = "") -> TuneEntry:
+        return TuneEntry(
+            config=dict(self.best_config),
+            cost_s=self.best_cost,
+            default_cost_s=self.default_cost,
+            digest=self.digest,
+            source=source,
+        )
+
+
+class AutoTuner:
+    """Searches one key's knob space under the byte-identity guard."""
+
+    def __init__(
+        self,
+        space: KnobSpace,
+        *,
+        seed: int = 0,
+        epsilon: float = 0.1,
+        max_rounds: int = 4,
+        budget: int | None = 16,
+        strategy_factory: Callable[..., Any] = CoordinateDescent,
+    ) -> None:
+        self.space = space
+        self.seed = seed
+        self.epsilon = epsilon
+        self.max_rounds = max_rounds
+        self.budget = budget
+        self.strategy_factory = strategy_factory
+        self._ctr_rejected = _METRICS.counter(
+            "hpdr_tune_rejected_total",
+            "candidate configs rejected by the byte-identity guard",
+        )
+
+    def tune(
+        self,
+        key: TuningKey,
+        runner: Callable[[dict[str, Any]], Measurement],
+        *,
+        cache: TuningCache | None = None,
+        source: str = "",
+    ) -> TuneReport:
+        """Search the space for ``key``; optionally persist the winner.
+
+        ``runner`` executes one configuration and reports its cost and
+        output digest.  The default configuration anchors both the
+        speedup baseline and the byte-identity digest every candidate
+        must match.
+        """
+        default_config = self.space.default_config()
+        baseline = runner(dict(default_config))
+        if not baseline.digest:
+            raise ValueError(
+                "runner returned no digest for the default config — the "
+                "byte-identity guard cannot operate without one"
+            )
+        report = TuneReport(
+            key=key,
+            space=self.space,
+            best_config=dict(default_config),
+            best_cost=baseline.seconds,
+            default_cost=baseline.seconds,
+            digest=baseline.digest,
+        )
+        report.history.append(baseline)
+        strategy = self.strategy_factory(
+            self.space, seed=self.seed, epsilon=self.epsilon,
+            max_rounds=self.max_rounds,
+        )
+        evaluations = 0
+        while self.budget is None or evaluations < self.budget:
+            config = strategy.ask()
+            if config is None:
+                break
+            self.space.validate(config)
+            if config_key(config) == config_key(default_config):
+                strategy.tell(config, baseline.seconds)
+                evaluations += 1
+                continue
+            m = runner(dict(config))
+            report.history.append(m)
+            evaluations += 1
+            if m.digest != baseline.digest:
+                # The guard: a faster config that changes even one
+                # output byte is worthless — reduction streams are
+                # archival artifacts.
+                report.rejected += 1
+                self._ctr_rejected.inc(codec=key.codec)
+                strategy.tell(config, math.inf)
+                continue
+            strategy.tell(config, m.seconds)
+        best_config, best_cost = strategy.best()
+        if math.isfinite(best_cost) and best_cost < report.best_cost:
+            report.best_config = best_config
+            report.best_cost = best_cost
+        report.evaluations = evaluations
+        if cache is not None:
+            entry = report.entry(source=source)
+            # Belt and braces for the persistence invariant the
+            # hypothesis suite pins: an entry only ever records the
+            # default-config digest.
+            assert entry.digest == baseline.digest
+            cache.put(key, entry)
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Codec runners + the synthetic-dataset campaign
+# ---------------------------------------------------------------------------
+def build_codec(codec: str, config: dict[str, Any]) -> Any:
+    """Instantiate ``codec`` as one configuration dict describes.
+
+    Shared execution knobs (``adapter``/``threads``) become the device
+    adapter; remaining keys are codec constructor kwargs (declared
+    knobs), so a config round-trips 1:1 into a codec instance.
+    """
+    from repro.adapters import get_adapter
+    from repro.serve.spec import CodecSpec
+
+    kwargs = dict(config)
+    family = kwargs.pop("adapter", "serial")
+    threads = kwargs.pop("threads", None)
+    adapter_kwargs: dict[str, Any] = {}
+    if family == "openmp" and threads is not None:
+        adapter_kwargs["num_threads"] = int(threads)
+    adapter = get_adapter(family, **adapter_kwargs)
+    spec_kwargs = {k: v for k, v in kwargs.items()
+                   if k in ("error_bound", "error_mode", "rate",
+                            "dict_size", "chunk_size")}
+    spec = CodecSpec(codec, **spec_kwargs)
+    return spec.build(adapter=adapter)
+
+
+def codec_runner(
+    codec: str,
+    data: Any,
+    *,
+    reps: int = 2,
+    clock: Callable[[], float] | None = None,
+) -> Callable[[dict[str, Any]], Measurement]:
+    """A runner compressing ``data`` under each proposed configuration.
+
+    The first compress warms the CMM contexts *and* provides the digest
+    bytes; timing then measures the steady state (what production runs
+    see), min-over-``reps``.
+    """
+
+    def run(config: dict[str, Any]) -> Measurement:
+        comp = build_codec(codec, config)
+        try:
+            blob = comp.compress(data)
+            seconds, _ = measure_call(
+                lambda: comp.compress(data), reps=reps, clock=clock
+            )
+            return Measurement(config=dict(config), seconds=seconds,
+                               digest=digest_bytes(blob))
+        finally:
+            close = getattr(getattr(comp, "adapter", None), "close", None)
+            if close is not None:
+                close()
+
+    return run
+
+
+def matrix_datasets(quick: bool = False) -> dict[str, Any]:
+    """The synthetic-dataset matrix (name -> array), Table III shapes."""
+    import numpy as np
+
+    from repro.data.synthetic import e3sm_like, nyx_like, xgc_like
+
+    if quick:
+        nyx = nyx_like((16, 16, 16), seed=1)
+        xgc = xgc_like((4, 8, 8, 8), seed=2)
+        e3sm = e3sm_like((4, 16, 16), seed=3)
+    else:
+        nyx = nyx_like((32, 32, 32), seed=1)
+        xgc = xgc_like((8, 12, 12, 12), seed=2)
+        e3sm = e3sm_like((8, 24, 24), seed=3)
+    # Low-entropy integer-valued floats: the lossless codec's natural
+    # diet (quantized keys), deterministic per seed.
+    ints = np.round(nyx * 4).astype(np.float32)
+    return {"nyx": nyx, "xgc": xgc, "e3sm": e3sm, "ints": ints}
+
+
+#: (dataset, codec) campaign cells for ``repro tune`` / bench_tune.
+MATRIX_CELLS: tuple[tuple[str, str], ...] = (
+    ("nyx", "mgard-x"),
+    ("nyx", "zfp-x"),
+    ("e3sm", "zfp-x"),
+    ("xgc", "sz"),
+    ("ints", "huffman-x"),
+)
+
+
+def tune_matrix(
+    cache: TuningCache,
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    budget: int | None = None,
+    reps: int = 2,
+    cells: tuple[tuple[str, str], ...] = MATRIX_CELLS,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, TuneReport]:
+    """Run the tuning campaign over the synthetic-dataset matrix.
+
+    Returns one :class:`TuneReport` per cell, keyed by the tuning key's
+    string form; every winner is persisted into ``cache``.
+    """
+    datasets = matrix_datasets(quick=quick)
+    if budget is None:
+        budget = 6 if quick else 16
+    reports: dict[str, TuneReport] = {}
+    for dataset_name, codec in cells:
+        data = datasets[dataset_name]
+        key = TuningKey.for_array(codec, data)
+        space = knob_space_for(codec)
+        tuner = AutoTuner(space, seed=seed, budget=budget)
+        report = tuner.tune(
+            key,
+            codec_runner(codec, data, reps=reps),
+            cache=cache,
+            source=f"repro tune ({dataset_name})",
+        )
+        reports[str(key)] = report
+        if progress is not None:
+            progress(
+                f"{dataset_name}/{codec}: {report.speedup:.2f}x "
+                f"({report.evaluations} evals, {report.rejected} rejected "
+                f"by the byte guard)"
+            )
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Config resolution (CLI --tune auto|off|force)
+# ---------------------------------------------------------------------------
+def resolve_codec_config(
+    mode: str,
+    codec: str,
+    data: Any,
+    *,
+    cache: TuningCache | None = None,
+    seed: int = 0,
+    budget: int | None = 8,
+) -> dict[str, Any]:
+    """The configuration ``--tune MODE`` selects for compressing ``data``.
+
+    ``off`` — grid defaults; ``auto`` — the cached entry when one
+    exists and still fits the current knob grid, defaults otherwise;
+    ``force`` — tune right now on the actual data (persisting the
+    winner) and use the result.
+    """
+    if mode not in TUNE_MODES:
+        raise ValueError(f"tune mode must be one of {TUNE_MODES}, got {mode!r}")
+    space = knob_space_for(codec)
+    if mode == "off":
+        return space.default_config()
+    if cache is None:
+        cache = TuningCache()
+    key = TuningKey.for_array(codec, data)
+    if mode == "force":
+        tuner = AutoTuner(space, seed=seed, budget=budget)
+        report = tuner.tune(key, codec_runner(codec, data),
+                            cache=cache, source="--tune force")
+        return dict(report.best_config)
+    entry = cache.get(key)
+    if entry is not None and space.contains(entry.config):
+        _METRICS.counter(
+            "hpdr_tune_cache_hits_total", "tuning-cache lookups that hit"
+        ).inc(codec=codec)
+        return dict(entry.config)
+    _METRICS.counter(
+        "hpdr_tune_cache_misses_total", "tuning-cache lookups that missed"
+    ).inc(codec=codec)
+    return space.default_config()
+
+
+# ---------------------------------------------------------------------------
+# Serve/cluster startup hook
+# ---------------------------------------------------------------------------
+def apply_service_tuning(cfg: Any) -> Any:
+    """Rewrite a :class:`ServiceConfig` from its cached tuned entry.
+
+    Called by ``ReductionService.start()`` (and therefore by every
+    cluster shard) before any worker is built, when ``cfg.tune`` is
+    ``auto``/``force``.  A hit rewrites the micro-batch limits and the
+    worker device; a miss — including a stale-schema or corrupt cache
+    file, which loads as empty — leaves the config untouched.  Metrics:
+    ``hpdr_tune_cache_hits_total`` / ``hpdr_tune_cache_misses_total``
+    with ``codec=__service__``.
+    """
+    import dataclasses
+
+    from repro.serve.batcher import BatchLimits
+    from repro.tune.knobs import SERVICE_CODEC
+
+    if getattr(cfg, "tune", "off") == "off":
+        return cfg
+    cache = TuningCache(cfg.tuning_cache)
+    key = TuningKey.for_service(process=bool(getattr(cfg, "process", False)))
+    entry = cache.get(key)
+    space = service_knob_space()
+    if entry is None or not space.contains(entry.config):
+        _METRICS.counter(
+            "hpdr_tune_cache_misses_total", "tuning-cache lookups that missed"
+        ).inc(codec=SERVICE_CODEC)
+        return cfg
+    _METRICS.counter(
+        "hpdr_tune_cache_hits_total", "tuning-cache lookups that hit"
+    ).inc(codec=SERVICE_CODEC)
+    c = entry.config
+    return dataclasses.replace(
+        cfg,
+        limits=BatchLimits(
+            max_batch=int(c["max_batch"]),
+            max_bytes=int(c["max_bytes"]),
+            max_latency_s=float(c["max_latency_ms"]) / 1e3,
+        ),
+        adapter=str(c["adapter"]),
+        threads=int(c["threads"]) if c["adapter"] == "openmp" else None,
+    )
+
+
+def service_runner(
+    *,
+    clients: int = 16,
+    requests_per_client: int = 8,
+    shape: tuple[int, int] = (16, 16),
+    codec: str = "zfp-x",
+) -> Callable[[dict[str, Any]], Measurement]:
+    """A runner measuring one service configuration under closed-loop load.
+
+    Cost is the blast wall time for a fixed request count; the digest
+    covers one compressed answer (byte-stability means every config
+    must produce the identical stream — the guard re-proves it).
+    """
+
+    def run(config: dict[str, Any]) -> Measurement:
+        import asyncio
+
+        from repro.serve import (
+            BatchLimits,
+            CodecSpec,
+            ReductionService,
+            ServiceConfig,
+            default_payloads,
+            run_blast,
+        )
+        from repro.serve.loadgen import ServiceClient
+
+        spec = CodecSpec(codec)
+        payloads = default_payloads([spec], shape=shape)
+
+        async def drive() -> tuple[float, bytes]:
+            svc_cfg = ServiceConfig(
+                limits=BatchLimits(
+                    max_batch=int(config["max_batch"]),
+                    max_bytes=int(config["max_bytes"]),
+                    max_latency_s=float(config["max_latency_ms"]) / 1e3,
+                ),
+                adapter=str(config["adapter"]),
+                threads=(int(config["threads"])
+                         if config["adapter"] == "openmp" else None),
+                max_pending=4 * clients,
+            )
+            async with ReductionService(svc_cfg) as svc:
+                blob = await svc.compress(spec, payloads[spec])
+                report = await run_blast(
+                    lambda i: _aclient(svc),
+                    clients=clients,
+                    requests_per_client=requests_per_client,
+                    specs=[spec],
+                    payloads=payloads,
+                )
+                return report["wall_s"], bytes(blob)
+
+        async def _aclient(svc: Any) -> Any:
+            return ServiceClient(svc)
+
+        wall_s, blob = asyncio.run(drive())
+        return Measurement(config=dict(config), seconds=wall_s,
+                           digest=digest_bytes(blob))
+
+    return run
+
+
+def tune_service(
+    cache: TuningCache,
+    *,
+    process: bool = False,
+    seed: int = 0,
+    budget: int | None = 8,
+    clients: int = 16,
+    requests_per_client: int = 8,
+) -> TuneReport:
+    """Learn (and persist) the service-level micro-batch entry."""
+    space = service_knob_space()
+    tuner = AutoTuner(space, seed=seed, budget=budget)
+    key = TuningKey.for_service(process=process)
+    return tuner.tune(
+        key,
+        service_runner(clients=clients,
+                       requests_per_client=requests_per_client),
+        cache=cache,
+        source="repro tune --serve",
+    )

@@ -1,0 +1,54 @@
+"""The tuner conformance harness, run the way downstreams would run it."""
+
+import pytest
+
+from repro.testing import AdapterConformanceError, check_tuner
+from repro.tune import CoordinateDescent
+
+
+def test_shipped_strategy_conforms():
+    check_tuner()
+
+
+def test_conformance_is_seed_stable():
+    check_tuner(seed=0)
+    check_tuner(seed=12345)
+
+
+def test_catches_nondeterministic_strategy():
+    class Jittery(CoordinateDescent):
+        _instances = 0
+
+        def __init__(self, space, **kw):
+            super().__init__(space, **kw)
+            # Hidden state outside (seed, costs): every other *instance*
+            # pins a knob — exactly what the determinism check must
+            # catch, since two same-seed strategies now diverge.
+            Jittery._instances += 1
+            self._skew = Jittery._instances % 2 == 0
+
+        def ask(self):
+            config = super().ask()
+            if config is None:
+                return None
+            if self._skew:
+                config = dict(config, alpha=8)
+                self._outstanding = dict(config)
+            return config
+
+    with pytest.raises(AdapterConformanceError, match="deterministic"):
+        check_tuner(strategy_factory=Jittery)
+
+
+def test_catches_out_of_bounds_strategy():
+    class Rogue(CoordinateDescent):
+        def ask(self):
+            config = super().ask()
+            if config is None:
+                return None
+            config = dict(config, alpha=3)  # 3 is not on the grid
+            self._outstanding = dict(config)
+            return config
+
+    with pytest.raises(AdapterConformanceError, match="outside"):
+        check_tuner(strategy_factory=Rogue)

@@ -1,0 +1,146 @@
+"""Measurement tests: FakeClock timing and trace-sink attribution."""
+
+import pytest
+
+from repro.trace import tracer as tracer_mod
+from repro.tune import (
+    FakeClock,
+    Measurement,
+    MeasurementSink,
+    attributed_measure,
+    digest_bytes,
+    measure_call,
+    stage_share,
+)
+
+
+def test_fake_clock_advances():
+    clock = FakeClock(10.0)
+    assert clock() == 10.0
+    clock.advance(2.5)
+    assert clock() == 12.5
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_measure_call_min_over_reps():
+    clock = FakeClock()
+    durations = iter([5.0, 2.0, 3.0])
+
+    def fn():
+        clock.advance(next(durations))
+        return "value"
+
+    seconds, value = measure_call(fn, reps=3, clock=clock)
+    assert seconds == 2.0
+    assert value == "value"
+
+
+def test_measure_call_validates_reps():
+    with pytest.raises(ValueError):
+        measure_call(lambda: None, reps=0)
+
+
+def test_measurement_rejects_negative_seconds():
+    with pytest.raises(ValueError):
+        Measurement(config={}, seconds=-0.1)
+
+
+def test_digest_bytes_concatenates():
+    assert digest_bytes(b"ab", b"c") == digest_bytes(b"abc")
+    assert digest_bytes(b"ab") != digest_bytes(b"ba")
+
+
+def test_sink_aggregates_spans():
+    t = tracer_mod.Tracer()
+    t.enable()
+    sink = MeasurementSink(t)
+    with sink.attached():
+        with t.span("stage.alpha"):
+            pass
+        with t.span("stage.alpha"):
+            pass
+        with t.span("stage.beta"):
+            pass
+    with t.span("stage.alpha"):  # after detach: not counted
+        pass
+    counts = sink.stage_counts()
+    assert counts == {"stage.alpha": 2, "stage.beta": 1}
+    seconds = sink.stage_seconds()
+    assert set(seconds) == {"stage.alpha", "stage.beta"}
+    assert all(v >= 0 for v in seconds.values())
+    assert sink.total_seconds() == pytest.approx(sum(seconds.values()))
+    sink.reset()
+    assert sink.stage_counts() == {}
+
+
+def test_broken_sink_never_breaks_traced_code():
+    t = tracer_mod.Tracer()
+    t.enable()
+
+    def bad_sink(event):
+        raise RuntimeError("boom")
+
+    t.add_sink(bad_sink)
+    try:
+        with t.span("stage.ok"):
+            pass  # must not raise despite the sink blowing up
+        assert [e.name for e in t.snapshot()] == ["stage.ok"]
+    finally:
+        t.remove_sink(bad_sink)
+
+
+def test_add_sink_is_idempotent_and_removable():
+    t = tracer_mod.Tracer()
+    t.enable()
+    seen = []
+    sink = seen.append
+    t.add_sink(sink)
+    t.add_sink(sink)  # duplicate registration must not double-deliver
+    with t.span("s"):
+        pass
+    assert len(seen) == 1
+    t.remove_sink(sink)
+    with t.span("s"):
+        pass
+    assert len(seen) == 1
+
+
+def test_module_level_sink_helpers():
+    seen = []
+    sink = seen.append  # bound once: remove_sink matches by identity
+    tracer_mod.add_sink(sink)
+    try:
+        was = tracer_mod.TRACER.enabled
+        tracer_mod.TRACER.enable()
+        try:
+            with tracer_mod.TRACER.span("module.level"):
+                pass
+        finally:
+            if not was:
+                tracer_mod.TRACER.disable()
+        assert [e.name for e in seen] == ["module.level"]
+    finally:
+        tracer_mod.remove_sink(sink)
+    assert sink not in tracer_mod.TRACER._sinks
+
+
+def test_attributed_measure_enables_tracer_temporarily():
+    t = tracer_mod.Tracer()
+    assert not t.enabled
+
+    def fn():
+        with t.span("inner.stage"):
+            return 42
+
+    seconds, value, stages = attributed_measure(fn, reps=2, tracer=t)
+    assert value == 42
+    assert "inner.stage" in stages
+    assert not t.enabled  # restored
+
+
+def test_stage_share_normalizes():
+    assert stage_share({}) == {}
+    share = stage_share({"a": 3.0, "b": 1.0})
+    assert share["a"] == pytest.approx(0.75)
+    assert share["b"] == pytest.approx(0.25)

@@ -1,0 +1,101 @@
+"""Property-based tests: the tuner's persistence invariant.
+
+The property the whole subsystem hangs on: **no matter the cost
+surface and no matter which configs change bytes, a persisted entry is
+always byte-identical to the default configuration.**  Hypothesis gets
+to pick adversarial surfaces — byte-changing configs that look
+arbitrarily fast — and the guard must hold for every one of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tune import (
+    AutoTuner,
+    Knob,
+    KnobSpace,
+    Measurement,
+    TuneEntry,
+    TuningCache,
+    TuningKey,
+    config_key,
+)
+
+SPACE = KnobSpace((
+    Knob("a", (1, 2, 4), 1),
+    Knob("b", ("p", "q", "r"), "p"),
+))
+ALL_CONFIGS = [
+    {"a": a, "b": b} for a in (1, 2, 4) for b in ("p", "q", "r")
+]
+KEY = TuningKey("prop", "<f4", (1, 64), "cpu-test")
+
+
+class RecordingCache:
+    def __init__(self):
+        self.puts = []
+
+    def put(self, key, entry):
+        self.puts.append((key, entry))
+
+
+@given(
+    costs=st.lists(
+        st.floats(min_value=1e-4, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=len(ALL_CONFIGS), max_size=len(ALL_CONFIGS),
+    ),
+    byte_changers=st.sets(st.integers(0, len(ALL_CONFIGS) - 1)),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_persisted_entry_is_always_byte_identical(costs, byte_changers, seed):
+    surface = {
+        config_key(c): (cost, "flip" if i in byte_changers else "base")
+        for i, (c, cost) in enumerate(zip(ALL_CONFIGS, costs))
+    }
+    # The default config always defines the baseline digest, whatever
+    # hypothesis assigned it.
+    default_key = config_key(SPACE.default_config())
+    baseline_digest = surface[default_key][1]
+
+    def run(config):
+        cost, digest = surface[config_key(config)]
+        return Measurement(config=dict(config), seconds=cost, digest=digest)
+
+    cache = RecordingCache()
+    report = AutoTuner(SPACE, seed=seed, budget=32).tune(
+        KEY, run, cache=cache)
+
+    assert len(cache.puts) == 1
+    _key, entry = cache.puts[0]
+    assert entry.digest == baseline_digest
+    assert surface[config_key(entry.config)][1] == baseline_digest
+    assert report.best_config == entry.config
+    # The winner is genuinely the cheapest *byte-identical* config seen.
+    assert entry.cost_s <= surface[default_key][0] + 1e-12
+
+
+@given(
+    configs=st.dictionaries(
+        st.sampled_from(["adapter", "threads", "chunk", "rate"]),
+        st.one_of(st.integers(-1000, 1000),
+                  st.floats(allow_nan=False, allow_infinity=False),
+                  st.text(max_size=8)),
+        min_size=1,
+    ),
+    cost=st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False),
+    default_cost=st.floats(min_value=0.0, max_value=1e6,
+                           allow_nan=False, allow_infinity=False),
+    digest=st.text(max_size=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_round_trips_arbitrary_entries(tmp_path_factory, configs,
+                                             cost, default_cost, digest):
+    cache = TuningCache(
+        tmp_path_factory.mktemp("prop") / "tuning.json")
+    entry = TuneEntry(config=configs, cost_s=cost,
+                      default_cost_s=default_cost, digest=digest)
+    cache.put(KEY, entry)
+    assert cache.get(KEY) == entry

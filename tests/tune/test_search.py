@@ -1,0 +1,123 @@
+"""Search-strategy tests: deterministic convergence on known surfaces.
+
+Everything here is driven by synthetic cost functions — zero wall
+clock, zero codecs — so convergence and determinism are exact
+assertions, not statistical hopes.
+"""
+
+import pytest
+
+from repro.tune import CoordinateDescent, Knob, KnobSpace, config_key, run_search
+
+SPACE = KnobSpace((
+    Knob("a", (1, 2, 4, 8), 1),
+    Knob("b", (0.0, 0.5, 1.0), 0.0),
+    Knob("c", ("x", "y"), "x"),
+))
+
+
+def convex_cost(config):
+    """Separable convex surface: unique optimum at a=8, b=1.0, c=y."""
+    return (
+        1.0 / config["a"]
+        + (1.0 - config["b"]) ** 2
+        + (0.25 if config["c"] == "x" else 0.0)
+    )
+
+
+def drive(strategy, cost, budget=200):
+    trace = []
+    for _ in range(budget):
+        config = strategy.ask()
+        if config is None:
+            break
+        trace.append(config_key(config))
+        strategy.tell(config, cost(config))
+    return trace
+
+
+def test_converges_to_known_optimum():
+    strat = CoordinateDescent(SPACE, seed=3)
+    drive(strat, convex_cost)
+    best, cost = strat.best()
+    assert best == {"a": 8, "b": 1.0, "c": "y"}
+    assert cost == pytest.approx(convex_cost(best))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 42])
+def test_same_seed_same_trajectory(seed):
+    t1 = drive(CoordinateDescent(SPACE, seed=seed), convex_cost)
+    t2 = drive(CoordinateDescent(SPACE, seed=seed), convex_cost)
+    assert t1 == t2
+    assert len(t1) > 1
+
+
+def test_first_proposal_is_the_default():
+    strat = CoordinateDescent(SPACE, seed=0)
+    assert strat.ask() == SPACE.default_config()
+
+
+def test_never_reproposes_a_measured_config():
+    strat = CoordinateDescent(SPACE, seed=5, epsilon=0.5)
+    trace = drive(strat, convex_cost)
+    assert len(trace) == len(set(trace))
+    assert strat.evaluations == len(trace)
+
+
+def test_proposals_stay_on_the_grid():
+    strat = CoordinateDescent(SPACE, seed=9, epsilon=1.0)
+    for _ in range(100):
+        config = strat.ask()
+        if config is None:
+            break
+        assert SPACE.contains(config)
+        strat.tell(config, convex_cost(config))
+
+
+def test_stops_after_unimproving_round():
+    # A flat surface: the first round cannot improve on the default, so
+    # the strategy must converge well before exhausting the grid.
+    strat = CoordinateDescent(SPACE, seed=0, epsilon=0.0, max_rounds=4)
+    trace = drive(strat, lambda config: 1.0)
+    assert strat.done
+    assert len(trace) < SPACE.grid_size()
+
+
+def test_ask_twice_without_tell_raises():
+    strat = CoordinateDescent(SPACE, seed=0)
+    strat.ask()
+    with pytest.raises(RuntimeError):
+        strat.ask()
+
+
+def test_tell_without_ask_raises():
+    strat = CoordinateDescent(SPACE, seed=0)
+    with pytest.raises(RuntimeError):
+        strat.tell(SPACE.default_config(), 1.0)
+
+
+def test_tell_with_wrong_config_raises():
+    strat = CoordinateDescent(SPACE, seed=0)
+    config = strat.ask()
+    wrong = dict(config, a=8 if config["a"] != 8 else 4)
+    with pytest.raises(ValueError):
+        strat.tell(wrong, 1.0)
+
+
+def test_run_search_respects_budget():
+    strat = CoordinateDescent(SPACE, seed=0)
+    calls = []
+
+    def cost(config):
+        calls.append(config)
+        return convex_cost(config)
+
+    run_search(strat, cost, budget=3)
+    assert len(calls) == 3
+
+
+def test_epsilon_validation():
+    with pytest.raises(ValueError):
+        CoordinateDescent(SPACE, epsilon=1.5)
+    with pytest.raises(ValueError):
+        CoordinateDescent(SPACE, max_rounds=0)
